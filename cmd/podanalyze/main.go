@@ -1,0 +1,69 @@
+// Command podanalyze runs the offline post-mortem over an archived central
+// log store (the JSON-lines file written by `podctl -dump` or by
+// logstore.Store.SaveFile): per process instance, the replayed conformance
+// verdicts, every anomaly, and the diagnosis conclusions reached online.
+//
+// Usage:
+//
+//	podanalyze -store store.jsonl [-model rolling-upgrade|scale-out|model.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"poddiagnosis/internal/logstore"
+	"poddiagnosis/internal/offline"
+	"poddiagnosis/internal/process"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		storePath = flag.String("store", "", "JSON-lines store dump to analyze (required)")
+		modelName = flag.String("model", "rolling-upgrade", "process model: rolling-upgrade, scale-out, or a model JSON file")
+	)
+	flag.Parse()
+	if *storePath == "" {
+		fmt.Fprintln(os.Stderr, "podanalyze: -store is required")
+		flag.Usage()
+		return 2
+	}
+
+	store, err := logstore.LoadFile(*storePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	var model *process.Model
+	switch *modelName {
+	case "rolling-upgrade":
+		model = process.RollingUpgradeModel()
+	case "scale-out":
+		model = process.ScaleOutModel()
+	default:
+		data, err := os.ReadFile(*modelName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		model, err = process.UnmarshalModel(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
+	rep, err := offline.Analyze(store, model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Print(rep.Render())
+	return 0
+}

@@ -1,0 +1,234 @@
+// Command podctl runs one rolling upgrade on the simulated cloud with
+// POD-Diagnosis watching, optionally injecting one of the paper's eight
+// fault types, and prints the live diagnosis results.
+//
+// Usage:
+//
+//	podctl [-size N] [-fault kind] [-interfere kind] [-scale X] [-seed S] [-v]
+//	podctl -show-tree            # print the Figure 5 fault tree
+//	podctl -list-faults          # list injectable fault kinds
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/core"
+	"poddiagnosis/internal/faultinject"
+	"poddiagnosis/internal/faulttree"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/offline"
+	"poddiagnosis/internal/process"
+	"poddiagnosis/internal/simaws"
+	"poddiagnosis/internal/upgrade"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		size      = flag.Int("size", 4, "cluster size (paper: 4 or 20)")
+		faultName = flag.String("fault", "", "fault to inject (see -list-faults; empty = clean run)")
+		interfere = flag.String("interfere", "", "interference to inject: scale-in, random-termination, account-pressure")
+		scale     = flag.Float64("scale", 120, "clock speed-up factor")
+		seed      = flag.Int64("seed", 1, "random seed")
+		verbose   = flag.Bool("v", false, "stream all log events")
+		showTree  = flag.Bool("show-tree", false, "print the version-count fault tree (Figure 5) and exit")
+		listFault = flag.Bool("list-faults", false, "list fault kinds and exit")
+		postmort  = flag.Bool("postmortem", false, "print the offline post-mortem from the central log store after the run")
+		dumpPath  = flag.String("dump", "", "write the central log store to this JSON-lines file (analyze later with podanalyze)")
+	)
+	flag.Parse()
+
+	if *listFault {
+		for _, k := range faultinject.AllKinds() {
+			fmt.Printf("  %-24s expected root causes: %v\n", k, k.ExpectedRootCauses())
+		}
+		return 0
+	}
+	if *showTree {
+		printTree()
+		return 0
+	}
+
+	var fault faultinject.Kind
+	if *faultName != "" {
+		for _, k := range faultinject.AllKinds() {
+			if k.String() == *faultName {
+				fault = k
+			}
+		}
+		if fault == 0 {
+			fmt.Fprintf(os.Stderr, "unknown fault %q (see -list-faults)\n", *faultName)
+			return 2
+		}
+	}
+
+	ctx := context.Background()
+	clk := clock.NewScaled(*scale, time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC))
+	bus := logging.NewBus()
+	defer bus.Close()
+	cloud := simaws.New(clk, simaws.PaperProfile(), simaws.WithSeed(*seed), simaws.WithBus(bus))
+	cloud.Start()
+	defer cloud.Stop()
+
+	if *verbose {
+		sub := bus.Subscribe(4096, nil)
+		go func() {
+			sink := logging.NewTextSink(os.Stderr)
+			for e := range sub.C {
+				sink.Write(e)
+			}
+		}()
+		defer sub.Cancel()
+	}
+
+	fmt.Printf("deploying %d-instance cluster (sim clock x%.0f)...\n", *size, *scale)
+	cluster, err := upgrade.Deploy(ctx, cloud, "pm", *size, "v1")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := cluster.WaitReady(ctx, cloud, 10*time.Minute); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	newAMI, err := cloud.RegisterImage(ctx, "pm-v2", "v2", upgrade.AppServices)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	spec := cluster.UpgradeSpec("pushing pm--asg", newAMI)
+	spec.NewLCName = cluster.ASGName + "-lc-" + newAMI
+
+	mon, err := core.NewEngine(core.Config{
+		Cloud: cloud,
+		Bus:   bus,
+		Expect: core.Expectation{
+			ASGName:      cluster.ASGName,
+			ELBName:      cluster.ELBName,
+			NewImageID:   newAMI,
+			NewVersion:   "v2",
+			NewLCName:    spec.NewLCName,
+			KeyName:      cluster.KeyName,
+			SGName:       cluster.SGName,
+			InstanceType: "m1.small",
+			ClusterSize:  *size,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	mon.Start()
+
+	injector := faultinject.NewInjector(cloud, cluster, *seed)
+	defer injector.Heal()
+	if fault != 0 {
+		fmt.Printf("injecting fault %q mid-upgrade...\n", fault)
+		go func() {
+			_ = injector.Inject(ctx, fault, 30*time.Second, spec.NewLCName, newAMI)
+		}()
+	}
+	if *interfere != "" {
+		for _, i := range []faultinject.Interference{
+			faultinject.InterferenceScaleIn,
+			faultinject.InterferenceRandomTermination,
+			faultinject.InterferenceAccountPressure,
+		} {
+			if i.String() == *interfere {
+				fmt.Printf("injecting interference %q...\n", i)
+				go func() { _ = injector.Interfere(ctx, i, 40*time.Second) }()
+			}
+		}
+	}
+
+	fmt.Printf("starting rolling upgrade of %s to %s...\n", cluster.ASGName, newAMI)
+	rep := upgrade.NewUpgrader(cloud, bus).Run(ctx, spec)
+	_ = clk.Sleep(ctx, 30*time.Second)
+	mon.Drain(5 * time.Second)
+	time.Sleep(20 * time.Millisecond)
+	mon.Stop()
+
+	if rep.Err != nil {
+		fmt.Printf("upgrade FAILED: %v\n", rep.Err)
+	} else {
+		fmt.Printf("upgrade completed: replaced %d instances in %s (simulated)\n",
+			len(rep.Replaced), rep.Finished.Sub(rep.Started).Round(time.Second))
+	}
+	if *dumpPath != "" {
+		if err := mon.Store().SaveFile(*dumpPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("central log store written to %s (%d events)\n", *dumpPath, mon.Store().Len())
+	}
+	if *postmort {
+		rep, err := offline.Analyze(mon.Store(), process.RollingUpgradeModel())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Println()
+		fmt.Print(rep.Render())
+	}
+
+	dets := mon.Detections()
+	fmt.Printf("\n%d detection(s):\n", len(dets))
+	for i, d := range dets {
+		fmt.Printf("  [%d] source=%s trigger=%s step=%s\n      %s\n", i+1, d.Source, d.TriggerID, d.StepID, d.Message)
+		if d.Diagnosis != nil {
+			fmt.Printf("      diagnosis (%0.2fs, %d tests, %d/%d faults excluded): %s\n",
+				d.Diagnosis.Duration.Seconds(), len(d.Diagnosis.TestsRun),
+				d.Diagnosis.Excluded, d.Diagnosis.PotentialFaults, d.Diagnosis.Conclusion)
+			for _, c := range d.Diagnosis.RootCauses {
+				fmt.Printf("      root cause: %s — %s\n", c.NodeID, c.Description)
+			}
+			for _, c := range d.Diagnosis.Suspected {
+				fmt.Printf("      suspected:  %s — %s\n", c.NodeID, c.Description)
+			}
+		}
+	}
+	return 0
+}
+
+// printTree renders the Figure 5 fault tree.
+func printTree() {
+	repo := faulttree.DefaultRepository()
+	trees := repo.Select(assertion.CheckASGVersionCount)
+	if len(trees) == 0 {
+		return
+	}
+	var walk func(n *faulttree.Node, depth int)
+	walk = func(n *faulttree.Node, depth int) {
+		indent := ""
+		for i := 0; i < depth; i++ {
+			indent += "  "
+		}
+		marker := "▸"
+		if n.RootCause {
+			marker = "●"
+		}
+		check := ""
+		if n.CheckID != "" {
+			check = " [test: " + n.CheckID + "]"
+		}
+		steps := ""
+		if len(n.Steps) > 0 {
+			steps = fmt.Sprintf(" (steps %v)", n.Steps)
+		}
+		fmt.Printf("%s%s %s%s%s\n", indent, marker, n.Description, check, steps)
+		for _, c := range faulttree.SortedChildren(n) {
+			walk(c, depth+1)
+		}
+	}
+	fmt.Println("Fault tree for: assert the system has N instances with the new version (Figure 5)")
+	walk(trees[0].Root, 0)
+}

@@ -1,0 +1,95 @@
+// Command podexperiment runs the paper's evaluation campaign (§V): fault
+// injection across the 8 fault types with simultaneous operations, and
+// prints the reproduced tables and figures.
+//
+// Usage:
+//
+//	podexperiment                      # full 160-run campaign, all outputs
+//	podexperiment -runs 5              # 5 runs per fault (40 total)
+//	podexperiment -figure 6            # only Figure 6
+//	podexperiment -figure 7            # only Figure 7
+//	podexperiment -table 1             # only Table I
+//	podexperiment -table conformance   # only the conformance coverage table
+//	podexperiment -json results.json   # also dump raw run results
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"poddiagnosis/internal/experiment"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		runs     = flag.Int("runs", 20, "runs per fault type (paper: 20)")
+		scale    = flag.Float64("scale", 0, "clock speed-up (0 = default)")
+		seed     = flag.Int64("seed", 2013, "campaign seed")
+		parallel = flag.Int("parallel", 0, "concurrent runs (0 = default)")
+		figure   = flag.String("figure", "", "print only figure 6 or 7")
+		table    = flag.String("table", "", "print only table 1 or conformance")
+		jsonOut  = flag.String("json", "", "write raw run results to this file")
+		ablation = flag.String("ablation", "", "detection ablation: no-conformance, no-assertions")
+	)
+	flag.Parse()
+
+	cfg := experiment.Config{
+		RunsPerFault: *runs,
+		Scale:        *scale,
+		Seed:         *seed,
+		Parallelism:  *parallel,
+	}
+	switch *ablation {
+	case "":
+	case "no-conformance":
+		cfg.DisableConformance = true
+	case "no-assertions":
+		cfg.DisableAssertions = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown ablation %q\n", *ablation)
+		return 2
+	}
+
+	total := *runs * 8
+	fmt.Fprintf(os.Stderr, "running %d fault-injection runs (8 fault types x %d)...\n", total, *runs)
+	rep, err := experiment.Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "campaign finished in %s wall time\n\n", rep.WallDuration.Round(1e9))
+
+	switch {
+	case *figure == "6":
+		fmt.Print(rep.RenderFigure6())
+	case *figure == "7":
+		fmt.Print(rep.RenderFigure7())
+	case *table == "1":
+		fmt.Print(rep.RenderTable1())
+	case *table == "conformance":
+		fmt.Print(rep.RenderConformance())
+	default:
+		fmt.Print(rep.RenderAll())
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", " ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "raw results written to %s\n", *jsonOut)
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+// Command podmine demonstrates offline process discovery (§III.A): it runs
+// several successful rolling upgrades on the simulated cloud, collects the
+// operation logs, mines a process model from them, and compares the
+// discovered structure with the hand-built Figure 2 model.
+//
+// Usage:
+//
+//	podmine [-traces N] [-size M] [-scale X] [-json model.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/mining"
+	"poddiagnosis/internal/process"
+	"poddiagnosis/internal/simaws"
+	"poddiagnosis/internal/upgrade"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		traces  = flag.Int("traces", 5, "number of successful upgrades to mine from")
+		size    = flag.Int("size", 3, "cluster size")
+		scale   = flag.Float64("scale", 400, "clock speed-up factor")
+		jsonOut = flag.String("json", "", "write the mined model JSON to this file")
+		dotOut  = flag.String("dot", "", "write the mined model in Graphviz dot format to this file")
+	)
+	flag.Parse()
+
+	ctx := context.Background()
+	clk := clock.NewScaled(*scale, time.Date(2013, 10, 24, 11, 0, 0, 0, time.UTC))
+	bus := logging.NewBus()
+	defer bus.Close()
+	profile := simaws.PaperProfile()
+	profile.StaleProb = 0 // keep training runs clean
+	cloud := simaws.New(clk, profile, simaws.WithSeed(7), simaws.WithBus(bus))
+	cloud.Start()
+	defer cloud.Stop()
+
+	sink := logging.NewMemorySink()
+	sub := bus.Subscribe(16384, logging.TypeFilter(logging.TypeOperation))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for e := range sub.C {
+			sink.Write(e)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "running %d clean upgrades of a %d-instance cluster...\n", *traces, *size)
+	cluster, err := upgrade.Deploy(ctx, cloud, "pm", *size, "v1")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := cluster.WaitReady(ctx, cloud, 10*time.Minute); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	up := upgrade.NewUpgrader(cloud, bus)
+	for i := 0; i < *traces; i++ {
+		ami, err := cloud.RegisterImage(ctx, fmt.Sprintf("pm-v%d", i+2), fmt.Sprintf("v%d", i+2), upgrade.AppServices)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		rep := up.Run(ctx, cluster.UpgradeSpec(fmt.Sprintf("push-%d", i), ami))
+		if rep.Err != nil {
+			fmt.Fprintf(os.Stderr, "upgrade %d failed: %v\n", i, rep.Err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "  trace %d: replaced %d instances\n", i+1, len(rep.Replaced))
+	}
+	sub.Cancel()
+	<-done
+
+	var lines []mining.Line
+	for _, ev := range sink.Events() {
+		_, task, body, ok := logging.ParseOperationLine(ev.Message)
+		if !ok {
+			continue
+		}
+		lines = append(lines, mining.Line{Timestamp: ev.Timestamp, InstanceID: task, Body: body})
+	}
+	fmt.Fprintf(os.Stderr, "mining %d log lines...\n\n", len(lines))
+
+	res, err := mining.NewMiner().Mine(lines, "mined-rolling-upgrade")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	fmt.Printf("discovered %d activities from %d traces (loop: %v)\n\n", len(res.Clusters), res.Traces, res.HasLoop())
+	for _, c := range res.Clusters {
+		fmt.Printf("  %-42s x%-4d %s\n", c.Name, c.Count, c.Template)
+	}
+	fmt.Println()
+	fmt.Print(res.RenderDFG())
+
+	// Compare with the hand-built Figure 2 model: every mined cluster
+	// should map onto exactly one canonical activity.
+	truth := process.RollingUpgradeModel()
+	fmt.Println("\nmapping to the canonical Figure 2 model:")
+	for _, c := range res.Clusters {
+		name := "(unmapped)"
+		for _, ex := range c.Examples {
+			if n, ok := truth.Classify(ex); ok {
+				name = n.Name
+				break
+			}
+		}
+		fmt.Printf("  %-42s -> %s\n", c.Name, name)
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(res.Model, "", " ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "\nmined model written to %s\n", *jsonOut)
+	}
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(res.Model.DOT()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "mined model graph written to %s\n", *dotOut)
+	}
+	return 0
+}

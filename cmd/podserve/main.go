@@ -1,0 +1,90 @@
+// Command podserve hosts the three POD-Diagnosis services — conformance
+// checking, assertion evaluation, and error diagnosis — as RESTful web
+// services over a simulated cloud, mirroring the paper's RESTlet
+// deployment (§IV).
+//
+// Usage:
+//
+//	podserve [-addr :8077] [-size N] [-scale X]
+//
+// Endpoints:
+//
+//	POST /conformance/check      {"traceId": "...", "line": "..."}
+//	GET  /conformance/instances
+//	POST /assertions/evaluate    {"checkId": "...", "params": {...}}
+//	GET  /assertions/checks
+//	POST /diagnosis              {"assertionId": "...", "stepId": "...", "params": {...}}
+//	GET  /model
+//	GET  /healthz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/conformance"
+	"poddiagnosis/internal/consistentapi"
+	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/faulttree"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/process"
+	"poddiagnosis/internal/rest"
+	"poddiagnosis/internal/simaws"
+	"poddiagnosis/internal/upgrade"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr  = flag.String("addr", ":8077", "listen address")
+		size  = flag.Int("size", 4, "size of the backing demo cluster")
+		scale = flag.Float64("scale", 60, "clock speed-up factor")
+	)
+	flag.Parse()
+
+	ctx := context.Background()
+	clk := clock.NewScaled(*scale, time.Now())
+	bus := logging.NewBus()
+	defer bus.Close()
+	cloud := simaws.New(clk, simaws.PaperProfile(), simaws.WithSeed(1), simaws.WithBus(bus))
+	cloud.Start()
+	defer cloud.Stop()
+
+	fmt.Fprintf(os.Stderr, "deploying a %d-instance demo cluster...\n", *size)
+	cluster, err := upgrade.Deploy(ctx, cloud, "pm", *size, "v1")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := cluster.WaitReady(ctx, cloud, 10*time.Minute); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	client := consistentapi.New(cloud, consistentapi.Config{})
+	eval := assertion.NewEvaluator(client, assertion.DefaultRegistry(), bus)
+	checker := conformance.NewChecker(process.RollingUpgradeModel())
+	diag := diagnosis.NewEngine(faulttree.DefaultRepository(), eval, bus, diagnosis.Options{})
+	server := rest.NewServer(checker, eval, diag)
+
+	fmt.Fprintf(os.Stderr, "cluster %s ready behind %s; serving on %s\n", cluster.ASGName, cluster.ELBName, *addr)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           server,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}

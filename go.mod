@@ -1,0 +1,3 @@
+module poddiagnosis
+
+go 1.22

@@ -1,0 +1,138 @@
+package assertion
+
+import (
+	"sync"
+	"time"
+
+	"poddiagnosis/internal/clock"
+)
+
+// TimerSet schedules one-off and periodic assertion triggers against a
+// clock (§III.B.3: a one-off timer checks an assertion at a specific time
+// point, e.g. when a step emits no completion log line; a periodic timer
+// checks an assertion every so often while the operation runs, and can be
+// re-aligned when the expected periodic log event arrives).
+//
+// StopAll cancels every outstanding timer and waits for in-flight
+// callbacks; after StopAll the set rejects new timers.
+type TimerSet struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	nextID  int
+	cancels map[int]chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// NewTimerSet returns an empty timer set.
+func NewTimerSet(clk clock.Clock) *TimerSet {
+	return &TimerSet{clk: clk, cancels: make(map[int]chan struct{})}
+}
+
+// After schedules f once after d of clock time. The returned cancel
+// function stops the timer if it has not fired; it is safe to call
+// multiple times.
+func (t *TimerSet) After(d time.Duration, f func()) (cancel func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return func() {}
+	}
+	id := t.nextID
+	t.nextID++
+	ch := make(chan struct{})
+	t.cancels[id] = ch
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		select {
+		case <-ch:
+			return
+		case <-t.clk.After(d):
+		}
+		// Deregister before running so StopAll does not double-close.
+		if !t.deregister(id) {
+			return
+		}
+		f()
+	}()
+	return func() { t.cancelID(id) }
+}
+
+// Every schedules f repeatedly with period d until cancelled. Reset the
+// alignment by cancelling and re-registering (the log processor does this
+// when the periodic log event arrives early).
+func (t *TimerSet) Every(d time.Duration, f func()) (cancel func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return func() {}
+	}
+	id := t.nextID
+	t.nextID++
+	ch := make(chan struct{})
+	t.cancels[id] = ch
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		ticker := clock.NewTicker(t.clk, d)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ch:
+				return
+			case <-ticker.C:
+				f()
+			}
+		}
+	}()
+	return func() { t.cancelID(id) }
+}
+
+// cancelID cancels a single timer.
+func (t *TimerSet) cancelID(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ch, ok := t.cancels[id]; ok {
+		delete(t.cancels, id)
+		close(ch)
+	}
+}
+
+// deregister removes a fired one-off timer, reporting whether it was still
+// registered (false means it lost a race with cancellation).
+func (t *TimerSet) deregister(id int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.cancels[id]; !ok {
+		return false
+	}
+	delete(t.cancels, id)
+	return true
+}
+
+// StopAll cancels all timers and waits for callbacks to finish. The set
+// cannot be reused afterwards.
+func (t *TimerSet) StopAll() {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		t.wg.Wait()
+		return
+	}
+	t.stopped = true
+	for id, ch := range t.cancels {
+		delete(t.cancels, id)
+		close(ch)
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+}
+
+// Pending returns the number of scheduled, unfired timers.
+func (t *TimerSet) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.cancels)
+}

@@ -1,0 +1,56 @@
+package clock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Dist describes a clamped normal distribution over durations. It is used
+// to model cloud API latencies, instance boot times, and step durations.
+// The zero value always samples to zero.
+type Dist struct {
+	// Mean is the centre of the distribution.
+	Mean time.Duration
+	// StdDev is the standard deviation.
+	StdDev time.Duration
+	// Min and Max clamp every sample. Max of zero means no upper clamp.
+	Min time.Duration
+	Max time.Duration
+}
+
+// Fixed returns a degenerate distribution that always samples to d.
+func Fixed(d time.Duration) Dist { return Dist{Mean: d, Min: d, Max: d} }
+
+// Around returns a distribution centred on mean with a standard deviation
+// of mean/4, clamped to [mean/2, mean*2]. It is the common shape for
+// simulated latencies.
+func Around(mean time.Duration) Dist {
+	return Dist{Mean: mean, StdDev: mean / 4, Min: mean / 2, Max: mean * 2}
+}
+
+// Sample draws a duration using rng. A nil rng uses the package-level
+// rand source.
+func (d Dist) Sample(rng *rand.Rand) time.Duration {
+	var n float64
+	if rng != nil {
+		n = rng.NormFloat64()
+	} else {
+		n = rand.NormFloat64()
+	}
+	v := time.Duration(float64(d.Mean) + n*float64(d.StdDev))
+	if v < d.Min {
+		v = d.Min
+	}
+	if d.Max > 0 && v > d.Max {
+		v = d.Max
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// IsZero reports whether the distribution is the zero value.
+func (d Dist) IsZero() bool {
+	return d.Mean == 0 && d.StdDev == 0 && d.Min == 0 && d.Max == 0
+}

@@ -1,0 +1,50 @@
+package clock
+
+import "time"
+
+// Ticker delivers ticks of clock time at a fixed period. It mirrors
+// time.Ticker but is produced by a Clock so that scaled clocks tick
+// proportionally faster in wall time.
+type Ticker struct {
+	// C delivers the clock time of each tick.
+	C <-chan time.Time
+
+	inner *time.Ticker
+	done  chan struct{}
+}
+
+// NewTicker returns a Ticker firing every d of clock time.
+func NewTicker(c Clock, d time.Duration) *Ticker {
+	wall := d
+	if s, ok := c.(*Scaled); ok {
+		wall = s.toWall(d)
+	}
+	if wall <= 0 {
+		wall = time.Nanosecond
+	}
+	inner := time.NewTicker(wall)
+	out := make(chan time.Time, 1)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-inner.C:
+				select {
+				case out <- c.Now():
+				default: // drop tick if receiver is slow, like time.Ticker
+				}
+			}
+		}
+	}()
+	return &Ticker{C: out, inner: inner, done: done}
+}
+
+// Stop turns off the ticker. No more ticks will be delivered. Stop is
+// idempotent only in the sense that it must be called exactly once; callers
+// own the ticker lifecycle.
+func (t *Ticker) Stop() {
+	t.inner.Stop()
+	close(t.done)
+}

@@ -1,0 +1,344 @@
+// Package conformance implements online conformance checking of log events
+// against a process model, following the token-replay technique the paper
+// adapts from Petri nets to BPMN semantics (§III.B.2).
+//
+// For each process instance the checker maintains a marking (token
+// positions). Each incoming log line is classified against the model's
+// activity patterns and replayed:
+//
+//   - fit: the activity was activated in the current marking,
+//   - unfit: a known activity executed out of turn (skipped or undone
+//     work),
+//   - error: the line matches a known-error pattern,
+//   - unclassified: a completely unknown line (treated as a detected
+//     error, like the paper).
+//
+// Unfit, error and unclassified results carry an ErrorContext — the last
+// valid state, the last successfully executed activity, and the
+// hypothesized skipped or undone activities — which the diagnosis engine
+// uses to prune fault trees.
+package conformance
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"poddiagnosis/internal/process"
+)
+
+// Verdict classifies one replayed log line.
+type Verdict string
+
+// Verdicts, matching the paper's conformance tags.
+const (
+	VerdictFit          Verdict = "fit"
+	VerdictUnfit        Verdict = "unfit"
+	VerdictError        Verdict = "error"
+	VerdictUnclassified Verdict = "unclassified"
+)
+
+// Tag returns the log annotation for the verdict, e.g. "conformance:fit".
+func (v Verdict) Tag() string { return "conformance:" + string(v) }
+
+// IsAnomalous reports whether the verdict indicates a detected error.
+func (v Verdict) IsAnomalous() bool { return v != VerdictFit }
+
+// Direction describes how an unfit activity deviates from the model.
+type Direction string
+
+// Deviation directions.
+const (
+	// DirectionForward means activities were skipped (the process jumped
+	// ahead).
+	DirectionForward Direction = "forward"
+	// DirectionBackward means completed activities were undone (the
+	// process moved backwards).
+	DirectionBackward Direction = "backward"
+	// DirectionNone applies to error/unclassified lines.
+	DirectionNone Direction = "none"
+)
+
+// ErrorContext captures where a non-conforming event left the process.
+type ErrorContext struct {
+	// LastValidActivity is the id of the last activity that replayed fit.
+	LastValidActivity string `json:"lastValidActivity"`
+	// LastValidStep is its step id.
+	LastValidStep string `json:"lastValidStep"`
+	// Marking is the token position (node ids) before the offending
+	// event.
+	Marking []string `json:"marking"`
+	// Skipped lists hypothesized skipped activities (forward deviation)
+	// or undone activities (backward deviation).
+	Skipped []string `json:"skipped,omitempty"`
+	// Direction is the deviation direction for unfit events.
+	Direction Direction `json:"direction"`
+}
+
+// Result is the outcome of replaying one log line.
+type Result struct {
+	// Verdict is the conformance classification.
+	Verdict Verdict `json:"verdict"`
+	// ActivityID is the matched activity ("" for error/unclassified).
+	ActivityID string `json:"activityId,omitempty"`
+	// ActivityName is its display name.
+	ActivityName string `json:"activityName,omitempty"`
+	// StepID is the matched activity's process-context step.
+	StepID string `json:"stepId,omitempty"`
+	// InstanceID is the process instance the line belongs to.
+	InstanceID string `json:"instanceId"`
+	// Completed reports whether the instance has reached an end state.
+	Completed bool `json:"completed"`
+	// Context is set for anomalous verdicts.
+	Context *ErrorContext `json:"context,omitempty"`
+}
+
+// Checker replays log lines for any number of process instances of one
+// model. It is safe for concurrent use.
+type Checker struct {
+	model *process.Model
+
+	mu        sync.Mutex
+	instances map[string]*instanceState
+}
+
+// instanceState is the replay state of one process instance.
+type instanceState struct {
+	m         marking
+	lastValid *process.Node
+	completed bool
+	fired     map[string]int // activity id -> times fired
+	lastAt    time.Time
+	events    int // lines replayed
+	fit       int // lines that replayed fit
+}
+
+// NewChecker returns a Checker for the given model.
+func NewChecker(model *process.Model) *Checker {
+	return &Checker{model: model, instances: make(map[string]*instanceState)}
+}
+
+// Model returns the model being checked against.
+func (c *Checker) Model() *process.Model { return c.model }
+
+// InstanceIDs returns the known process instance ids.
+func (c *Checker) InstanceIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.instances))
+	for id := range c.instances {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Completed reports whether the given instance has reached an end state.
+func (c *Checker) Completed(instanceID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.instances[instanceID]
+	return ok && st.completed
+}
+
+// Check replays one log line for the given process instance, creating the
+// instance on first sight.
+func (c *Checker) Check(instanceID, line string, at time.Time) Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.instances[instanceID]
+	if !ok {
+		st = &instanceState{
+			m:     (&replayer{model: c.model}).initialMarking(),
+			fired: make(map[string]int),
+		}
+		c.instances[instanceID] = st
+	}
+	st.lastAt = at
+	st.events++
+	rp := &replayer{model: c.model}
+
+	res := Result{InstanceID: instanceID}
+	defer func() {
+		if res.Verdict == VerdictFit {
+			st.fit++
+		}
+	}()
+
+	// Known-error lines trump classification.
+	if c.model.IsErrorLine(line) {
+		res.Verdict = VerdictError
+		res.Context = c.errorContext(st, nil)
+		return res
+	}
+
+	node, ok := c.model.Classify(line)
+	if !ok {
+		res.Verdict = VerdictUnclassified
+		res.Context = c.errorContext(st, nil)
+		return res
+	}
+	res.ActivityID = node.ID
+	res.ActivityName = node.Name
+	res.StepID = node.StepID
+
+	if node.Recurring {
+		// Periodic activities replay as fit while the instance is live.
+		res.Verdict = VerdictFit
+		res.Completed = st.completed
+		return res
+	}
+
+	if node.MultiLine && rp.inProgress(st.m, node.ID) {
+		// Another log line of the activity the token already occupies:
+		// the step is in progress (steps may log start, progress and
+		// end lines), so the event fits without moving the token.
+		st.lastValid = node
+		res.Verdict = VerdictFit
+		res.Completed = st.completed
+		return res
+	}
+
+	if next, ok := rp.fireActivity(st.m, node.ID); ok {
+		st.m = next
+		st.lastValid = node
+		st.fired[node.ID]++
+		st.completed = rp.canComplete(st.m)
+		res.Verdict = VerdictFit
+		res.Completed = st.completed
+		return res
+	}
+
+	res.Verdict = VerdictUnfit
+	res.Context = c.errorContext(st, node)
+	return res
+}
+
+// errorContext snapshots the instance state and, when an unfit activity is
+// given, hypothesizes the skipped or undone activities.
+func (c *Checker) errorContext(st *instanceState, unfit *process.Node) *ErrorContext {
+	ctx := &ErrorContext{Direction: DirectionNone}
+	if st.lastValid != nil {
+		ctx.LastValidActivity = st.lastValid.ID
+		ctx.LastValidStep = st.lastValid.StepID
+	}
+	ctx.Marking = st.m.places()
+	if unfit == nil {
+		return ctx
+	}
+	// The skipped/undone hypothesis works on the node graph: anchor the
+	// search at the nodes the marked places touch.
+	anchors := c.markingAnchors(st)
+	// Forward deviation: activities on a path from the marking to the
+	// unfit activity were skipped.
+	for _, anchor := range anchors {
+		if skipped, ok := c.activitiesOnPath(anchor, unfit.ID); ok {
+			ctx.Direction = DirectionForward
+			ctx.Skipped = skipped
+			return ctx
+		}
+	}
+	// Backward deviation: the unfit activity precedes the marking; the
+	// activities between it and the marking would have been undone.
+	for _, anchor := range anchors {
+		if undone, ok := c.activitiesOnPath(unfit.ID, anchor); ok {
+			ctx.Direction = DirectionBackward
+			ctx.Skipped = undone
+			return ctx
+		}
+	}
+	return ctx
+}
+
+// markingAnchors maps the marked places to node ids for hypothesis
+// search: an activity output place anchors at the activity, a flow place
+// anchors at its source node.
+func (c *Checker) markingAnchors(st *instanceState) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for p := range st.m {
+		var node string
+		if strings.HasPrefix(p, outPrefix) {
+			node = strings.TrimPrefix(p, outPrefix)
+		} else if parts := strings.SplitN(p, edgeSep, 2); len(parts) == 2 {
+			node = parts[0]
+		}
+		if node != "" && !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// activitiesOnPath finds a shortest path src→dst (both exclusive) through
+// any node kinds and returns the activities along it.
+func (c *Checker) activitiesOnPath(src, dst string) ([]string, bool) {
+	type hop struct {
+		id   string
+		prev *hop
+	}
+	seen := map[string]bool{src: true}
+	queue := []*hop{{id: src}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range c.model.Outgoing(cur.id) {
+			if seen[next] {
+				continue
+			}
+			h := &hop{id: next, prev: cur}
+			if next == dst {
+				var acts []string
+				for p := cur; p != nil && p.id != src; p = p.prev {
+					if n := c.model.Node(p.id); n != nil && n.Kind == process.KindActivity {
+						acts = append([]string{p.id}, acts...)
+					}
+				}
+				return acts, true
+			}
+			seen[next] = true
+			queue = append(queue, h)
+		}
+	}
+	return nil, false
+}
+
+// Stats summarizes one instance's replay.
+type Stats struct {
+	// Events is the number of lines replayed.
+	Events int `json:"events"`
+	// Fit is the number of lines that replayed fit.
+	Fit int `json:"fit"`
+	// Completed reports whether the instance reached an end state.
+	Completed bool `json:"completed"`
+}
+
+// Fitness is the fraction of events that replayed fit — the degree to
+// which the log and the model fit (§III.B.2). It is 1 for an empty
+// instance.
+func (s Stats) Fitness() float64 {
+	if s.Events == 0 {
+		return 1
+	}
+	return float64(s.Fit) / float64(s.Events)
+}
+
+// StatsFor returns the replay statistics of the given instance.
+func (c *Checker) StatsFor(instanceID string) Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.instances[instanceID]
+	if !ok {
+		return Stats{}
+	}
+	return Stats{Events: st.events, Fit: st.fit, Completed: st.completed}
+}
+
+// Reset forgets the given process instance.
+func (c *Checker) Reset(instanceID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.instances, instanceID)
+}

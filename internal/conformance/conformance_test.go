@@ -1,0 +1,278 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/process"
+)
+
+func upgradeChecker() *Checker {
+	return NewChecker(process.RollingUpgradeModel())
+}
+
+// happyTrace returns the log lines of a clean upgrade replacing n
+// instances.
+func happyTrace(n int) []string {
+	lines := []string{
+		"Starting rolling upgrade of group pm--asg to image ami-new",
+		"Created launch configuration pm-lc-v2 with image ami-new",
+		"Updated group pm--asg to launch configuration pm-lc-v2",
+		fmt.Sprintf("Sorted %d instances for replacement", n),
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("i-%04d", i)
+		lines = append(lines,
+			fmt.Sprintf("Removed and deregistered instance %s from ELB pm-elb", id),
+			fmt.Sprintf("Terminating old instance %s", id),
+			"Waiting for group pm--asg to start a new instance",
+			fmt.Sprintf("Instance pm on i-new%04d is ready for use. %d of %d instance relaunches done.", i, i+1, n),
+		)
+	}
+	return append(lines, "Rolling upgrade task completed")
+}
+
+func TestHappyPathAllFit(t *testing.T) {
+	c := upgradeChecker()
+	now := time.Now()
+	for i, line := range happyTrace(4) {
+		res := c.Check("task-1", line, now)
+		if res.Verdict != VerdictFit {
+			t.Fatalf("line %d %q verdict = %s (ctx %+v)", i, line, res.Verdict, res.Context)
+		}
+	}
+	if !c.Completed("task-1") {
+		t.Fatal("instance not completed after full trace")
+	}
+}
+
+func TestLoopRunsManyIterations(t *testing.T) {
+	c := upgradeChecker()
+	now := time.Now()
+	for i, line := range happyTrace(20) {
+		if res := c.Check("t", line, now); res.Verdict != VerdictFit {
+			t.Fatalf("line %d verdict = %s", i, res.Verdict)
+		}
+	}
+}
+
+func TestStatusInfoFitsAnywhere(t *testing.T) {
+	c := upgradeChecker()
+	now := time.Now()
+	trace := happyTrace(2)
+	for i, line := range trace {
+		if res := c.Check("t", line, now); res.Verdict != VerdictFit {
+			t.Fatalf("line %d: %s", i, res.Verdict)
+		}
+		// Interleave a recurring status line after every event.
+		if res := c.Check("t", "Status: 1 of 2 instances replaced", now); res.Verdict != VerdictFit {
+			t.Fatalf("status after line %d: %s", i, res.Verdict)
+		}
+	}
+}
+
+func TestSkippedActivityIsUnfitForward(t *testing.T) {
+	c := upgradeChecker()
+	now := time.Now()
+	c.Check("t", "Starting rolling upgrade of group g to image ami-1", now)
+	c.Check("t", "Created launch configuration lc with image ami-1", now)
+	c.Check("t", "Sorted 4 instances for replacement", now)
+	// Skip deregister: jump straight to terminate.
+	res := c.Check("t", "Terminating old instance i-1", now)
+	if res.Verdict != VerdictUnfit {
+		t.Fatalf("verdict = %s, want unfit", res.Verdict)
+	}
+	if res.Context == nil {
+		t.Fatal("no error context")
+	}
+	if res.Context.Direction != DirectionForward {
+		t.Errorf("direction = %s, want forward", res.Context.Direction)
+	}
+	found := false
+	for _, s := range res.Context.Skipped {
+		if s == process.NodeDeregister {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("skipped = %v, want to include %s", res.Context.Skipped, process.NodeDeregister)
+	}
+	if res.Context.LastValidActivity != process.NodeSortInst {
+		t.Errorf("lastValid = %s", res.Context.LastValidActivity)
+	}
+}
+
+func TestUndoneActivityIsUnfitBackward(t *testing.T) {
+	c := upgradeChecker()
+	now := time.Now()
+	for _, line := range happyTrace(2)[:6] { // through first terminate
+		c.Check("t", line, now)
+	}
+	// Replay an earlier activity: update launch configuration again.
+	res := c.Check("t", "Updated group g to launch configuration lc-old", now)
+	if res.Verdict != VerdictUnfit {
+		t.Fatalf("verdict = %s, want unfit", res.Verdict)
+	}
+	if res.Context.Direction != DirectionBackward {
+		t.Errorf("direction = %s, want backward", res.Context.Direction)
+	}
+}
+
+func TestKnownErrorLine(t *testing.T) {
+	c := upgradeChecker()
+	res := c.Check("t", "ERROR: AmazonServiceException launching instance", time.Now())
+	if res.Verdict != VerdictError {
+		t.Fatalf("verdict = %s, want error", res.Verdict)
+	}
+	if res.Context == nil {
+		t.Fatal("error verdict without context")
+	}
+	if !res.Verdict.IsAnomalous() {
+		t.Error("error not anomalous")
+	}
+}
+
+func TestUnknownLineUnclassified(t *testing.T) {
+	c := upgradeChecker()
+	res := c.Check("t", "totally novel log line from nowhere", time.Now())
+	if res.Verdict != VerdictUnclassified {
+		t.Fatalf("verdict = %s", res.Verdict)
+	}
+	if res.Verdict.Tag() != "conformance:unclassified" {
+		t.Errorf("tag = %s", res.Verdict.Tag())
+	}
+}
+
+func TestFitIsNotAnomalous(t *testing.T) {
+	if VerdictFit.IsAnomalous() {
+		t.Error("fit is anomalous")
+	}
+	for _, v := range []Verdict{VerdictUnfit, VerdictError, VerdictUnclassified} {
+		if !v.IsAnomalous() {
+			t.Errorf("%s not anomalous", v)
+		}
+	}
+}
+
+func TestInstancesAreIndependent(t *testing.T) {
+	c := upgradeChecker()
+	now := time.Now()
+	// Instance A advances; instance B starts fresh.
+	for _, line := range happyTrace(1) {
+		if res := c.Check("A", line, now); res.Verdict != VerdictFit {
+			t.Fatalf("A: %s", res.Verdict)
+		}
+	}
+	res := c.Check("B", "Starting rolling upgrade of group g to image ami-2", now)
+	if res.Verdict != VerdictFit {
+		t.Fatalf("B first line: %s", res.Verdict)
+	}
+	if c.Completed("B") {
+		t.Error("B completed prematurely")
+	}
+	if !c.Completed("A") {
+		t.Error("A should be completed")
+	}
+	ids := c.InstanceIDs()
+	if len(ids) != 2 {
+		t.Errorf("InstanceIDs = %v", ids)
+	}
+}
+
+func TestResetForgetsInstance(t *testing.T) {
+	c := upgradeChecker()
+	now := time.Now()
+	for _, line := range happyTrace(1) {
+		c.Check("t", line, now)
+	}
+	c.Reset("t")
+	if c.Completed("t") {
+		t.Error("completed after reset")
+	}
+	// A fresh start line must fit again.
+	if res := c.Check("t", "Starting rolling upgrade of group g to image ami-1", now); res.Verdict != VerdictFit {
+		t.Fatalf("restart verdict = %s", res.Verdict)
+	}
+}
+
+func TestFirstEventOutOfOrder(t *testing.T) {
+	c := upgradeChecker()
+	// Very first event is mid-process: unfit with skipped hypothesis and
+	// no last-valid activity.
+	res := c.Check("t", "Terminating old instance i-1", time.Now())
+	if res.Verdict != VerdictUnfit {
+		t.Fatalf("verdict = %s", res.Verdict)
+	}
+	if res.Context.LastValidActivity != "" {
+		t.Errorf("lastValid = %q, want empty", res.Context.LastValidActivity)
+	}
+	if res.Context.Direction != DirectionForward {
+		t.Errorf("direction = %s", res.Context.Direction)
+	}
+	if len(res.Context.Skipped) == 0 {
+		t.Error("no skipped hypothesis")
+	}
+}
+
+func TestCompletionOnlyAtEnd(t *testing.T) {
+	c := upgradeChecker()
+	now := time.Now()
+	trace := happyTrace(2)
+	for i, line := range trace {
+		res := c.Check("t", line, now)
+		wantCompleted := i == len(trace)-1
+		if res.Completed != wantCompleted {
+			t.Errorf("line %d completed = %v, want %v", i, res.Completed, wantCompleted)
+		}
+	}
+}
+
+func TestRepeatTerminateWithinLoopIsUnfit(t *testing.T) {
+	c := upgradeChecker()
+	now := time.Now()
+	for _, line := range happyTrace(2)[:6] { // ... first terminate done
+		c.Check("t", line, now)
+	}
+	// Terminate again without passing wait/ready/deregister.
+	res := c.Check("t", "Terminating old instance i-2", now)
+	if res.Verdict != VerdictUnfit {
+		t.Fatalf("duplicate terminate verdict = %s", res.Verdict)
+	}
+}
+
+func TestStepIDsSurfaceInResults(t *testing.T) {
+	c := upgradeChecker()
+	res := c.Check("t", "Starting rolling upgrade of group g to image ami-1", time.Now())
+	if res.StepID != process.StepStartTask {
+		t.Errorf("step = %q", res.StepID)
+	}
+	if res.ActivityName != "Start rolling upgrade task" {
+		t.Errorf("name = %q", res.ActivityName)
+	}
+}
+
+func TestStatsAndFitness(t *testing.T) {
+	c := upgradeChecker()
+	now := time.Now()
+	for _, line := range happyTrace(2) {
+		c.Check("t", line, now)
+	}
+	st := c.StatsFor("t")
+	if st.Events != len(happyTrace(2)) || st.Fit != st.Events || !st.Completed {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Fitness() != 1.0 {
+		t.Errorf("fitness = %f", st.Fitness())
+	}
+	// An anomalous line lowers fitness.
+	c.Check("t", "totally unknown line", now)
+	st = c.StatsFor("t")
+	if st.Fitness() >= 1.0 {
+		t.Errorf("fitness after anomaly = %f", st.Fitness())
+	}
+	// Unknown instance: empty stats, fitness 1 by convention.
+	if got := c.StatsFor("ghost"); got.Events != 0 || got.Fitness() != 1.0 {
+		t.Errorf("ghost stats = %+v fitness %f", got, got.Fitness())
+	}
+}

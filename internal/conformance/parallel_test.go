@@ -1,0 +1,168 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/process"
+)
+
+// parallelModel builds: start → prepare → AND-fork → {branch-a, branch-b}
+// → AND-join → finish → end. The two branch activities may occur in either
+// order, but finish requires both.
+func parallelModel(t *testing.T) *process.Model {
+	t.Helper()
+	b := process.NewBuilder("parallel", "Parallel Operation")
+	b.Start("start")
+	b.End("end")
+	b.ANDGateway("fork")
+	b.ANDGateway("join")
+	b.Activity("prepare", process.WithPatterns(`preparing deployment`))
+	b.Activity("branch-a", process.WithPatterns(`updating region A`))
+	b.Activity("branch-b", process.WithPatterns(`updating region B`))
+	b.Activity("finish", process.WithPatterns(`deployment finished`))
+	b.Chain("start", "prepare", "fork")
+	b.Flow("fork", "branch-a")
+	b.Flow("fork", "branch-b")
+	b.Flow("branch-a", "join")
+	b.Flow("branch-b", "join")
+	b.Chain("join", "finish", "end")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParallelBranchesFitInEitherOrder(t *testing.T) {
+	m := parallelModel(t)
+	now := time.Now()
+	orders := [][]string{
+		{"preparing deployment", "updating region A", "updating region B", "deployment finished"},
+		{"preparing deployment", "updating region B", "updating region A", "deployment finished"},
+	}
+	for i, trace := range orders {
+		c := NewChecker(m)
+		for j, line := range trace {
+			res := c.Check("t", line, now)
+			if res.Verdict != VerdictFit {
+				t.Fatalf("order %d line %d (%q): verdict = %s", i, j, line, res.Verdict)
+			}
+			wantCompleted := j == len(trace)-1
+			if res.Completed != wantCompleted {
+				t.Errorf("order %d line %d: completed = %v, want %v", i, j, res.Completed, wantCompleted)
+			}
+		}
+	}
+}
+
+func TestANDJoinRequiresBothBranches(t *testing.T) {
+	m := parallelModel(t)
+	c := NewChecker(m)
+	now := time.Now()
+	c.Check("t", "preparing deployment", now)
+	c.Check("t", "updating region A", now)
+	// Skipping branch B: finish must be unfit.
+	res := c.Check("t", "deployment finished", now)
+	if res.Verdict != VerdictUnfit {
+		t.Fatalf("finish with one branch = %s, want unfit", res.Verdict)
+	}
+	if res.Context == nil || res.Context.Direction != DirectionForward {
+		t.Errorf("context = %+v", res.Context)
+	}
+	// After the missing branch arrives, finish fits.
+	if res := c.Check("t", "updating region B", now); res.Verdict != VerdictFit {
+		t.Fatalf("branch B after unfit finish = %s", res.Verdict)
+	}
+	if res := c.Check("t", "deployment finished", now); res.Verdict != VerdictFit {
+		t.Fatalf("finish after both branches = %s", res.Verdict)
+	}
+	if !c.Completed("t") {
+		t.Error("not completed")
+	}
+}
+
+func TestParallelBranchCannotRepeat(t *testing.T) {
+	m := parallelModel(t)
+	c := NewChecker(m)
+	now := time.Now()
+	c.Check("t", "preparing deployment", now)
+	c.Check("t", "updating region A", now)
+	res := c.Check("t", "updating region A", now)
+	if res.Verdict != VerdictUnfit {
+		t.Fatalf("repeated branch = %s, want unfit", res.Verdict)
+	}
+}
+
+func TestParallelForkBeforePrepareUnfit(t *testing.T) {
+	m := parallelModel(t)
+	c := NewChecker(m)
+	res := c.Check("t", "updating region A", time.Now())
+	if res.Verdict != VerdictUnfit {
+		t.Fatalf("branch before prepare = %s", res.Verdict)
+	}
+	found := false
+	for _, s := range res.Context.Skipped {
+		if s == "prepare" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("skipped = %v, want prepare", res.Context.Skipped)
+	}
+}
+
+// nestedParallelModel exercises a parallel block inside a loop.
+func TestParallelInsideLoop(t *testing.T) {
+	b := process.NewBuilder("par-loop", "")
+	b.Start("start")
+	b.End("end")
+	b.Gateway("loop-entry")
+	b.Gateway("loop-exit")
+	b.ANDGateway("fork")
+	b.ANDGateway("join")
+	b.Activity("begin", process.WithPatterns(`begin`))
+	b.Activity("left", process.WithPatterns(`left`))
+	b.Activity("right", process.WithPatterns(`right`))
+	b.Activity("done", process.WithPatterns(`done`))
+	b.Chain("start", "begin", "loop-entry", "fork")
+	b.Flow("fork", "left")
+	b.Flow("fork", "right")
+	b.Flow("left", "join")
+	b.Flow("right", "join")
+	b.Flow("join", "loop-exit")
+	b.Flow("loop-exit", "loop-entry")
+	b.Flow("loop-exit", "done")
+	b.Flow("done", "end")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(m)
+	now := time.Now()
+	trace := []string{"begin", "right", "left", "left", "right", "done"}
+	for i, line := range trace {
+		if res := c.Check("t", line, now); res.Verdict != VerdictFit {
+			t.Fatalf("line %d (%q) = %s", i, line, res.Verdict)
+		}
+	}
+	if !c.Completed("t") {
+		t.Error("not completed after two loop iterations")
+	}
+}
+
+func TestMarkingPlacesReadable(t *testing.T) {
+	m := parallelModel(t)
+	c := NewChecker(m)
+	now := time.Now()
+	c.Check("t", "preparing deployment", now)
+	res := c.Check("t", "deployment finished", now) // unfit
+	if res.Context == nil || len(res.Context.Marking) == 0 {
+		t.Fatal("no marking in context")
+	}
+	for _, p := range res.Context.Marking {
+		if p == "" {
+			t.Error("empty place")
+		}
+	}
+}

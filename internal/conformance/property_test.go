@@ -1,0 +1,116 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"poddiagnosis/internal/process"
+)
+
+// TestHappyTraceAlwaysFitsProperty: for any cluster size, the clean trace
+// replays fully fit and completes.
+func TestHappyTraceAlwaysFitsProperty(t *testing.T) {
+	model := process.RollingUpgradeModel()
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		c := NewChecker(model)
+		now := time.Now()
+		for _, line := range happyTrace(n) {
+			if res := c.Check("t", line, now); res.Verdict != VerdictFit {
+				return false
+			}
+		}
+		return c.Completed("t")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterleavedInstancesProperty: two instances replaying interleaved
+// traces never contaminate each other's state.
+func TestInterleavedInstancesProperty(t *testing.T) {
+	model := process.RollingUpgradeModel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewChecker(model)
+		a, b := happyTrace(2), happyTrace(3)
+		ai, bi := 0, 0
+		now := time.Now()
+		for ai < len(a) || bi < len(b) {
+			pickA := bi >= len(b) || (ai < len(a) && rng.Intn(2) == 0)
+			if pickA {
+				if res := c.Check("A", a[ai], now); res.Verdict != VerdictFit {
+					return false
+				}
+				ai++
+			} else {
+				if res := c.Check("B", b[bi], now); res.Verdict != VerdictFit {
+					return false
+				}
+				bi++
+			}
+		}
+		return c.Completed("A") && c.Completed("B")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShuffledTraceDetectedProperty: shuffling a trace's replacement loop
+// (beyond a rotation that happens to be valid) is detected as anomalous at
+// least once, and replay never panics on arbitrary orderings.
+func TestShuffledTraceDetectedProperty(t *testing.T) {
+	model := process.RollingUpgradeModel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trace := happyTrace(3)
+		shuffled := append([]string(nil), trace...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		identical := true
+		for i := range trace {
+			if trace[i] != shuffled[i] {
+				identical = false
+			}
+		}
+		if identical {
+			return true
+		}
+		c := NewChecker(model)
+		now := time.Now()
+		anomalies := 0
+		for _, line := range shuffled {
+			if res := c.Check("t", line, now); res.Verdict.IsAnomalous() {
+				anomalies++
+			}
+		}
+		return anomalies > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckerDeterminism: the same trace produces the same verdicts.
+func TestCheckerDeterminism(t *testing.T) {
+	model := process.RollingUpgradeModel()
+	trace := append(happyTrace(2), "garbage line", "Terminating old instance i-99")
+	replay := func() []Verdict {
+		c := NewChecker(model)
+		now := time.Now()
+		var out []Verdict
+		for _, line := range trace {
+			out = append(out, c.Check("t", line, now).Verdict)
+		}
+		return out
+	}
+	a, b := replay(), replay()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package conformance
+
+import (
+	"sort"
+	"strings"
+
+	"poddiagnosis/internal/process"
+)
+
+// Token replay over an edge marking, adapted from Petri-net token replay
+// to BPMN semantics ([3] ch. 7.2):
+//
+//   - places are the model's sequence flows plus one virtual output place
+//     per activity (so an activity with several outgoing flows defers the
+//     branch choice until a later event resolves it);
+//   - an activity fires by consuming a token from one incoming flow and
+//     producing a token on its output place;
+//   - exclusive (XOR) gateways and activity output places move a single
+//     token silently; parallel (AND) gateways consume a token from every
+//     incoming flow and produce one on every outgoing flow;
+//   - an event is *activated* when some marking reachable through silent
+//     moves has a token on one of its activity's incoming flows.
+//
+// The silent-closure search is bounded; models within reason (dozens of
+// nodes, a handful of concurrent branches) stay far below the cap.
+
+// place identifiers: real sequence flows are "from\x1fto", virtual output
+// places are "\x1eA".
+const (
+	edgeSep    = "\x1f"
+	outPrefix  = "\x1e"
+	closureCap = 512
+)
+
+func edgePlace(from, to string) string { return from + edgeSep + to }
+func outPlace(activity string) string  { return outPrefix + activity }
+
+// displayPlace renders a place for error contexts.
+func displayPlace(p string) string {
+	if strings.HasPrefix(p, outPrefix) {
+		return strings.TrimPrefix(p, outPrefix)
+	}
+	return strings.ReplaceAll(p, edgeSep, "->")
+}
+
+// marking is a multiset of places.
+type marking map[string]int
+
+func (m marking) clone() marking {
+	out := make(marking, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func (m marking) inc(p string) { m[p]++ }
+
+func (m marking) dec(p string) {
+	if m[p] <= 1 {
+		delete(m, p)
+	} else {
+		m[p]--
+	}
+}
+
+// key returns a canonical serialization for visited-set deduplication.
+func (m marking) key() string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte(':')
+		b.WriteByte(byte('0' + m[k]%10))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// places lists the marked places for error contexts.
+func (m marking) places() []string {
+	out := make([]string, 0, len(m))
+	for p := range m {
+		out = append(out, displayPlace(p))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// replayer executes token replay over one model.
+type replayer struct {
+	model *process.Model
+}
+
+// initialMarking places one token on the start event's output.
+func (r *replayer) initialMarking() marking {
+	m := marking{}
+	m.inc(outPlace(r.model.Start()))
+	return m
+}
+
+// silentSuccessors returns every marking reachable from m by one silent
+// move.
+func (r *replayer) silentSuccessors(m marking) []marking {
+	var out []marking
+	for p, n := range m {
+		if n <= 0 {
+			continue
+		}
+		// Virtual output place of an activity or event: route the token
+		// to one outgoing flow (deferred exclusive choice).
+		if strings.HasPrefix(p, outPrefix) {
+			from := strings.TrimPrefix(p, outPrefix)
+			for _, to := range r.model.Outgoing(from) {
+				next := m.clone()
+				next.dec(p)
+				next.inc(edgePlace(from, to))
+				out = append(out, next)
+			}
+			continue
+		}
+		// Token sitting on a flow into a gateway.
+		parts := strings.SplitN(p, edgeSep, 2)
+		if len(parts) != 2 {
+			continue
+		}
+		node := r.model.Node(parts[1])
+		if node == nil {
+			continue
+		}
+		switch node.Kind {
+		case process.KindGateway:
+			// XOR: consume this token, produce on one outgoing flow.
+			for _, to := range r.model.Outgoing(node.ID) {
+				next := m.clone()
+				next.dec(p)
+				next.inc(edgePlace(node.ID, to))
+				out = append(out, next)
+			}
+		case process.KindANDGateway:
+			// AND join/fork: fires only with a token on every incoming
+			// flow; handled once per gateway (when p is its first
+			// incoming flow in iteration order, to avoid duplicates).
+			if !r.isFirstMarkedIncoming(m, node.ID, p) {
+				continue
+			}
+			next := m.clone()
+			ok := true
+			for _, in := range r.model.Incoming(node.ID) {
+				e := edgePlace(in, node.ID)
+				if next[e] <= 0 {
+					ok = false
+					break
+				}
+				next.dec(e)
+			}
+			if !ok {
+				continue
+			}
+			for _, to := range r.model.Outgoing(node.ID) {
+				next.inc(edgePlace(node.ID, to))
+			}
+			out = append(out, next)
+		}
+	}
+	return out
+}
+
+// isFirstMarkedIncoming reports whether p is the lexicographically first
+// marked incoming flow of the gateway, so the AND firing is generated once.
+func (r *replayer) isFirstMarkedIncoming(m marking, gateway, p string) bool {
+	var marked []string
+	for _, in := range r.model.Incoming(gateway) {
+		e := edgePlace(in, gateway)
+		if m[e] > 0 {
+			marked = append(marked, e)
+		}
+	}
+	sort.Strings(marked)
+	return len(marked) > 0 && marked[0] == p
+}
+
+// closure enumerates markings reachable via silent moves, including m
+// itself, bounded by closureCap.
+func (r *replayer) closure(m marking) []marking {
+	seen := map[string]bool{m.key(): true}
+	queue := []marking{m}
+	out := []marking{m}
+	for len(queue) > 0 && len(out) < closureCap {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range r.silentSuccessors(cur) {
+			k := next.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, next)
+			queue = append(queue, next)
+		}
+	}
+	return out
+}
+
+// fireActivity attempts to fire the activity from m (through silent
+// moves). It returns the successor marking and whether the activity was
+// activated.
+func (r *replayer) fireActivity(m marking, activityID string) (marking, bool) {
+	for _, reached := range r.closure(m) {
+		for _, in := range r.model.Incoming(activityID) {
+			e := edgePlace(in, activityID)
+			if reached[e] > 0 {
+				next := reached.clone()
+				next.dec(e)
+				next.inc(outPlace(activityID))
+				return next, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// canComplete reports whether a token can reach an end event through
+// silent moves.
+func (r *replayer) canComplete(m marking) bool {
+	ends := make(map[string]bool)
+	for _, e := range r.model.Ends() {
+		ends[e] = true
+	}
+	for _, reached := range r.closure(m) {
+		for p, n := range reached {
+			if n <= 0 || strings.HasPrefix(p, outPrefix) {
+				continue
+			}
+			parts := strings.SplitN(p, edgeSep, 2)
+			if len(parts) == 2 && ends[parts[1]] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inProgress reports whether the activity's output place is marked (the
+// token is still "at" the activity — used for multi-line steps).
+func (r *replayer) inProgress(m marking, activityID string) bool {
+	return m[outPlace(activityID)] > 0
+}

@@ -1,0 +1,665 @@
+// Package core implements the POD-Diagnosis engine — the paper's primary
+// contribution (Figure 1): it wires the local log processor to conformance
+// checking, post-step and timer-driven assertion evaluation, and fault-tree
+// error diagnosis, all keyed by process context (process instance id, step
+// id, step outcomes) carried on annotated log events.
+//
+// The engine is non-intrusive: it only consumes the operation node's log
+// events from the bus and queries the cloud through the consistent API
+// layer. It never touches the upgrade tool.
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/assertspec"
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/conformance"
+	"poddiagnosis/internal/consistentapi"
+	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/faulttree"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/logstore"
+	"poddiagnosis/internal/pipeline"
+	"poddiagnosis/internal/process"
+	"poddiagnosis/internal/simaws"
+)
+
+// Expectation declares the desired end state of the operation being
+// watched; it parameterizes assertions and fault-tree instantiation.
+type Expectation struct {
+	// ASGName, ELBName identify the cluster under upgrade.
+	ASGName string
+	ELBName string
+	// NewImageID and NewVersion describe the target release.
+	NewImageID string
+	NewVersion string
+	// NewLCName is the launch configuration the upgrade creates.
+	NewLCName string
+	// KeyName, SGName and InstanceType are the expected (unchanged)
+	// launch settings.
+	KeyName      string
+	SGName       string
+	InstanceType string
+	// ClusterSize is N, the desired instance count.
+	ClusterSize int
+	// MinInService is N' — the minimum capacity that must stay in
+	// service during the upgrade. Defaults to ClusterSize-1.
+	MinInService int
+}
+
+// params renders the expectation as assertion parameters.
+func (x Expectation) params() assertion.Params {
+	return assertion.Params{
+		assertion.ParamASG:          x.ASGName,
+		assertion.ParamELB:          x.ELBName,
+		assertion.ParamAMI:          x.NewImageID,
+		assertion.ParamVersion:      x.NewVersion,
+		assertion.ParamLC:           x.NewLCName,
+		assertion.ParamKeyPair:      x.KeyName,
+		assertion.ParamSG:           x.SGName,
+		assertion.ParamInstanceType: x.InstanceType,
+	}
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Cloud is the simulated AWS account.
+	Cloud *simaws.Cloud
+	// Bus carries log events between components.
+	Bus *logging.Bus
+	// Model is the operation's process model. Defaults to the rolling
+	// upgrade model of Figure 2.
+	Model *process.Model
+	// Registry is the assertion library. Defaults to the built-in one.
+	Registry *assertion.Registry
+	// Trees is the fault-tree knowledge base. Defaults to the built-in
+	// catalog.
+	Trees *faulttree.Repository
+	// API tunes the consistent API layer.
+	API consistentapi.Config
+	// Expect is the desired end state of the watched operation.
+	Expect Expectation
+	// AssertionSpec is the assertion specification (see the assertspec
+	// package). Empty means assertspec.DefaultSpecText, which reproduces
+	// the paper's experiment setup.
+	AssertionSpec string
+	// PeriodicInterval is the cadence of the periodic capacity assertion
+	// started/stopped with the process (§III.B.3). Defaults to 60s.
+	PeriodicInterval time.Duration
+	// StepTimeoutSlack scales historical step durations into one-off
+	// timer deadlines. Defaults to 1.6 (the p95-ish margin the paper
+	// derives from timing profiles).
+	StepTimeoutSlack float64
+	// DisableConformance turns off conformance checking (ablation A2).
+	DisableConformance bool
+	// DisableAssertions turns off assertion triggering (ablation A2).
+	DisableAssertions bool
+	// Diagnosis tunes the diagnosis engine.
+	Diagnosis diagnosis.Options
+	// MaxDetections caps recorded detections per engine. Zero means 64.
+	MaxDetections int
+}
+
+// Detection is one detected anomaly with its diagnosis.
+type Detection struct {
+	// At is the detection time.
+	At time.Time `json:"at"`
+	// Source is what detected the anomaly.
+	Source diagnosis.Source `json:"source"`
+	// TriggerID is the failing assertion's check id, or the conformance
+	// verdict for conformance detections.
+	TriggerID string `json:"triggerId"`
+	// StepID is the process context.
+	StepID string `json:"stepId,omitempty"`
+	// InstanceID is the process instance.
+	InstanceID string `json:"instanceId"`
+	// Message describes the anomaly.
+	Message string `json:"message"`
+	// Diagnosis is the root-cause analysis result.
+	Diagnosis *diagnosis.Diagnosis `json:"diagnosis,omitempty"`
+}
+
+// Engine is a running POD-Diagnosis deployment for one operation.
+type Engine struct {
+	cfg       Config
+	spec      *assertspec.Spec
+	clk       clock.Clock
+	checker   *conformance.Checker
+	evaluator *assertion.Evaluator
+	diag      *diagnosis.Engine
+	processor *pipeline.Processor
+	store     *logstore.Store
+	central   *logstore.CentralProcessor
+	timers    *assertion.TimerSet
+
+	opSub      *logging.Subscription
+	centralSub *logging.Subscription
+
+	mu          sync.Mutex
+	detections  []Detection
+	seen        map[string]int  // diagnosis attempts per dedup key
+	identified  map[string]bool // keys whose diagnosis already identified a cause
+	progress    map[string]int  // instance -> relaunches done
+	total       map[string]int  // instance -> total relaunches
+	stepCancel  map[string]func()
+	perioCancel map[string]func()
+
+	work   sync.WaitGroup
+	workCh chan func()
+	stop   chan struct{}
+}
+
+// NewEngine validates the config and builds an engine. Call Start to begin
+// processing and Stop to shut down.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Cloud == nil || cfg.Bus == nil {
+		return nil, fmt.Errorf("core: Cloud and Bus are required")
+	}
+	if cfg.Expect.ASGName == "" || cfg.Expect.ClusterSize <= 0 {
+		return nil, fmt.Errorf("core: Expect.ASGName and Expect.ClusterSize are required")
+	}
+	if cfg.Model == nil {
+		cfg.Model = process.RollingUpgradeModel()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = assertion.DefaultRegistry()
+	}
+	if cfg.Trees == nil {
+		cfg.Trees = faulttree.DefaultRepository()
+	}
+	if cfg.PeriodicInterval <= 0 {
+		cfg.PeriodicInterval = time.Minute
+	}
+	if cfg.StepTimeoutSlack <= 0 {
+		cfg.StepTimeoutSlack = 1.6
+	}
+	if cfg.MaxDetections <= 0 {
+		cfg.MaxDetections = 64
+	}
+	if cfg.Expect.MinInService <= 0 {
+		cfg.Expect.MinInService = cfg.Expect.ClusterSize - 1
+		if cfg.Expect.MinInService < 1 {
+			cfg.Expect.MinInService = 1
+		}
+	}
+	if err := cfg.Trees.Validate(cfg.Registry); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	specText := cfg.AssertionSpec
+	if specText == "" {
+		specText = assertspec.DefaultSpecText
+	}
+	spec, err := assertspec.Parse(specText, cfg.Registry)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	client := consistentapi.New(cfg.Cloud, cfg.API)
+	e := &Engine{
+		cfg:         cfg,
+		spec:        spec,
+		clk:         cfg.Cloud.Clock(),
+		checker:     conformance.NewChecker(cfg.Model),
+		evaluator:   assertion.NewEvaluator(client, cfg.Registry, cfg.Bus),
+		store:       logstore.NewStore(),
+		timers:      assertion.NewTimerSet(cfg.Cloud.Clock()),
+		seen:        make(map[string]int),
+		identified:  make(map[string]bool),
+		progress:    make(map[string]int),
+		total:       make(map[string]int),
+		stepCancel:  make(map[string]func()),
+		perioCancel: make(map[string]func()),
+		workCh:      make(chan func(), 64),
+		stop:        make(chan struct{}),
+	}
+	e.diag = diagnosis.NewEngine(cfg.Trees, e.evaluator, cfg.Bus, cfg.Diagnosis)
+	e.processor = pipeline.New(cfg.Model, e.store, pipeline.Triggers{
+		Conformance:  e.onConformance,
+		StepEvent:    e.onStepEvent,
+		ProcessStart: e.onProcessStart,
+		ProcessEnd:   e.onProcessEnd,
+	})
+	e.central = logstore.NewCentralProcessor(e.store, nil)
+	return e, nil
+}
+
+// Start begins consuming log events and evaluating triggers.
+func (e *Engine) Start() {
+	e.opSub = e.cfg.Bus.Subscribe(4096, logging.TypeFilter(logging.TypeOperation))
+	e.centralSub = e.cfg.Bus.Subscribe(4096, logging.TypeFilter(
+		logging.TypeCloud, logging.TypeAssertion, logging.TypeConformance, logging.TypeDiagnosis))
+	e.processor.Start(e.opSub)
+	e.central.Start(e.centralSub)
+	// Worker pool for assertion evaluations and diagnoses so pipeline
+	// callbacks never block on cloud API latency.
+	for i := 0; i < 4; i++ {
+		e.work.Add(1)
+		go func() {
+			defer e.work.Done()
+			for {
+				select {
+				case <-e.stop:
+					return
+				case f := <-e.workCh:
+					f()
+				}
+			}
+		}()
+	}
+}
+
+// Stop shuts down the engine: timers, pipeline, workers. Pending queued
+// work is discarded; in-flight work completes.
+func (e *Engine) Stop() {
+	e.timers.StopAll()
+	e.processor.Stop()
+	e.central.Stop()
+	e.opSub.Cancel()
+	e.centralSub.Cancel()
+	close(e.stop)
+	e.work.Wait()
+}
+
+// Drain waits until the log subscriptions and the work queue have been
+// quiescent for a few consecutive polls, or the timeout elapses; it is
+// used by harnesses to collect straggling evaluations and diagnoses after
+// an operation ends.
+func (e *Engine) Drain(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	quiet := 0
+	for time.Now().Before(deadline) {
+		if len(e.opSub.C) == 0 && len(e.centralSub.C) == 0 && len(e.workCh) == 0 {
+			quiet++
+			if quiet >= 3 {
+				return
+			}
+		} else {
+			quiet = 0
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Store returns the central log storage.
+func (e *Engine) Store() *logstore.Store { return e.store }
+
+// Evaluator returns the assertion evaluator (exposed for on-demand use).
+func (e *Engine) Evaluator() *assertion.Evaluator { return e.evaluator }
+
+// Checker returns the conformance checker.
+func (e *Engine) Checker() *conformance.Checker { return e.checker }
+
+// Detections returns a copy of all recorded detections.
+func (e *Engine) Detections() []Detection {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Detection, len(e.detections))
+	copy(out, e.detections)
+	return out
+}
+
+// submit queues background work, dropping it if the engine is stopping or
+// the queue is full (detection bursts beyond the cap carry no new
+// information).
+func (e *Engine) submit(f func()) {
+	select {
+	case <-e.stop:
+	case e.workCh <- f:
+	default:
+	}
+}
+
+// baseParams assembles the expectation parameters plus per-event context.
+func (e *Engine) baseParams(ev logging.Event) assertion.Params {
+	p := e.cfg.Expect.params()
+	if id := ev.Field("instanceid"); id != "" {
+		p[assertion.ParamInstance] = id
+	}
+	return p
+}
+
+// ---- pipeline trigger callbacks ----
+
+// onConformance replays the line and reacts to anomalies.
+func (e *Engine) onConformance(instanceID, line string, ev logging.Event) {
+	if e.cfg.DisableConformance {
+		return
+	}
+	res := e.checker.Check(instanceID, line, ev.Timestamp)
+	e.publishConformance(instanceID, res, ev)
+	if !res.Verdict.IsAnomalous() {
+		return
+	}
+	stepID := res.StepID
+	if stepID == "" && res.Context != nil {
+		stepID = res.Context.LastValidStep
+	}
+	key := "conf|" + instanceID + "|" + string(res.Verdict) + "|" + stepID
+	if !e.shouldDiagnose(key) {
+		return
+	}
+	params := e.baseParams(ev)
+	detail := fmt.Sprintf("conformance %s on line %q", res.Verdict, line)
+	e.submit(func() {
+		d := e.diag.Diagnose(context.Background(), diagnosis.Request{
+			Source:            diagnosis.SourceConformance,
+			ProcessInstanceID: instanceID,
+			StepID:            stepID,
+			Params:            params,
+			Detail:            detail,
+		})
+		e.record(Detection{
+			At:         ev.Timestamp,
+			Source:     diagnosis.SourceConformance,
+			TriggerID:  res.Verdict.Tag(),
+			StepID:     stepID,
+			InstanceID: instanceID,
+			Message:    detail,
+			Diagnosis:  d,
+		})
+	})
+}
+
+// publishConformance logs the verdict to the bus (merged into central
+// storage like the paper's conformance service results).
+func (e *Engine) publishConformance(instanceID string, res conformance.Result, ev logging.Event) {
+	e.cfg.Bus.Publish(logging.Event{
+		Timestamp:  ev.Timestamp,
+		Source:     "conformance.log",
+		SourceHost: "pod-conformance",
+		Type:       logging.TypeConformance,
+		Tags:       []string{res.Verdict.Tag()},
+		Fields: map[string]string{
+			"taskid":  instanceID,
+			"stepid":  res.StepID,
+			"verdict": string(res.Verdict),
+		},
+		Message: fmt.Sprintf("[conformance] [%s] [%s] verdict=%s activity=%s",
+			instanceID, res.StepID, res.Verdict, res.ActivityID),
+	})
+}
+
+// binding is one resolved assertion evaluation to run.
+type binding struct {
+	checkID string
+	params  assertion.Params
+}
+
+// vars assembles the specification variables available at this point of
+// the process: cluster-level targets plus the event's extracted context.
+func (e *Engine) vars(instanceID string, ev logging.Event) map[string]string {
+	e.mu.Lock()
+	progress := e.progress[instanceID]
+	total, hasTotal := e.total[instanceID]
+	e.mu.Unlock()
+	next := progress + 1
+	if hasTotal && next > total {
+		next = total
+	}
+	v := map[string]string{
+		"n":        strconv.Itoa(e.cfg.Expect.ClusterSize),
+		"min":      strconv.Itoa(e.cfg.Expect.MinInService),
+		"progress": strconv.Itoa(progress),
+		"next":     strconv.Itoa(next),
+	}
+	if id := ev.Field("instanceid"); id != "" {
+		v["instanceid"] = id
+	}
+	return v
+}
+
+// stepBindings resolves the specification's post-step assertions for the
+// given step. Bindings whose variables cannot be resolved from the event
+// (e.g. instance-version without an instance id) are skipped.
+func (e *Engine) stepBindings(instanceID string, node *process.Node, ev logging.Event) []binding {
+	specBindings := e.spec.ByStep(node.StepID)
+	if len(specBindings) == 0 {
+		return nil
+	}
+	base := e.baseParams(ev)
+	vars := e.vars(instanceID, ev)
+	out := make([]binding, 0, len(specBindings))
+	for _, sb := range specBindings {
+		params, ok := sb.Resolve(base, vars)
+		if !ok {
+			continue
+		}
+		out = append(out, binding{sb.CheckID, params})
+	}
+	return out
+}
+
+// onStepEvent updates progress, resets the one-off step timer and
+// evaluates post-step assertions.
+func (e *Engine) onStepEvent(instanceID string, node *process.Node, ev logging.Event) {
+	// Track operation progress from any line the annotator extracted
+	// "k of n" counters from (relaunches done, instances in service, ...).
+	if n, err := strconv.Atoi(ev.Field("num")); err == nil {
+		e.mu.Lock()
+		e.progress[instanceID] = n
+		e.mu.Unlock()
+	}
+	if n, err := strconv.Atoi(ev.Field("total")); err == nil {
+		e.mu.Lock()
+		e.total[instanceID] = n
+		e.mu.Unlock()
+	}
+
+	e.resetStepTimer(instanceID, node)
+
+	if e.cfg.DisableAssertions {
+		return
+	}
+	trig := assertion.Trigger{
+		Source:            assertion.TriggerLog,
+		ProcessInstanceID: instanceID,
+		StepID:            node.StepID,
+	}
+	for _, b := range e.stepBindings(instanceID, node, ev) {
+		b := b
+		e.submit(func() { e.evaluateAndMaybeDiagnose(b.checkID, b.params, trig) })
+	}
+}
+
+// evaluateAndMaybeDiagnose runs one assertion; a non-pass result is a
+// detection and triggers diagnosis.
+func (e *Engine) evaluateAndMaybeDiagnose(checkID string, p assertion.Params, trig assertion.Trigger) {
+	res := e.evaluator.Evaluate(context.Background(), checkID, p, trig)
+	if res.Passed() {
+		return
+	}
+	key := "assert|" + trig.ProcessInstanceID + "|" + checkID + "|" + trig.StepID
+	if !e.shouldDiagnose(key) {
+		return
+	}
+	src := diagnosis.SourceAssertion
+	if trig.Source == assertion.TriggerTimer {
+		src = diagnosis.SourceTimer
+	}
+	d := e.diag.Diagnose(context.Background(), diagnosis.Request{
+		AssertionID:       checkID,
+		Source:            src,
+		ProcessInstanceID: trig.ProcessInstanceID,
+		StepID:            trig.StepID,
+		Params:            p,
+		Detail:            res.Message,
+	})
+	e.record(Detection{
+		At:         res.EvaluatedAt,
+		Source:     src,
+		TriggerID:  checkID,
+		StepID:     trig.StepID,
+		InstanceID: trig.ProcessInstanceID,
+		Message:    res.Message,
+		Diagnosis:  d,
+	})
+}
+
+// resetStepTimer cancels the previous one-off timer for the instance and
+// arms a new one sized from the step's historical duration: if the next
+// step's log line does not arrive in time, the high-level version-count
+// assertion is evaluated with the next expected progress (a purely
+// timer-based trigger, which carries no instance id — §VI.A).
+func (e *Engine) resetStepTimer(instanceID string, node *process.Node) {
+	e.mu.Lock()
+	if cancel, ok := e.stepCancel[instanceID]; ok {
+		cancel()
+		delete(e.stepCancel, instanceID)
+	}
+	if node.ID == process.NodeCompleted {
+		e.mu.Unlock()
+		return
+	}
+	mean := node.MeanDuration
+	if mean <= 0 {
+		mean = 30 * time.Second
+	}
+	deadline := time.Duration(float64(mean) * e.cfg.StepTimeoutSlack)
+	e.mu.Unlock()
+
+	if e.cfg.DisableAssertions {
+		return
+	}
+	timeouts := e.spec.TimeoutsFor(node.StepID)
+	if len(timeouts) == 0 {
+		return
+	}
+	base := e.cfg.Expect.params()
+	vars := e.vars(instanceID, logging.Event{})
+	trig := assertion.Trigger{
+		Source:            assertion.TriggerTimer,
+		ProcessInstanceID: instanceID,
+		// No step id: the timer fires between steps (weak context).
+	}
+	cancels := make([]func(), 0, len(timeouts))
+	for _, tb := range timeouts {
+		params, ok := tb.Resolve(base, vars)
+		if !ok {
+			continue
+		}
+		checkID := tb.CheckID
+		cancels = append(cancels, e.timers.After(deadline, func() {
+			e.submit(func() {
+				e.evaluateAndMaybeDiagnose(checkID, params, trig)
+			})
+		}))
+	}
+	if len(cancels) == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.stepCancel[instanceID] = func() {
+		for _, c := range cancels {
+			c()
+		}
+	}
+	e.mu.Unlock()
+}
+
+// onProcessStart arms the periodic capacity assertion (§III.B.1: "the
+// timer setter uses the log line indicating the start of the operation
+// process to start the periodic timer").
+func (e *Engine) onProcessStart(instanceID string, ev logging.Event) {
+	if e.cfg.DisableAssertions {
+		return
+	}
+	base := e.cfg.Expect.params()
+	vars := e.vars(instanceID, ev)
+	trig := assertion.Trigger{
+		Source:            assertion.TriggerTimer,
+		ProcessInstanceID: instanceID,
+	}
+	cancels := make([]func(), 0, 1)
+	for _, pb := range e.spec.Periodic() {
+		params, ok := pb.Resolve(base, vars)
+		if !ok {
+			continue
+		}
+		interval := pb.Every
+		if e.cfg.PeriodicInterval > 0 {
+			// The engine-level interval overrides the spec's default, so
+			// experiments can tune the cadence without editing the spec.
+			interval = e.cfg.PeriodicInterval
+		}
+		checkID := pb.CheckID
+		cancels = append(cancels, e.timers.Every(interval, func() {
+			e.submit(func() {
+				e.evaluateAndMaybeDiagnose(checkID, params, trig)
+			})
+		}))
+	}
+	if len(cancels) == 0 {
+		return
+	}
+	e.mu.Lock()
+	if old, ok := e.perioCancel[instanceID]; ok {
+		old()
+	}
+	e.perioCancel[instanceID] = func() {
+		for _, c := range cancels {
+			c()
+		}
+	}
+	e.mu.Unlock()
+}
+
+// onProcessEnd stops the instance's timers.
+func (e *Engine) onProcessEnd(instanceID string, ev logging.Event) {
+	e.mu.Lock()
+	if cancel, ok := e.perioCancel[instanceID]; ok {
+		cancel()
+		delete(e.perioCancel, instanceID)
+	}
+	if cancel, ok := e.stepCancel[instanceID]; ok {
+		cancel()
+		delete(e.stepCancel, instanceID)
+	}
+	e.mu.Unlock()
+}
+
+// ---- bookkeeping ----
+
+func (e *Engine) progressOf(instanceID string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.progress[instanceID]
+}
+
+// shouldDiagnose dedups diagnosis triggers and enforces the detection cap.
+// A trigger key is retried up to three times while its diagnoses remain
+// inconclusive — matching the paper's observation that repeated failures
+// re-enter diagnosis — but once a root cause is identified the key is
+// settled.
+func (e *Engine) shouldDiagnose(key string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.identified[key] || e.seen[key] >= 3 {
+		return false
+	}
+	if len(e.detections) >= e.cfg.MaxDetections {
+		return false
+	}
+	e.seen[key]++
+	return true
+}
+
+// record appends a detection and settles its dedup key when the diagnosis
+// identified a root cause.
+func (e *Engine) record(d Detection) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d.Diagnosis != nil && d.Diagnosis.Conclusion == diagnosis.ConclusionIdentified {
+		e.identified["assert|"+d.InstanceID+"|"+d.TriggerID+"|"+d.StepID] = true
+		e.identified["conf|"+d.InstanceID+"|"+d.TriggerID+"|"+d.StepID] = true
+	}
+	if len(e.detections) >= e.cfg.MaxDetections {
+		return
+	}
+	e.detections = append(e.detections, d)
+}

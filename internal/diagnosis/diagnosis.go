@@ -1,0 +1,362 @@
+// Package diagnosis implements the paper's Error Diagnosis component
+// (§III.B.4): when an assertion fails, a process non-conformance is
+// detected, or another monitor reports a failure, the engine selects the
+// fault tree(s) for the triggering assertion, instantiates their variables
+// from the runtime request, prunes sub-trees that do not match the process
+// context, and visits the remaining nodes top-down, running on-demand
+// diagnosis tests (assertion evaluations) to confirm or exclude potential
+// faults. Test results are cached and reused across nodes; sibling visits
+// are ordered by prior fault probability.
+package diagnosis
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/faulttree"
+	"poddiagnosis/internal/logging"
+)
+
+// Source identifies what triggered a diagnosis.
+type Source string
+
+// Diagnosis trigger sources.
+const (
+	SourceAssertion   Source = "assertion"
+	SourceConformance Source = "conformance"
+	SourceMonitor     Source = "monitor"
+	SourceTimer       Source = "timer"
+)
+
+// Request describes one diagnosis trigger.
+type Request struct {
+	// AssertionID is the failing assertion that selects the fault trees.
+	// Empty (e.g. for conformance-triggered diagnoses) means every tree
+	// is consulted, relying on step-context pruning to narrow the search.
+	AssertionID string `json:"assertionId,omitempty"`
+	// Source is the trigger kind.
+	Source Source `json:"source"`
+	// ProcessInstanceID is the operation task.
+	ProcessInstanceID string `json:"processInstanceId,omitempty"`
+	// StepID is the process-context step used for pruning. Empty for
+	// purely timer-based triggers (which the paper notes produce weaker
+	// diagnoses, §VI.A).
+	StepID string `json:"stepId,omitempty"`
+	// Params are the runtime request variables used to instantiate the
+	// trees and parameterize diagnosis tests.
+	Params assertion.Params `json:"params"`
+	// Detail is free-form context (e.g. the failing assertion message).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Cause is one diagnosed root cause.
+type Cause struct {
+	// NodeID is the fault-tree node.
+	NodeID string `json:"nodeId"`
+	// Description is the instantiated fault description.
+	Description string `json:"description"`
+	// Confirmed reports whether a diagnosis test confirmed the fault;
+	// false means the fault is suspected but untestable or the test was
+	// inconclusive.
+	Confirmed bool `json:"confirmed"`
+}
+
+// Conclusion classifies the outcome of a diagnosis.
+type Conclusion string
+
+// Diagnosis conclusions.
+const (
+	// ConclusionIdentified means at least one root cause was confirmed.
+	ConclusionIdentified Conclusion = "root cause identified"
+	// ConclusionSuspected means only unconfirmed suspects remain.
+	ConclusionSuspected Conclusion = "possible root cause suspected"
+	// ConclusionNone means every potential fault was excluded.
+	ConclusionNone Conclusion = "no root cause identified"
+)
+
+// Diagnosis is the result of one engine run.
+type Diagnosis struct {
+	// Request echoes the trigger.
+	Request Request `json:"request"`
+	// RootCauses are the confirmed causes, in discovery order.
+	RootCauses []Cause `json:"rootCauses"`
+	// Suspected are unconfirmed candidate causes (untestable leaves under
+	// confirmed errors, or inconclusive tests).
+	Suspected []Cause `json:"suspected,omitempty"`
+	// PotentialFaults is the number of root-cause candidates considered
+	// after pruning.
+	PotentialFaults int `json:"potentialFaults"`
+	// Excluded is how many candidates were ruled out by passing tests.
+	Excluded int `json:"excluded"`
+	// TestsRun are the diagnosis test evaluations, in execution order.
+	TestsRun []assertion.Result `json:"testsRun"`
+	// Conclusion classifies the outcome.
+	Conclusion Conclusion `json:"conclusion"`
+	// StartedAt and Duration bound the diagnosis in simulated time.
+	StartedAt time.Time     `json:"startedAt"`
+	Duration  time.Duration `json:"duration"`
+}
+
+// HasCause reports whether nodeID (ignoring catalog id suffixes after the
+// base name) is among the confirmed root causes.
+func (d *Diagnosis) HasCause(baseID string) bool {
+	for _, c := range d.RootCauses {
+		if c.NodeID == baseID || strings.HasPrefix(c.NodeID, baseID+"-") {
+			return true
+		}
+	}
+	return false
+}
+
+// Options tune the engine; the zero value gives paper behaviour.
+type Options struct {
+	// DisablePruning skips process-context pruning (ablation A1).
+	DisablePruning bool
+	// ContinueAfterConfirm keeps visiting after the first confirmed root
+	// cause instead of stopping like the paper's example run.
+	ContinueAfterConfirm bool
+	// MaxTests bounds the diagnosis tests per run. Zero means 64.
+	MaxTests int
+}
+
+// Engine runs diagnoses. It is safe for concurrent use; test-result
+// caching is per-run.
+type Engine struct {
+	repo *faulttree.Repository
+	eval *assertion.Evaluator
+	bus  *logging.Bus // may be nil
+	clk  clock.Clock
+	opts Options
+}
+
+// NewEngine returns an Engine over the given fault trees and evaluator.
+func NewEngine(repo *faulttree.Repository, eval *assertion.Evaluator, bus *logging.Bus, opts Options) *Engine {
+	if opts.MaxTests <= 0 {
+		opts.MaxTests = 64
+	}
+	return &Engine{repo: repo, eval: eval, bus: bus, clk: eval.Client().Clock(), opts: opts}
+}
+
+// run carries the mutable state of one diagnosis.
+type run struct {
+	req       Request
+	diag      *Diagnosis
+	cache     map[string]assertion.Result
+	testsLeft int
+	done      bool // stop-at-first-confirmation latch
+}
+
+// Diagnose executes one diagnosis for the request.
+func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
+	started := e.clk.Now()
+	d := &Diagnosis{Request: req, StartedAt: started}
+	r := &run{req: req, diag: d, cache: make(map[string]assertion.Result), testsLeft: e.opts.MaxTests}
+
+	trees := e.selectTrees(req)
+	for _, t := range trees {
+		inst := t.Instantiate(req.Params)
+		if !e.opts.DisablePruning {
+			inst = inst.Prune(req.StepID)
+		}
+		d.PotentialFaults += len(inst.PotentialRootCauses())
+	}
+
+	e.log(req, "Performing on demand assertion checking: %s. %d potential faults in total...",
+		req.Detail, d.PotentialFaults)
+
+	for _, t := range trees {
+		if r.done {
+			break
+		}
+		inst := t.Instantiate(req.Params)
+		if !e.opts.DisablePruning {
+			inst = inst.Prune(req.StepID)
+		}
+		e.visit(ctx, r, inst.Root)
+	}
+
+	switch {
+	case len(d.RootCauses) > 0:
+		d.Conclusion = ConclusionIdentified
+		if len(d.RootCauses) == 1 {
+			e.log(req, "One root cause is identified: %s", d.RootCauses[0].Description)
+		} else {
+			e.log(req, "%d root causes are identified", len(d.RootCauses))
+		}
+	case len(d.Suspected) > 0:
+		d.Conclusion = ConclusionSuspected
+		e.log(req, "Diagnosis inconclusive: %d possible root causes suspected but not confirmed", len(d.Suspected))
+	default:
+		d.Conclusion = ConclusionNone
+		e.log(req, "No root cause identified")
+	}
+	d.Duration = e.clk.Since(started)
+	return d
+}
+
+// selectTrees picks the fault trees for the request.
+func (e *Engine) selectTrees(req Request) []*faulttree.Tree {
+	if req.AssertionID != "" {
+		return e.repo.Select(req.AssertionID)
+	}
+	trees := e.repo.All()
+	// Deterministic order for reproducible diagnoses.
+	sort.Slice(trees, func(i, j int) bool { return trees[i].ID < trees[j].ID })
+	return trees
+}
+
+// visit walks one (instantiated, pruned) node top-down.
+func (e *Engine) visit(ctx context.Context, r *run, n *faulttree.Node) {
+	if r.done {
+		return
+	}
+	if n.CheckID != "" {
+		res, fresh := e.test(ctx, r, n)
+		switch res.Status {
+		case assertion.StatusPass:
+			// Error not present: exclude this sub-tree.
+			excluded := countRootCauses(n)
+			r.diag.Excluded += excluded
+			if fresh {
+				e.log(r.req, "Verified %s: %s %d/%d faults are excluded",
+					n.ID, res.Message, r.diag.Excluded, r.diag.PotentialFaults)
+			}
+			return
+		case assertion.StatusError:
+			// Inconclusive: this node cannot be checked. A leaf becomes a
+			// suspect; an interior node is still descended into, since
+			// its children's tests may be independently runnable.
+			if fresh {
+				e.log(r.req, "Could not verify %s: %s", n.ID, res.Err)
+			}
+			if n.Leaf() {
+				r.suspect(n)
+				return
+			}
+		case assertion.StatusFail:
+			if fresh {
+				e.log(r.req, "Failed verification of %s: %s", n.ID, res.Message)
+			}
+			if n.RootCause {
+				r.confirm(n)
+				if !e.opts.ContinueAfterConfirm {
+					r.done = true
+				}
+				return
+			}
+		}
+	} else if n.RootCause {
+		// Untestable leaf under a present error: suspected only.
+		r.suspect(n)
+		return
+	}
+	for _, c := range faulttree.SortedChildren(n) {
+		if r.done {
+			return
+		}
+		e.visit(ctx, r, c)
+	}
+}
+
+// test evaluates the node's diagnosis check, reusing cached results.
+// fresh reports whether the evaluation actually ran now.
+func (e *Engine) test(ctx context.Context, r *run, n *faulttree.Node) (assertion.Result, bool) {
+	params := r.req.Params.Merge(n.CheckParams)
+	key := cacheKey(n.CheckID, params)
+	if res, ok := r.cache[key]; ok {
+		return res, false
+	}
+	if r.testsLeft <= 0 {
+		return assertion.Result{
+			CheckID: n.CheckID, Status: assertion.StatusError,
+			Message: "diagnosis test budget exhausted", Params: params,
+			Err: "diagnosis: test budget exhausted",
+		}, false
+	}
+	r.testsLeft--
+	e.log(r.req, "Verifying %s", strings.TrimSuffix(n.Description, "."))
+	res := e.eval.Evaluate(ctx, n.CheckID, params, assertion.Trigger{
+		Source:            assertion.TriggerOnDemand,
+		ProcessInstanceID: r.req.ProcessInstanceID,
+		StepID:            r.req.StepID,
+	})
+	r.cache[key] = res
+	r.diag.TestsRun = append(r.diag.TestsRun, res)
+	return res, true
+}
+
+func (r *run) confirm(n *faulttree.Node) {
+	r.diag.RootCauses = append(r.diag.RootCauses, Cause{
+		NodeID: n.ID, Description: n.Description, Confirmed: true,
+	})
+}
+
+func (r *run) suspect(n *faulttree.Node) {
+	// Catalog sub-trees are shared across fault trees with id suffixes;
+	// dedup suspects by their instantiated description.
+	for _, c := range r.diag.Suspected {
+		if c.NodeID == n.ID || c.Description == n.Description {
+			return
+		}
+	}
+	r.diag.Suspected = append(r.diag.Suspected, Cause{
+		NodeID: n.ID, Description: n.Description,
+	})
+}
+
+// countRootCauses counts root-cause leaves at or below n.
+func countRootCauses(n *faulttree.Node) int {
+	count := 0
+	if n.RootCause {
+		count++
+	}
+	for _, c := range n.Children {
+		count += countRootCauses(c)
+	}
+	return count
+}
+
+// cacheKey builds a deterministic key from the check id and parameters.
+func cacheKey(checkID string, p assertion.Params) string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(checkID)
+	for _, k := range keys {
+		b.WriteByte('|')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(p[k])
+	}
+	return b.String()
+}
+
+// log emits a diagnosis log event in the paper's format.
+func (e *Engine) log(req Request, format string, args ...any) {
+	if e.bus == nil {
+		return
+	}
+	ts := e.clk.Now()
+	msg := fmt.Sprintf(format, args...)
+	e.bus.Publish(logging.Event{
+		Timestamp:  ts,
+		Source:     "diagnosis.log",
+		SourceHost: "pod-diagnosis",
+		Type:       logging.TypeDiagnosis,
+		Tags:       []string{"diagnosis"},
+		Fields: map[string]string{
+			"taskid": req.ProcessInstanceID,
+			"stepid": req.StepID,
+		},
+		Message: fmt.Sprintf("[%s] [diagnosis] [%s] [%s] %s",
+			ts.Format(logging.TimestampLayout), req.ProcessInstanceID, req.StepID, msg),
+	})
+}

@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"testing"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/core"
+	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/faultinject"
+)
+
+func detWith(causes []string, suspected []string, conclusion diagnosis.Conclusion) core.Detection {
+	d := &diagnosis.Diagnosis{Conclusion: conclusion}
+	for _, c := range causes {
+		d.RootCauses = append(d.RootCauses, diagnosis.Cause{NodeID: c, Confirmed: true})
+	}
+	for _, s := range suspected {
+		d.Suspected = append(d.Suspected, diagnosis.Cause{NodeID: s})
+	}
+	return core.Detection{Source: diagnosis.SourceAssertion, TriggerID: assertion.CheckASGVersionCount, Diagnosis: d}
+}
+
+func TestAttributeFaultSignatures(t *testing.T) {
+	cases := []struct {
+		fault  faultinject.Kind
+		causes []string
+		want   string
+	}{
+		{faultinject.KindAMIChanged, []string{"wrong-ami"}, "fault"},
+		{faultinject.KindAMIUnavailable, []string{"launch-ami-unavailable"}, "fault"},
+		{faultinject.KindAMIUnavailable, []string{"launch-ami-unavailable-ic"}, "fault"}, // suffixed catalog id
+		{faultinject.KindELBUnavailable, []string{"elb-unreachable"}, "fault"},
+		{faultinject.KindKeyPairChanged, []string{"wrong-ami"}, "unattributed"}, // wrong cause
+		{faultinject.KindSGChanged, nil, "unattributed"},
+	}
+	for _, tc := range cases {
+		spec := RunSpec{Fault: tc.fault}
+		got := attribute(detWith(tc.causes, nil, diagnosis.ConclusionIdentified), spec)
+		if got != tc.want {
+			t.Errorf("fault %s causes %v: attribution = %q, want %q", tc.fault, tc.causes, got, tc.want)
+		}
+	}
+}
+
+func TestAttributeInterferenceSignatures(t *testing.T) {
+	spec := RunSpec{
+		Fault: faultinject.KindAMIChanged,
+		Interferences: []faultinject.Interference{
+			faultinject.InterferenceScaleIn,
+			faultinject.InterferenceAccountPressure,
+			faultinject.InterferenceRandomTermination,
+		},
+	}
+	if got := attribute(detWith([]string{"simultaneous-scale-in"}, nil, diagnosis.ConclusionIdentified), spec); got != "interference:scale-in" {
+		t.Errorf("scale-in attribution = %q", got)
+	}
+	if got := attribute(detWith([]string{"account-limit-reached-ic"}, nil, diagnosis.ConclusionIdentified), spec); got != "interference:account-pressure" {
+		t.Errorf("account attribution = %q", got)
+	}
+	if got := attribute(detWith(nil, []string{"unexpected-termination-elb"}, diagnosis.ConclusionSuspected), spec); got != "interference:random-termination" {
+		t.Errorf("termination attribution = %q", got)
+	}
+	// Interference signature takes precedence over fault signature.
+	if got := attribute(detWith([]string{"simultaneous-scale-in", "wrong-ami"}, nil, diagnosis.ConclusionIdentified), spec); got != "interference:scale-in" {
+		t.Errorf("precedence = %q", got)
+	}
+	// Uninjected interference signatures do not attribute.
+	lonely := RunSpec{Fault: faultinject.KindAMIChanged}
+	if got := attribute(detWith([]string{"simultaneous-scale-in"}, nil, diagnosis.ConclusionIdentified), lonely); got != "unattributed" {
+		t.Errorf("uninjected scale-in = %q", got)
+	}
+}
+
+func TestAttributeNilDiagnosis(t *testing.T) {
+	det := core.Detection{}
+	if got := attribute(det, RunSpec{Fault: faultinject.KindAMIChanged}); got != "unattributed" {
+		t.Errorf("nil diagnosis = %q", got)
+	}
+}
+
+func TestClassifyRunVerdicts(t *testing.T) {
+	// Faulted run: one fault event, one FP with a correct "no cause"
+	// verdict, one detected interference.
+	spec := RunSpec{
+		Fault:         faultinject.KindKeyPairChanged,
+		Interferences: []faultinject.Interference{faultinject.InterferenceScaleIn},
+	}
+	dets := []core.Detection{
+		{Source: diagnosis.SourceConformance, TriggerID: "conformance:error",
+			Diagnosis: &diagnosis.Diagnosis{Conclusion: diagnosis.ConclusionNone}},
+		detWith([]string{"wrong-keypair"}, nil, diagnosis.ConclusionIdentified),
+		detWith([]string{"simultaneous-scale-in-ic"}, nil, diagnosis.ConclusionIdentified),
+	}
+	res := &RunResult{Spec: spec}
+	classify(res, dets)
+	if !res.FaultDetected || !res.FaultDiagnosed {
+		t.Errorf("fault verdicts: detected=%v diagnosed=%v", res.FaultDetected, res.FaultDiagnosed)
+	}
+	if res.InterferencesDetected != 1 {
+		t.Errorf("interferences = %d", res.InterferencesDetected)
+	}
+	if res.FalsePositives != 1 || res.FalsePositivesDiagnosedNoCause != 1 {
+		t.Errorf("FPs = %d/%d", res.FalsePositives, res.FalsePositivesDiagnosedNoCause)
+	}
+	if !res.ConformanceFirst {
+		t.Error("conformance-first not recognized")
+	}
+}
+
+func TestClassifyUnattributedStandsInForFault(t *testing.T) {
+	// A faulted run with only a no-cause detection: the detection stands
+	// in for the fault (detected but wrongly diagnosed), not an FP.
+	spec := RunSpec{Fault: faultinject.KindAMIUnavailable}
+	dets := []core.Detection{
+		{Source: diagnosis.SourceTimer, TriggerID: assertion.CheckASGVersionCount,
+			Diagnosis: &diagnosis.Diagnosis{Conclusion: diagnosis.ConclusionNone}},
+	}
+	res := &RunResult{Spec: spec}
+	classify(res, dets)
+	if !res.FaultDetected {
+		t.Error("fault not counted as detected")
+	}
+	if res.FaultDiagnosed {
+		t.Error("fault wrongly counted as diagnosed")
+	}
+	if res.FalsePositives != 0 {
+		t.Errorf("FPs = %d, want 0", res.FalsePositives)
+	}
+}
+
+func TestClassifyCleanRunAllFPs(t *testing.T) {
+	spec := RunSpec{} // no fault
+	dets := []core.Detection{
+		{Source: diagnosis.SourceTimer, TriggerID: assertion.CheckASGInstanceCount,
+			Diagnosis: &diagnosis.Diagnosis{Conclusion: diagnosis.ConclusionNone}},
+		{Source: diagnosis.SourceTimer, TriggerID: assertion.CheckASGVersionCount,
+			Diagnosis: &diagnosis.Diagnosis{Conclusion: diagnosis.ConclusionIdentified,
+				RootCauses: []diagnosis.Cause{{NodeID: "wrong-ami"}}}},
+	}
+	res := &RunResult{Spec: spec}
+	classify(res, dets)
+	if res.FaultDetected {
+		t.Error("fault detected on clean run")
+	}
+	if res.FalsePositives != 2 {
+		t.Errorf("FPs = %d, want 2", res.FalsePositives)
+	}
+	if res.FalsePositivesDiagnosedNoCause != 1 {
+		t.Errorf("correct FPs = %d, want 1", res.FalsePositivesDiagnosedNoCause)
+	}
+}

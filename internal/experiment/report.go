@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"poddiagnosis/internal/faultinject"
+)
+
+// RenderTable1 prints the paper's headline metrics (Table I quantities).
+func (r *Report) RenderTable1() string {
+	var b strings.Builder
+	m := r.Overall
+	fmt.Fprintf(&b, "Table I — evaluation metrics (paper: precision 91.95%%, recall 100%%, accuracy ~96.5-97.1%%)\n")
+	fmt.Fprintf(&b, "  detections: TP=%d FP=%d FN=%d correct=%d\n", m.TP, m.FP, m.FN, m.Correct)
+	fmt.Fprintf(&b, "  interferences: injected=%d detected=%d (paper: 46 detected)\n",
+		r.InterferencesInjected, r.InterferencesDetected)
+	fmt.Fprintf(&b, "  Precision of Detection        : %6.2f%%\n", 100*m.Precision())
+	fmt.Fprintf(&b, "  Recall of Detection           : %6.2f%%\n", 100*m.Recall())
+	fmt.Fprintf(&b, "  Accuracy Rate of Diagnosis    : %6.2f%%\n", 100*m.Accuracy())
+	return b.String()
+}
+
+// RenderFigure6 prints the diagnosis-time distribution as an ASCII
+// histogram plus the shape statistics.
+func (r *Report) RenderFigure6() string {
+	var b strings.Builder
+	ts := r.Times()
+	fmt.Fprintf(&b, "Figure 6 — distribution of error diagnosis time (%d diagnoses)\n", ts.Count)
+	fmt.Fprintf(&b, "  paper: min 1.29s, avg 2.30s, 95%% within 3.83s, max 10.44s\n")
+	fmt.Fprintf(&b, "  ours : min %.2fs, avg %.2fs, p95 %.2fs, max %.2fs\n",
+		ts.Min.Seconds(), ts.Mean.Seconds(), ts.P95.Seconds(), ts.Max.Seconds())
+	hist := r.Histogram(time.Second)
+	peak := 0
+	for _, c := range hist {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range hist {
+		bar := ""
+		if peak > 0 {
+			bar = strings.Repeat("#", c*50/peak)
+		}
+		fmt.Fprintf(&b, "  %2d-%2ds | %4d %s\n", i, i+1, c, bar)
+	}
+	return b.String()
+}
+
+// RenderFigure7 prints precision/recall/accuracy per fault type.
+func (r *Report) RenderFigure7() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — precision/recall of detection and accuracy rate of diagnosis by fault type\n")
+	fmt.Fprintf(&b, "  %-24s %10s %10s %10s %6s\n", "fault", "precision", "recall", "accuracy", "runs")
+	for _, kind := range faultinject.AllKinds() {
+		m, ok := r.PerFault[kind]
+		if !ok {
+			continue
+		}
+		runs := 0
+		for _, run := range r.Runs {
+			if run.Spec.Fault == kind {
+				runs++
+			}
+		}
+		fmt.Fprintf(&b, "  %-24s %9.2f%% %9.2f%% %9.2f%% %6d\n",
+			kind.String(), 100*m.Precision(), 100*m.Recall(), 100*m.Accuracy(), runs)
+	}
+	return b.String()
+}
+
+// RenderConformance prints the §V.D conformance-coverage observation:
+// which runs produced erroneous traces before assertion checking.
+func (r *Report) RenderConformance() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Conformance coverage (§V.D — paper: configuration faults 0, resource faults 20 of 80 runs)\n")
+	confDetectable, confFirst := 0, 0
+	for _, kind := range faultinject.AllKinds() {
+		n := r.ConformanceFirstByFault[kind]
+		runs := 0
+		for _, run := range r.Runs {
+			if run.Spec.Fault == kind {
+				runs++
+			}
+		}
+		fmt.Fprintf(&b, "  %-24s conformance-first %2d / %2d runs\n", kind.String(), n, runs)
+		if !kind.ConfigurationFault() {
+			confDetectable += runs
+			confFirst += n
+		}
+	}
+	fmt.Fprintf(&b, "  resource faults total: %d of %d runs detected by conformance first\n", confFirst, confDetectable)
+	return b.String()
+}
+
+// RenderAll concatenates every report section.
+func (r *Report) RenderAll() string {
+	return r.RenderTable1() + "\n" + r.RenderFigure6() + "\n" + r.RenderFigure7() + "\n" + r.RenderConformance()
+}

@@ -1,0 +1,338 @@
+package faulttree
+
+import (
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/process"
+)
+
+// DefaultRepository returns the fault-tree knowledge base for the rolling
+// upgrade operation, reproducing the structure of the paper's Figure 5
+// (with the account-limit root cause added per the §VI.A amendment). Trees
+// exist for the assertions the POD engine attaches to the process:
+//
+//   - asg-version-count  (high-level "N instances with the new version")
+//   - asg-instance-count (post-loop capacity check)
+//   - elb-instance-count (registration check after step 4/7)
+//   - lc-exists          (post step-2 check)
+//   - instance-version   (low-level per-node double check)
+//   - elb-reachable      (post step-4 check)
+//   - asg-uses-*         (the four low-level configuration checks)
+func DefaultRepository() *Repository {
+	r := NewRepository()
+	r.Register(versionCountTree())
+	r.Register(instanceCountTree())
+	r.Register(elbCountTree())
+	r.Register(lcExistsTree())
+	r.Register(instanceVersionTree())
+	r.Register(elbReachableTree())
+	for _, id := range []string{
+		assertion.CheckASGUsesAMI, assertion.CheckASGUsesKeyPair,
+		assertion.CheckASGUsesSG, assertion.CheckASGUsesType,
+	} {
+		r.Register(configAssertionTree(id))
+	}
+	return r
+}
+
+// configAssertionTree diagnoses a failing low-level configuration check
+// (the §III.B.3 scenario-(ii) assertions): any of the four configuration
+// dimensions may have been changed by a concurrent operation, so the whole
+// wrong-config sub-tree is consulted.
+func configAssertionTree(assertionID string) *Tree {
+	return &Tree{
+		ID:          "ft-" + assertionID,
+		AssertionID: assertionID,
+		Root: &Node{
+			ID:          "config-violated",
+			Description: "The ASG {asgid} configuration deviates from the expectation",
+			Children:    []*Node{wrongConfigSubtree()},
+		},
+	}
+}
+
+// elbReachableTree diagnoses a failing ELB reachability assertion (the
+// post-step-4 check).
+func elbReachableTree() *Tree {
+	return &Tree{
+		ID:          "ft-elb-reachable",
+		AssertionID: assertion.CheckELBReachable,
+		Root: &Node{
+			ID:          "elb-not-reachable",
+			Description: "The load balancer {elbname} is not reachable",
+			Children:    []*Node{elbSubtree()},
+		},
+	}
+}
+
+// wrongConfigSubtree is the dashed-box sub-tree of Figure 5: the ASG is
+// using a wrong configuration; four potential faults tested in
+// probability order (AMI changes are the most common in continuous
+// deployment).
+func wrongConfigSubtree() *Node {
+	return &Node{
+		ID:          "asg-wrong-config",
+		Description: "The ASG {asgid} is using a wrong configuration",
+		Steps:       []string{process.StepUpdateLC, process.StepNewReady, process.StepCompleted},
+		Children: []*Node{
+			{
+				ID:          "wrong-sg",
+				Description: "Security group of ASG {asgid} changed during upgrade",
+				CheckID:     assertion.CheckASGUsesSG,
+				Prob:        0.35,
+				RootCause:   true,
+			},
+			{
+				ID:          "wrong-keypair",
+				Description: "Key pair of ASG {asgid} changed during upgrade",
+				CheckID:     assertion.CheckASGUsesKeyPair,
+				Prob:        0.30,
+				RootCause:   true,
+			},
+			{
+				ID:          "wrong-ami",
+				Description: "AMI of ASG {asgid} changed during upgrade (concurrent independent upgrade)",
+				CheckID:     assertion.CheckASGUsesAMI,
+				Prob:        0.25,
+				RootCause:   true,
+			},
+			{
+				ID:          "wrong-instance-type",
+				Description: "Instance type of ASG {asgid} changed during upgrade",
+				CheckID:     assertion.CheckASGUsesType,
+				Prob:        0.10,
+				RootCause:   true,
+			},
+		},
+	}
+}
+
+// launchFailedSubtree covers replacements that never start.
+func launchFailedSubtree(idSuffix string) *Node {
+	return &Node{
+		ID:          "instance-launch-failed" + idSuffix,
+		Description: "The ASG {asgid} failed to launch a replacement instance",
+		CheckID:     assertion.CheckNoFailedLaunches,
+		Steps:       []string{process.StepWaitASG, process.StepNewReady, process.StepCompleted},
+		Children: []*Node{
+			{
+				ID:          "launch-ami-unavailable" + idSuffix,
+				Description: "The AMI {amiid} is unavailable",
+				CheckID:     assertion.CheckAMIAvailable,
+				Prob:        0.35,
+				RootCause:   true,
+			},
+			{
+				ID:          "launch-keypair-unavailable" + idSuffix,
+				Description: "The key pair {keyname} is unavailable",
+				CheckID:     assertion.CheckKeyPairExists,
+				Prob:        0.20,
+				RootCause:   true,
+			},
+			{
+				ID:          "launch-sg-unavailable" + idSuffix,
+				Description: "The security group {sgname} is unavailable",
+				CheckID:     assertion.CheckSGExists,
+				Prob:        0.20,
+				RootCause:   true,
+			},
+			{
+				// Added after the interference incident of §VI.A: the
+				// co-tenant team exhausted the shared account's limit.
+				ID:          "account-limit-reached" + idSuffix,
+				Description: "The account instance limit was reached by a simultaneous operation",
+				CheckID:     assertion.CheckNoLimitExceeded,
+				Prob:        0.10,
+				RootCause:   true,
+			},
+		},
+	}
+}
+
+// countDroppedSubtree covers instances disappearing mid-upgrade.
+func countDroppedSubtree(idSuffix string) *Node {
+	return &Node{
+		ID:          "instance-count-dropped" + idSuffix,
+		Description: "Instances of ASG {asgid} disappeared unexpectedly",
+		CheckID:     assertion.CheckASGInstanceCount,
+		Steps: []string{process.StepDeregister, process.StepTerminateOld,
+			process.StepWaitASG, process.StepNewReady, process.StepCompleted},
+		Children: []*Node{
+			{
+				ID:          "simultaneous-scale-in" + idSuffix,
+				Description: "A simultaneous scale-in shrank ASG {asgid}",
+				CheckID:     assertion.CheckNoScaleIn,
+				Prob:        0.30,
+				RootCause:   true,
+			},
+			{
+				// Diagnosable only through CloudTrail-style API call
+				// logs: the check consults the audit trail, which is
+				// disabled by default (then the fault can be suspected
+				// but never confirmed — §V.B) and, when enabled, is
+				// subject to delivery delay (§VII).
+				ID:          "unexpected-termination" + idSuffix,
+				Description: "An instance of ASG {asgid} was terminated outside the process",
+				CheckID:     assertion.CheckNoExternalTermination,
+				Prob:        0.15,
+				RootCause:   true,
+			},
+		},
+	}
+}
+
+// elbSubtree covers load balancer trouble.
+func elbSubtree() *Node {
+	return &Node{
+		ID:          "elb-problems",
+		Description: "The load balancer {elbname} is misbehaving",
+		CheckID:     assertion.CheckELBInstanceCount,
+		// The step context of a conformance-derived error is the last
+		// valid step, so an ELB failure during step 4 surfaces with
+		// step-3 context; include it.
+		Steps: []string{process.StepSortInst, process.StepDeregister,
+			process.StepTerminateOld, process.StepWaitASG,
+			process.StepNewReady, process.StepCompleted},
+		Children: []*Node{
+			{
+				ID:          "elb-unreachable",
+				Description: "The load balancer {elbname} is unavailable (service disruption or deleted)",
+				CheckID:     assertion.CheckELBReachable,
+				Prob:        0.25,
+				RootCause:   true,
+			},
+			{
+				ID:          "instance-not-registered",
+				Description: "Instance {instanceid} is not registered with {elbname}",
+				CheckID:     assertion.CheckInstanceRegistered,
+				Prob:        0.15,
+				RootCause:   true,
+			},
+		},
+	}
+}
+
+// lcCreateSubtree covers launch-configuration creation failures (the
+// left-most sub-tree of Figure 5, associated with step 2).
+func lcCreateSubtree() *Node {
+	return &Node{
+		ID:          "lc-create-failed",
+		Description: "Creating launch configuration {lcname} failed",
+		CheckID:     assertion.CheckLCExists,
+		CheckParams: assertion.Params{assertion.ParamLC: "{lcname}"},
+		Steps:       []string{process.StepUpdateLC},
+		Children: []*Node{
+			{
+				ID:          "lc-ami-unavailable",
+				Description: "The AMI {amiid} is unavailable",
+				CheckID:     assertion.CheckAMIAvailable,
+				Prob:        0.40,
+				RootCause:   true,
+			},
+			{
+				ID:          "lc-keypair-unavailable",
+				Description: "The key pair {keyname} is unavailable",
+				CheckID:     assertion.CheckKeyPairExists,
+				Prob:        0.25,
+				RootCause:   true,
+			},
+			{
+				ID:          "lc-sg-unavailable",
+				Description: "The security group {sgname} is unavailable",
+				CheckID:     assertion.CheckSGExists,
+				Prob:        0.25,
+				RootCause:   true,
+			},
+		},
+	}
+}
+
+// versionCountTree is the Figure 5 tree: the failure of "assert the system
+// has N instances with the new version".
+func versionCountTree() *Tree {
+	return &Tree{
+		ID:          "ft-version-count",
+		AssertionID: assertion.CheckASGVersionCount,
+		Root: &Node{
+			ID:          "version-count-violated",
+			Description: "The system does not have {want} instances with version {version}",
+			Children: []*Node{
+				lcCreateSubtree(),
+				wrongConfigSubtree(),
+				launchFailedSubtree(""),
+				countDroppedSubtree(""),
+				elbSubtree(),
+			},
+		},
+	}
+}
+
+// instanceCountTree diagnoses a wrong live-instance count.
+func instanceCountTree() *Tree {
+	return &Tree{
+		ID:          "ft-instance-count",
+		AssertionID: assertion.CheckASGInstanceCount,
+		Root: &Node{
+			ID:          "instance-count-violated",
+			Description: "The ASG {asgid} does not have {want} live instances",
+			Children: []*Node{
+				launchFailedSubtree("-ic"),
+				countDroppedSubtree("-ic"),
+			},
+		},
+	}
+}
+
+// elbCountTree diagnoses registration shortfalls.
+func elbCountTree() *Tree {
+	return &Tree{
+		ID:          "ft-elb-count",
+		AssertionID: assertion.CheckELBInstanceCount,
+		Root: &Node{
+			ID:          "elb-count-violated",
+			Description: "The ELB {elbname} does not have {want} registered instances",
+			Children: []*Node{
+				elbSubtree(),
+				launchFailedSubtree("-elb"),
+				countDroppedSubtree("-elb"),
+			},
+		},
+	}
+}
+
+// lcExistsTree diagnoses a missing/incorrect launch configuration after
+// step 2.
+func lcExistsTree() *Tree {
+	return &Tree{
+		ID:          "ft-lc-exists",
+		AssertionID: assertion.CheckLCExists,
+		Root: &Node{
+			ID:          "lc-missing",
+			Description: "The launch configuration {lcname} is missing or incorrect",
+			Children: []*Node{
+				lcCreateSubtree(),
+				{
+					ID:          "lc-changed",
+					Description: "The launch configuration of ASG {asgid} was changed by a simultaneous operation",
+					CheckID:     assertion.CheckASGUsesAMI,
+					Prob:        0.30,
+					RootCause:   true,
+				},
+			},
+		},
+	}
+}
+
+// instanceVersionTree diagnoses a node running the wrong version.
+func instanceVersionTree() *Tree {
+	return &Tree{
+		ID:          "ft-instance-version",
+		AssertionID: assertion.CheckInstanceVersion,
+		Root: &Node{
+			ID:          "instance-wrong-version",
+			Description: "Instance {instanceid} does not run version {version}",
+			Children: []*Node{
+				wrongConfigSubtree(),
+			},
+		},
+	}
+}

@@ -1,0 +1,241 @@
+// Package faulttree implements the paper's fault trees (§III.B.4,
+// Figure 5): structured repositories of known errors and root causes, one
+// tree per assertion. Nodes carry an optional diagnosis test (an on-demand
+// assertion from the check library); interior nodes are intermediate
+// events and leaves marked as root causes are the diagnosable faults.
+//
+// At diagnosis time a tree is selected by the failing assertion's id,
+// instantiated with the runtime request's parameters ({var} placeholders),
+// pruned by the process context (step id), and visited top-down by the
+// diagnosis engine.
+package faulttree
+
+import (
+	"fmt"
+	"strings"
+
+	"poddiagnosis/internal/assertion"
+)
+
+// Node is one vertex of a fault tree.
+type Node struct {
+	// ID identifies the node within its tree, e.g. "wrong-ami".
+	ID string `json:"id"`
+	// Description explains the fault or intermediate event; it may
+	// contain {param} placeholders instantiated at diagnosis time.
+	Description string `json:"description"`
+	// CheckID names the diagnosis test (an assertion check id) that
+	// confirms or excludes this fault: the fault is present when the
+	// check FAILS. Empty means no test exists — structural nodes are
+	// always descended into; untestable leaves can never be confirmed
+	// (the paper's "diagnosis cannot determine why" case).
+	CheckID string `json:"checkId,omitempty"`
+	// CheckParams override or extend the request parameters for the
+	// diagnosis test; values may contain {param} placeholders.
+	CheckParams assertion.Params `json:"checkParams,omitempty"`
+	// Steps is the process context association: the step ids for which
+	// this sub-tree is relevant. Empty means relevant in any context.
+	Steps []string `json:"steps,omitempty"`
+	// Prob is the prior fault probability used to order sibling visits
+	// (§III.B.4: "the order in which potential faults are examined is
+	// determined by the fault probability").
+	Prob float64 `json:"prob,omitempty"`
+	// RootCause marks a leaf as a diagnosable root cause.
+	RootCause bool `json:"rootCause,omitempty"`
+	// Children are the sub-events that can cause this event.
+	Children []*Node `json:"children,omitempty"`
+}
+
+// Clone deep-copies the node.
+func (n *Node) Clone() *Node {
+	out := *n
+	out.CheckParams = n.CheckParams.Clone()
+	out.Steps = append([]string(nil), n.Steps...)
+	out.Children = make([]*Node, len(n.Children))
+	for i, c := range n.Children {
+		out.Children[i] = c.Clone()
+	}
+	return &out
+}
+
+// Leaf reports whether the node has no children.
+func (n *Node) Leaf() bool { return len(n.Children) == 0 }
+
+// RelevantTo reports whether the node applies in the given step context.
+// An empty stepID (context unknown, e.g. purely timer-triggered
+// diagnosis) keeps every node; an unscoped node is always relevant.
+func (n *Node) RelevantTo(stepID string) bool {
+	if stepID == "" || len(n.Steps) == 0 {
+		return true
+	}
+	for _, s := range n.Steps {
+		if s == stepID {
+			return true
+		}
+	}
+	return false
+}
+
+// Tree is a fault tree for one assertion.
+type Tree struct {
+	// ID identifies the tree.
+	ID string `json:"id"`
+	// AssertionID is the check whose failure selects this tree.
+	AssertionID string `json:"assertionId"`
+	// Root is the top event (the assertion's negation).
+	Root *Node `json:"root"`
+}
+
+// Validate checks structural invariants: non-nil root, unique node ids,
+// root causes only at leaves, and (when reg is non-nil) every CheckID
+// known to the registry.
+func (t *Tree) Validate(reg *assertion.Registry) error {
+	if t.Root == nil {
+		return fmt.Errorf("faulttree %s: nil root", t.ID)
+	}
+	seen := make(map[string]bool)
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n.ID == "" {
+			return fmt.Errorf("faulttree %s: node with empty id", t.ID)
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("faulttree %s: duplicate node id %q", t.ID, n.ID)
+		}
+		seen[n.ID] = true
+		if n.RootCause && !n.Leaf() {
+			return fmt.Errorf("faulttree %s: root cause %q has children", t.ID, n.ID)
+		}
+		if n.CheckID != "" && reg != nil {
+			if _, ok := reg.Lookup(n.CheckID); !ok {
+				return fmt.Errorf("faulttree %s: node %q references unknown check %q", t.ID, n.ID, n.CheckID)
+			}
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.Root)
+}
+
+// Instantiate returns a deep copy with every {param} placeholder in
+// descriptions and check parameters substituted from params. Unknown
+// placeholders are left intact so partially-instantiated trees remain
+// inspectable.
+func (t *Tree) Instantiate(params assertion.Params) *Tree {
+	out := &Tree{ID: t.ID, AssertionID: t.AssertionID, Root: t.Root.Clone()}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.Description = substitute(n.Description, params)
+		for k, v := range n.CheckParams {
+			n.CheckParams[k] = substitute(v, params)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(out.Root)
+	return out
+}
+
+// Prune returns a deep copy retaining only sub-trees relevant to the step
+// context. The root is always kept.
+func (t *Tree) Prune(stepID string) *Tree {
+	out := &Tree{ID: t.ID, AssertionID: t.AssertionID, Root: t.Root.Clone()}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		kept := n.Children[:0]
+		for _, c := range n.Children {
+			if c.RelevantTo(stepID) {
+				walk(c)
+				kept = append(kept, c)
+			}
+		}
+		n.Children = kept
+	}
+	walk(out.Root)
+	return out
+}
+
+// PotentialRootCauses returns all root-cause leaves of the tree, in visit
+// order (sibling probability descending).
+func (t *Tree) PotentialRootCauses() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.RootCause {
+			out = append(out, n)
+		}
+		for _, c := range SortedChildren(n) {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// SortedChildren returns the children ordered by descending prior
+// probability (stable for equal probabilities).
+func SortedChildren(n *Node) []*Node {
+	out := append([]*Node(nil), n.Children...)
+	// insertion sort: child lists are tiny and stability matters.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Prob > out[j-1].Prob; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// substitute replaces {key} placeholders with values from params.
+func substitute(s string, params assertion.Params) string {
+	if !strings.Contains(s, "{") {
+		return s
+	}
+	for k, v := range params {
+		s = strings.ReplaceAll(s, "{"+k+"}", v)
+	}
+	return s
+}
+
+// Repository holds the fault trees, keyed by assertion id.
+type Repository struct {
+	trees map[string][]*Tree
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{trees: make(map[string][]*Tree)}
+}
+
+// Register adds a tree.
+func (r *Repository) Register(t *Tree) {
+	r.trees[t.AssertionID] = append(r.trees[t.AssertionID], t)
+}
+
+// Select returns the trees for the given assertion id.
+func (r *Repository) Select(assertionID string) []*Tree {
+	return append([]*Tree(nil), r.trees[assertionID]...)
+}
+
+// All returns every registered tree.
+func (r *Repository) All() []*Tree {
+	var out []*Tree
+	for _, ts := range r.trees {
+		out = append(out, ts...)
+	}
+	return out
+}
+
+// Validate validates every tree in the repository.
+func (r *Repository) Validate(reg *assertion.Registry) error {
+	for _, t := range r.All() {
+		if err := t.Validate(reg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package faulttree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/process"
+)
+
+func TestDefaultRepositoryValidates(t *testing.T) {
+	repo := DefaultRepository()
+	if err := repo.Validate(assertion.DefaultRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if len(repo.All()) != 10 {
+		t.Errorf("tree count = %d", len(repo.All()))
+	}
+}
+
+func TestSelectByAssertion(t *testing.T) {
+	repo := DefaultRepository()
+	trees := repo.Select(assertion.CheckASGVersionCount)
+	if len(trees) != 1 {
+		t.Fatalf("Select returned %d trees", len(trees))
+	}
+	if trees[0].ID != "ft-version-count" {
+		t.Errorf("tree = %s", trees[0].ID)
+	}
+	if len(repo.Select("unknown-assertion")) != 0 {
+		t.Error("unknown assertion returned trees")
+	}
+}
+
+func TestInstantiateSubstitutesParams(t *testing.T) {
+	tree := DefaultRepository().Select(assertion.CheckASGVersionCount)[0]
+	inst := tree.Instantiate(assertion.Params{
+		assertion.ParamASG: "ASG-dsn", assertion.ParamWant: "4",
+		assertion.ParamVersion: "v2", assertion.ParamAMI: "ami-750c9e4f",
+	})
+	if !strings.Contains(inst.Root.Description, "4 instances with version v2") {
+		t.Errorf("root description = %q", inst.Root.Description)
+	}
+	var found bool
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if strings.Contains(n.Description, "ASG-dsn") {
+			found = true
+		}
+		if strings.Contains(n.Description, "{asgid}") {
+			t.Errorf("unsubstituted placeholder in %q", n.Description)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(inst.Root)
+	if !found {
+		t.Error("asg name not substituted anywhere")
+	}
+	// Original must be untouched.
+	if !strings.Contains(tree.Root.Description, "{want}") {
+		t.Error("Instantiate mutated the original tree")
+	}
+}
+
+func TestInstantiateLeavesUnknownPlaceholders(t *testing.T) {
+	tree := &Tree{ID: "t", AssertionID: "a", Root: &Node{ID: "r", Description: "fault in {mystery}"}}
+	inst := tree.Instantiate(assertion.Params{"other": "x"})
+	if inst.Root.Description != "fault in {mystery}" {
+		t.Errorf("description = %q", inst.Root.Description)
+	}
+}
+
+func TestPruneByStepContext(t *testing.T) {
+	tree := DefaultRepository().Select(assertion.CheckASGVersionCount)[0]
+	// In step2 context only the LC-creation and wrong-config sub-trees
+	// survive.
+	pruned := tree.Prune(process.StepUpdateLC)
+	ids := childIDs(pruned.Root)
+	if len(ids) != 2 {
+		t.Fatalf("step2 children = %v", ids)
+	}
+	for _, id := range ids {
+		if id != "lc-create-failed" && id != "asg-wrong-config" {
+			t.Errorf("unexpected child %s in step2 context", id)
+		}
+	}
+	// In step7 context the launch/count/elb/config sub-trees survive but
+	// not LC creation.
+	pruned = tree.Prune(process.StepNewReady)
+	for _, id := range childIDs(pruned.Root) {
+		if id == "lc-create-failed" {
+			t.Error("lc-create-failed survived step7 pruning")
+		}
+	}
+	// Unknown context keeps everything.
+	if got := len(childIDs(tree.Prune("").Root)); got != len(tree.Root.Children) {
+		t.Errorf("empty-step prune dropped children: %d", got)
+	}
+	// Original untouched.
+	if len(tree.Root.Children) != 5 {
+		t.Errorf("original mutated: %d children", len(tree.Root.Children))
+	}
+}
+
+func childIDs(n *Node) []string {
+	out := make([]string, 0, len(n.Children))
+	for _, c := range n.Children {
+		out = append(out, c.ID)
+	}
+	return out
+}
+
+func TestPotentialRootCausesOrdering(t *testing.T) {
+	tree := DefaultRepository().Select(assertion.CheckASGVersionCount)[0]
+	causes := tree.PotentialRootCauses()
+	if len(causes) < 10 {
+		t.Fatalf("only %d potential root causes", len(causes))
+	}
+	// Within the wrong-config sub-tree, wrong-ami (p=0.40) must be
+	// visited before wrong-instance-type (p=0.10).
+	idxOf := func(id string) int {
+		for i, c := range causes {
+			if c.ID == id {
+				return i
+			}
+		}
+		return -1
+	}
+	if idxOf("wrong-ami") == -1 || idxOf("wrong-instance-type") == -1 {
+		t.Fatal("expected causes missing")
+	}
+	if idxOf("wrong-ami") > idxOf("wrong-instance-type") {
+		t.Error("probability ordering not respected")
+	}
+}
+
+func TestSortedChildrenStable(t *testing.T) {
+	n := &Node{Children: []*Node{
+		{ID: "a", Prob: 0.2}, {ID: "b", Prob: 0.5}, {ID: "c", Prob: 0.2}, {ID: "d", Prob: 0.9},
+	}}
+	got := SortedChildren(n)
+	wantOrder := []string{"d", "b", "a", "c"}
+	for i, w := range wantOrder {
+		if got[i].ID != w {
+			t.Fatalf("order = %v", childIDsOf(got))
+		}
+	}
+	// Original order untouched.
+	if n.Children[0].ID != "a" {
+		t.Error("SortedChildren mutated input")
+	}
+}
+
+func childIDsOf(nodes []*Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.ID
+	}
+	return out
+}
+
+func TestValidateRejectsBadTrees(t *testing.T) {
+	reg := assertion.DefaultRegistry()
+	cases := []struct {
+		name string
+		tree *Tree
+	}{
+		{"nil root", &Tree{ID: "t", AssertionID: "a"}},
+		{"empty node id", &Tree{ID: "t", AssertionID: "a", Root: &Node{}}},
+		{"duplicate ids", &Tree{ID: "t", AssertionID: "a", Root: &Node{
+			ID: "x", Children: []*Node{{ID: "x"}},
+		}}},
+		{"root cause with children", &Tree{ID: "t", AssertionID: "a", Root: &Node{
+			ID: "r", RootCause: true, Children: []*Node{{ID: "c"}},
+		}}},
+		{"unknown check", &Tree{ID: "t", AssertionID: "a", Root: &Node{
+			ID: "r", CheckID: "no-such-check",
+		}}},
+	}
+	for _, tc := range cases {
+		if err := tc.tree.Validate(reg); err == nil {
+			t.Errorf("%s: Validate passed", tc.name)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := &Node{
+		ID: "a", CheckParams: assertion.Params{"k": "v"},
+		Steps: []string{"step1"}, Children: []*Node{{ID: "b"}},
+	}
+	cp := orig.Clone()
+	cp.CheckParams["k"] = "changed"
+	cp.Steps[0] = "changed"
+	cp.Children[0].ID = "changed"
+	if orig.CheckParams["k"] != "v" || orig.Steps[0] != "step1" || orig.Children[0].ID != "b" {
+		t.Fatal("Clone aliases state")
+	}
+}
+
+func TestRelevantToProperty(t *testing.T) {
+	// Property: a node is always relevant to the empty step; an unscoped
+	// node is relevant to any step; a scoped node is relevant exactly to
+	// its steps.
+	f := func(steps []string, probe string) bool {
+		n := &Node{ID: "x", Steps: steps}
+		if !n.RelevantTo("") {
+			return false
+		}
+		if probe == "" || len(steps) == 0 {
+			return n.RelevantTo(probe)
+		}
+		want := false
+		for _, s := range steps {
+			if s == probe {
+				want = true
+			}
+		}
+		return n.RelevantTo(probe) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTerminationLeafUsesAuditTrailCheck(t *testing.T) {
+	tree := DefaultRepository().Select(assertion.CheckASGInstanceCount)[0]
+	var found *Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if strings.HasPrefix(n.ID, "unexpected-termination") {
+			found = n
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree.Root)
+	if found == nil {
+		t.Fatal("unexpected-termination leaf missing")
+	}
+	// The fault is diagnosable only through the CloudTrail-like audit
+	// trail; with the trail disabled (the default) the check is
+	// inconclusive and the leaf can only be suspected, as in the paper.
+	if found.CheckID != assertion.CheckNoExternalTermination {
+		t.Errorf("check = %q", found.CheckID)
+	}
+	if !found.RootCause {
+		t.Error("unexpected-termination should be a root cause")
+	}
+}
+
+func TestAccountLimitCauseExists(t *testing.T) {
+	// The §VI.A amendment: account-limit-reached must be diagnosable.
+	tree := DefaultRepository().Select(assertion.CheckASGVersionCount)[0]
+	for _, c := range tree.PotentialRootCauses() {
+		if c.ID == "account-limit-reached" {
+			if c.CheckID != assertion.CheckNoLimitExceeded {
+				t.Error("account-limit cause has wrong check")
+			}
+			return
+		}
+	}
+	t.Fatal("account-limit-reached cause missing")
+}

@@ -1,0 +1,126 @@
+package logging
+
+import (
+	"sync"
+)
+
+// Bus is an in-process publish/subscribe channel for log events. It stands
+// in for the log shipping fabric (Logstash agents forwarding to a central
+// collector) of the paper's deployment. Publishing never blocks the
+// producer: slow subscribers drop their oldest pending events, mirroring
+// the lossy nature of real log shipping under backpressure.
+type Bus struct {
+	mu     sync.Mutex
+	subs   map[int]*Subscription
+	nextID int
+	closed bool
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[int]*Subscription)}
+}
+
+// Subscription receives events published to a Bus. Receive from C until it
+// is closed; call Cancel when done.
+type Subscription struct {
+	// C delivers published events. It is closed when the subscription is
+	// cancelled or the bus is closed.
+	C <-chan Event
+
+	id     int
+	ch     chan Event
+	bus    *Bus
+	filter func(Event) bool
+	once   sync.Once
+}
+
+// Subscribe registers a new subscriber with the given channel buffer.
+// A nil filter receives every event. Buffer must be at least 1.
+func (b *Bus) Subscribe(buffer int, filter func(Event) bool) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := make(chan Event, buffer)
+	sub := &Subscription{ch: ch, C: ch, bus: b, filter: filter}
+	if b.closed {
+		close(ch)
+		return sub
+	}
+	sub.id = b.nextID
+	b.nextID++
+	b.subs[sub.id] = sub
+	return sub
+}
+
+// Cancel removes the subscription and closes its channel. It is safe to
+// call more than once.
+func (s *Subscription) Cancel() {
+	s.once.Do(func() {
+		s.bus.mu.Lock()
+		defer s.bus.mu.Unlock()
+		if _, ok := s.bus.subs[s.id]; ok {
+			delete(s.bus.subs, s.id)
+			close(s.ch)
+		}
+	})
+}
+
+// Publish delivers the event to every matching subscriber. If a
+// subscriber's buffer is full its oldest pending event is dropped to make
+// room, so publishers are never blocked by slow consumers.
+func (b *Bus) Publish(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	for _, sub := range b.subs {
+		if sub.filter != nil && !sub.filter(e) {
+			continue
+		}
+		for {
+			select {
+			case sub.ch <- e:
+			default:
+				// Buffer full: drop the oldest and retry.
+				select {
+				case <-sub.ch:
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// Close closes the bus and every subscription channel. Publish becomes a
+// no-op afterwards.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, sub := range b.subs {
+		delete(b.subs, id)
+		close(sub.ch)
+	}
+}
+
+// TypeFilter returns a subscription filter matching any of the given
+// event types.
+func TypeFilter(types ...string) func(Event) bool {
+	set := make(map[string]struct{}, len(types))
+	for _, t := range types {
+		set[t] = struct{}{}
+	}
+	return func(e Event) bool {
+		_, ok := set[e.Type]
+		return ok
+	}
+}

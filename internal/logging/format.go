@@ -1,0 +1,53 @@
+package logging
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TimestampLayout is the Asgard-style log timestamp format, e.g.
+// "2013-10-24 11:41:48,312".
+const TimestampLayout = "2006-01-02 15:04:05,000"
+
+// FormatOperationLine renders an operation-node log line in the Asgard
+// style the paper's examples use:
+//
+//	[2013-10-24 11:41:48,312] [Task:Pushing ami-750c9e4f into group pm--asg] Instance ... is ready.
+func FormatOperationLine(ts time.Time, task, message string) string {
+	return fmt.Sprintf("[%s] [Task:%s] %s", ts.Format(TimestampLayout), task, message)
+}
+
+// ParseOperationLine splits an operation line into its timestamp, task
+// label, and message. It returns ok=false for lines that do not follow the
+// Asgard shape (such lines are still valid input to the pipeline; they are
+// simply unannotated noise).
+func ParseOperationLine(line string) (ts time.Time, task, message string, ok bool) {
+	rest, tsPart, found := cutBracket(line)
+	if !found {
+		return time.Time{}, "", "", false
+	}
+	ts, err := time.Parse(TimestampLayout, tsPart)
+	if err != nil {
+		return time.Time{}, "", "", false
+	}
+	rest2, taskPart, found := cutBracket(rest)
+	if !found || !strings.HasPrefix(taskPart, "Task:") {
+		return ts, "", strings.TrimSpace(rest), true
+	}
+	return ts, strings.TrimPrefix(taskPart, "Task:"), strings.TrimSpace(rest2), true
+}
+
+// cutBracket consumes a leading "[...]" group, returning the remainder and
+// the bracket contents.
+func cutBracket(s string) (rest, contents string, ok bool) {
+	s = strings.TrimLeft(s, " ")
+	if !strings.HasPrefix(s, "[") {
+		return s, "", false
+	}
+	end := strings.Index(s, "]")
+	if end < 0 {
+		return s, "", false
+	}
+	return s[end+1:], s[1:end], true
+}

@@ -1,0 +1,314 @@
+package logging
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleEvent() Event {
+	return Event{
+		Timestamp:  time.Date(2013, 10, 24, 11, 41, 48, 312e6, time.UTC),
+		Source:     "asgard.log",
+		SourceHost: "NICTA.local",
+		Type:       TypeOperation,
+		Tags:       []string{"push", "asg", "step4"},
+		Fields:     map[string]string{"amiid": "ami-750c9e4f", "asgid": "pm--asg"},
+		Message:    "Instance pm on i-7df34041 is ready for use.",
+	}
+}
+
+func TestEventCloneIsDeep(t *testing.T) {
+	e := sampleEvent()
+	c := e.Clone()
+	c.Tags[0] = "changed"
+	c.Fields["amiid"] = "changed"
+	if e.Tags[0] != "push" {
+		t.Error("Clone aliases Tags")
+	}
+	if e.Fields["amiid"] != "ami-750c9e4f" {
+		t.Error("Clone aliases Fields")
+	}
+}
+
+func TestEventWithTagIdempotent(t *testing.T) {
+	e := sampleEvent().WithTag("x").WithTag("x")
+	n := 0
+	for _, tag := range e.Tags {
+		if tag == "x" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("WithTag added tag %d times", n)
+	}
+}
+
+func TestEventWithFieldDoesNotMutateOriginal(t *testing.T) {
+	e := sampleEvent()
+	_ = e.WithField("instanceid", "i-123")
+	if _, ok := e.Fields["instanceid"]; ok {
+		t.Fatal("WithField mutated receiver")
+	}
+}
+
+func TestEventWithFieldOnNilMap(t *testing.T) {
+	e := Event{}
+	out := e.WithField("k", "v")
+	if out.Field("k") != "v" {
+		t.Fatal("WithField on zero event failed")
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	e := sampleEvent()
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"@timestamp", "@source", "@tags", "@fields", "@message", "@type", "@source_host"} {
+		if !bytes.Contains(data, []byte(key)) {
+			t.Errorf("marshaled event missing %s", key)
+		}
+	}
+	var back Event
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Message != e.Message || back.Fields["amiid"] != "ami-750c9e4f" {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestEventJSONEmptyCollections(t *testing.T) {
+	data, err := json.Marshal(Event{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"@tags":[]`)) {
+		t.Error("nil tags should marshal as []")
+	}
+	if !bytes.Contains(data, []byte(`"@fields":{}`)) {
+		t.Error("nil fields should marshal as {}")
+	}
+}
+
+func TestEventStringContainsParts(t *testing.T) {
+	s := sampleEvent().String()
+	for _, want := range []string{"asgard", "step4", "amiid=ami-750c9e4f", "ready for use"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestBusDeliversToMatchingSubscribers(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	all := b.Subscribe(8, nil)
+	ops := b.Subscribe(8, TypeFilter(TypeOperation))
+	b.Publish(Event{Type: TypeOperation, Message: "a"})
+	b.Publish(Event{Type: TypeCloud, Message: "b"})
+
+	if e := <-all.C; e.Message != "a" {
+		t.Fatalf("all sub first event = %q", e.Message)
+	}
+	if e := <-all.C; e.Message != "b" {
+		t.Fatalf("all sub second event = %q", e.Message)
+	}
+	if e := <-ops.C; e.Message != "a" {
+		t.Fatalf("ops sub event = %q", e.Message)
+	}
+	select {
+	case e := <-ops.C:
+		t.Fatalf("ops sub received unexpected %q", e.Message)
+	default:
+	}
+}
+
+func TestBusDropsOldestWhenFull(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	sub := b.Subscribe(2, nil)
+	for i := 0; i < 5; i++ {
+		b.Publish(Event{Message: string(rune('a' + i))})
+	}
+	// Only the two newest should remain.
+	if e := <-sub.C; e.Message != "d" {
+		t.Fatalf("first retained = %q, want d", e.Message)
+	}
+	if e := <-sub.C; e.Message != "e" {
+		t.Fatalf("second retained = %q, want e", e.Message)
+	}
+}
+
+func TestBusCancelClosesChannel(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	sub := b.Subscribe(1, nil)
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	if _, ok := <-sub.C; ok {
+		t.Fatal("channel not closed after Cancel")
+	}
+	b.Publish(Event{Message: "x"}) // must not panic
+}
+
+func TestBusCloseIsIdempotentAndStopsDelivery(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(1, nil)
+	b.Close()
+	b.Close()
+	if _, ok := <-sub.C; ok {
+		t.Fatal("subscription channel open after bus close")
+	}
+	b.Publish(Event{Message: "x"}) // no-op, no panic
+	if s := b.Subscribe(1, nil); s != nil {
+		if _, ok := <-s.C; ok {
+			t.Fatal("subscribe after close returned open channel")
+		}
+	}
+}
+
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	var wg sync.WaitGroup
+	sub := b.Subscribe(1024, nil)
+	done := make(chan struct{})
+	var received int
+	go func() {
+		defer close(done)
+		for range sub.C {
+			received++
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Publish(Event{Message: "m"})
+			}
+		}()
+	}
+	wg.Wait()
+	sub.Cancel()
+	<-done
+	if received == 0 {
+		t.Fatal("no events received")
+	}
+}
+
+func TestMemorySink(t *testing.T) {
+	s := NewMemorySink()
+	s.Write(Event{Type: TypeOperation})
+	s.Write(Event{Type: TypeCloud})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got := s.Filter(func(e Event) bool { return e.Type == TypeCloud })
+	if len(got) != 1 {
+		t.Fatalf("Filter returned %d", len(got))
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestJSONSinkWritesLines(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONSink(&buf)
+	s.Write(sampleEvent())
+	s.Write(sampleEvent())
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("line not valid JSON: %v", err)
+	}
+}
+
+func TestMultiSinkAndFuncSink(t *testing.T) {
+	var n int
+	m := MultiSink{FuncSink(func(Event) { n++ }), FuncSink(func(Event) { n++ })}
+	m.Write(Event{})
+	if n != 2 {
+		t.Fatalf("MultiSink delivered %d times", n)
+	}
+}
+
+func TestFormatParseOperationLineRoundTrip(t *testing.T) {
+	ts := time.Date(2013, 10, 24, 11, 41, 48, 312e6, time.UTC)
+	line := FormatOperationLine(ts, "Pushing ami-1 into group g", "Instance ready.")
+	gotTS, task, msg, ok := ParseOperationLine(line)
+	if !ok {
+		t.Fatal("ParseOperationLine failed")
+	}
+	if !gotTS.Equal(ts) {
+		t.Errorf("ts = %v, want %v", gotTS, ts)
+	}
+	if task != "Pushing ami-1 into group g" {
+		t.Errorf("task = %q", task)
+	}
+	if msg != "Instance ready." {
+		t.Errorf("msg = %q", msg)
+	}
+}
+
+func TestParseOperationLineNonConforming(t *testing.T) {
+	cases := []string{
+		"no brackets at all",
+		"[not-a-timestamp] [Task:x] hi",
+		"[2013-10-24 11:41:48,312 unclosed",
+		"",
+	}
+	for _, line := range cases {
+		if _, _, _, ok := ParseOperationLine(line); ok {
+			t.Errorf("ParseOperationLine(%q) = ok", line)
+		}
+	}
+}
+
+func TestParseOperationLineWithoutTask(t *testing.T) {
+	line := "[2013-10-24 11:41:48,312] plain message"
+	_, task, msg, ok := ParseOperationLine(line)
+	if !ok || task != "" || msg != "plain message" {
+		t.Fatalf("got ok=%v task=%q msg=%q", ok, task, msg)
+	}
+}
+
+func TestFormatParseProperty(t *testing.T) {
+	// Property: any task/message without brackets round-trips.
+	f := func(a, b string) bool {
+		clean := func(s string) string {
+			s = strings.Map(func(r rune) rune {
+				if r == '[' || r == ']' || r == '\n' || r == '\r' {
+					return -1
+				}
+				return r
+			}, s)
+			return strings.TrimSpace(s)
+		}
+		task, msg := clean(a), clean(b)
+		if task == "" || msg == "" {
+			return true
+		}
+		ts := time.Date(2020, 1, 2, 3, 4, 5, 678e6, time.UTC)
+		_, gotTask, gotMsg, ok := ParseOperationLine(FormatOperationLine(ts, task, msg))
+		return ok && gotTask == task && gotMsg == msg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package logging
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Sink consumes log events, e.g. to store or display them.
+type Sink interface {
+	// Write consumes one event.
+	Write(e Event)
+}
+
+// MemorySink is a thread-safe in-memory sink, used by tests and as the
+// backing store of the central log storage.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+var _ Sink = (*MemorySink)(nil)
+
+// NewMemorySink returns an empty sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Write implements Sink.
+func (s *MemorySink) Write(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+}
+
+// Len returns the number of stored events.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Events returns a copy of all stored events.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Filter returns a copy of the stored events matching pred.
+func (s *MemorySink) Filter(pred func(Event) bool) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Event
+	for _, e := range s.events {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset discards all stored events.
+func (s *MemorySink) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = nil
+}
+
+// JSONSink writes each event as one JSON line (Logstash v1 format) to an
+// io.Writer.
+type JSONSink struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+var _ Sink = (*JSONSink)(nil)
+
+// NewJSONSink wraps w in a buffered JSON-lines sink. Call Flush before
+// discarding it.
+func NewJSONSink(w io.Writer) *JSONSink {
+	return &JSONSink{w: bufio.NewWriter(w)}
+}
+
+// Write implements Sink. Marshal errors are impossible for Event (all
+// fields are marshalable); a short write surfaces at Flush.
+func (s *JSONSink) Write(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	s.w.Write(data)     //nolint:errcheck // surfaced by Flush
+	s.w.WriteByte('\n') //nolint:errcheck // surfaced by Flush
+}
+
+// Flush flushes buffered output.
+func (s *JSONSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// TextSink renders events with Event.String, one per line.
+type TextSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+var _ Sink = (*TextSink)(nil)
+
+// NewTextSink returns a sink writing human-readable lines to w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Write implements Sink.
+func (s *TextSink) Write(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintln(s.w, e.String())
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(Event)
+
+var _ Sink = FuncSink(nil)
+
+// Write implements Sink.
+func (f FuncSink) Write(e Event) { f(e) }
+
+// MultiSink fans events out to several sinks.
+type MultiSink []Sink
+
+var _ Sink = MultiSink(nil)
+
+// Write implements Sink.
+func (m MultiSink) Write(e Event) {
+	for _, s := range m {
+		s.Write(e)
+	}
+}

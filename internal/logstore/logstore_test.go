@@ -1,0 +1,186 @@
+package logstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/logging"
+)
+
+func ev(typ, instanceID, msg string, ts time.Time, tags ...string) logging.Event {
+	fields := map[string]string{}
+	if instanceID != "" {
+		fields["taskid"] = instanceID
+	}
+	return logging.Event{Timestamp: ts, Type: typ, Fields: fields, Tags: tags, Message: msg}
+}
+
+func TestStoreSelectByTypeInstanceTagSince(t *testing.T) {
+	s := NewStore()
+	t0 := time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC)
+	s.Write(ev(logging.TypeOperation, "a", "one", t0))
+	s.Write(ev(logging.TypeOperation, "b", "two", t0.Add(time.Minute), "step4"))
+	s.Write(ev(logging.TypeAssertion, "a", "three", t0.Add(2*time.Minute)))
+	s.Write(ev(logging.TypeCloud, "", "four", t0.Add(3*time.Minute)))
+
+	if got := s.Select(Query{Type: logging.TypeOperation}); len(got) != 2 {
+		t.Errorf("by type: %d", len(got))
+	}
+	if got := s.Select(Query{InstanceID: "a"}); len(got) != 2 {
+		t.Errorf("by instance: %d", len(got))
+	}
+	if got := s.Select(Query{Tag: "step4"}); len(got) != 1 || got[0].Message != "two" {
+		t.Errorf("by tag: %v", got)
+	}
+	if got := s.Select(Query{Since: t0.Add(2 * time.Minute)}); len(got) != 2 {
+		t.Errorf("since: %d", len(got))
+	}
+	if got := s.Select(Query{Type: logging.TypeOperation, InstanceID: "b", Tag: "step4"}); len(got) != 1 {
+		t.Errorf("combined: %d", len(got))
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSelectOrdersByTimestamp(t *testing.T) {
+	s := NewStore()
+	t0 := time.Unix(1000, 0)
+	s.Write(ev(logging.TypeOperation, "a", "late", t0.Add(time.Hour)))
+	s.Write(ev(logging.TypeOperation, "a", "early", t0))
+	got := s.Select(Query{InstanceID: "a"})
+	if len(got) != 2 || got[0].Message != "early" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestInstanceIDsUsesBothFieldNames(t *testing.T) {
+	s := NewStore()
+	s.Write(logging.Event{Fields: map[string]string{"taskid": "x"}})
+	s.Write(logging.Event{Fields: map[string]string{"processinstanceid": "y"}})
+	s.Write(logging.Event{Fields: map[string]string{"taskid": "x"}})
+	ids := s.InstanceIDs()
+	if len(ids) != 2 || ids[0] != "x" || ids[1] != "y" {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestCentralProcessorStoresAndTriggers(t *testing.T) {
+	store := NewStore()
+	var failures []string
+	cp := NewCentralProcessor(store, func(e logging.Event) { failures = append(failures, e.Message) })
+
+	cp.Process(ev(logging.TypeCloud, "", "ASG g activity: Launching a new EC2 instance (Failed) InvalidAMIID.NotFound", time.Now()))
+	// mark status field like the cloud does
+	failedEv := ev(logging.TypeCloud, "", "activity failed", time.Now())
+	failedEv.Fields["status"] = "Failed"
+	cp.Process(failedEv)
+	cp.Process(ev(logging.TypeCloud, "", "instance i-1 is now in-service", time.Now()))
+	cp.Process(ev(logging.TypeOperation, "t", "ERROR: something broke", time.Now()))
+	cp.Process(ev(logging.TypeAssertion, "t", "ASG g has 4 instances.", time.Now()))
+
+	if store.Len() != 5 {
+		t.Errorf("stored %d", store.Len())
+	}
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v", failures)
+	}
+}
+
+func TestCentralProcessorDisruptionIndicator(t *testing.T) {
+	var n int
+	cp := NewCentralProcessor(NewStore(), func(logging.Event) { n++ })
+	cp.Process(ev(logging.TypeCloud, "", "ELB service disruption started: missing ELB state data", time.Now()))
+	if n != 1 {
+		t.Fatalf("disruption not flagged: %d", n)
+	}
+}
+
+func TestCentralProcessorStartStop(t *testing.T) {
+	bus := logging.NewBus()
+	defer bus.Close()
+	store := NewStore()
+	var n int
+	cp := NewCentralProcessor(store, func(logging.Event) { n++ })
+	sub := bus.Subscribe(64, nil)
+	cp.Start(sub)
+	bus.Publish(ev(logging.TypeOperation, "t", "ERROR: boom", time.Now()))
+	bus.Publish(ev(logging.TypeOperation, "t", "fine", time.Now()))
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && store.Len() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cp.Stop()
+	if store.Len() != 2 || n != 1 {
+		t.Fatalf("stored=%d failures=%d", store.Len(), n)
+	}
+}
+
+func TestIsFailureIndicatorNegativeCases(t *testing.T) {
+	cases := []logging.Event{
+		{Type: logging.TypeAssertion, Message: "ERROR-looking assertion text"},
+		{Type: logging.TypeCloud, Message: "instance i-1 terminated"},
+		{Type: logging.TypeOperation, Message: "Instance pm on i-1 is ready for use. 1 of 4 instance relaunches done."},
+	}
+	for _, e := range cases {
+		if IsFailureIndicator(e) {
+			t.Errorf("false positive on %q", e.Message)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	t0 := time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC)
+	s.Write(ev(logging.TypeOperation, "t", "first line", t0, "step1"))
+	s.Write(ev(logging.TypeAssertion, "t", "ASG g has 4 instances.", t0.Add(time.Minute)))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("loaded %d events", back.Len())
+	}
+	got := back.All()
+	if got[0].Message != "first line" || !got[0].HasTag("step1") {
+		t.Errorf("event 0 = %+v", got[0])
+	}
+	if !got[1].Timestamp.Equal(t0.Add(time.Minute)) {
+		t.Errorf("timestamp lost: %v", got[1].Timestamp)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	s := NewStore()
+	s.Write(ev(logging.TypeOperation, "t", "x", time.Now()))
+	path := t.TempDir() + "/store.jsonl"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 1 {
+		t.Fatalf("loaded %d", back.Len())
+	}
+	if _, err := LoadFile(t.TempDir() + "/missing.jsonl"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadRejectsMalformedLine(t *testing.T) {
+	if _, err := Load(strings.NewReader("{\"@message\":\"ok\"}\nnot json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	s, err := Load(strings.NewReader("\n\n"))
+	if err != nil || s.Len() != 0 {
+		t.Fatalf("blank-line load: %v, %d", err, s.Len())
+	}
+}

@@ -1,0 +1,76 @@
+package logstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"poddiagnosis/internal/logging"
+)
+
+// Save writes the store as JSON lines (the Logstash v1 wire format, one
+// event per line), so a campaign's merged logs can be archived and
+// analyzed offline later.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range s.All() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("logstore: save: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("logstore: save: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the store to the named file.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("logstore: save: %w", err)
+	}
+	defer f.Close()
+	if err := s.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads JSON-lines events into a new store. Blank lines are skipped;
+// malformed lines abort with an error naming the line number.
+func Load(r io.Reader) (*Store, error) {
+	s := NewStore()
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e logging.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("logstore: load line %d: %w", lineNo, err)
+		}
+		s.Write(e)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("logstore: load: %w", err)
+	}
+	return s, nil
+}
+
+// LoadFile reads a store from the named JSON-lines file.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("logstore: load: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

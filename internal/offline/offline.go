@@ -1,0 +1,197 @@
+// Package offline implements post-mortem analysis over the central log
+// storage — the paper notes the merged, process-annotated logs "can be
+// used for future process discovery … or offline diagnosis" (§III.B).
+//
+// Analyze replays each process instance's operation log through a fresh
+// conformance checker (offline token replay), correlates the stored
+// assertion-evaluation and diagnosis records, and produces a per-instance
+// post-mortem: the executed trace, its conformance verdicts, every
+// anomaly, and the diagnosis conclusions reached online.
+package offline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"poddiagnosis/internal/conformance"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/logstore"
+	"poddiagnosis/internal/pipeline"
+	"poddiagnosis/internal/process"
+)
+
+// TraceStep is one replayed operation event.
+type TraceStep struct {
+	// At is the event time.
+	At time.Time `json:"at"`
+	// ActivityID is the classified activity ("" when unclassified).
+	ActivityID string `json:"activityId,omitempty"`
+	// StepID is the activity's process step.
+	StepID string `json:"stepId,omitempty"`
+	// Verdict is the offline conformance verdict.
+	Verdict conformance.Verdict `json:"verdict"`
+	// Line is the log body.
+	Line string `json:"line"`
+}
+
+// Anomaly is one stored or replayed anomaly.
+type Anomaly struct {
+	// At is when the anomaly was observed.
+	At time.Time `json:"at"`
+	// Kind is "conformance", "assertion" or "diagnosis".
+	Kind string `json:"kind"`
+	// Detail is a human-readable summary.
+	Detail string `json:"detail"`
+}
+
+// InstanceReport is the post-mortem of one process instance.
+type InstanceReport struct {
+	// InstanceID is the process instance.
+	InstanceID string `json:"instanceId"`
+	// Trace is the ordered operation trace with offline verdicts.
+	Trace []TraceStep `json:"trace"`
+	// Completed reports whether the replay reached an end state.
+	Completed bool `json:"completed"`
+	// Fitness is the fraction of operation events that replayed fit
+	// (§III.B.2's log/model fitness).
+	Fitness float64 `json:"fitness"`
+	// Started and Finished bound the instance's events.
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// Anomalies merges replayed conformance anomalies with stored
+	// assertion failures and diagnosis conclusions, in time order.
+	Anomalies []Anomaly `json:"anomalies,omitempty"`
+	// AssertionsEvaluated / AssertionsFailed count stored assertion
+	// records.
+	AssertionsEvaluated int `json:"assertionsEvaluated"`
+	AssertionsFailed    int `json:"assertionsFailed"`
+	// RootCauses are the "root cause identified" diagnosis lines.
+	RootCauses []string `json:"rootCauses,omitempty"`
+}
+
+// Report is the whole-store post-mortem.
+type Report struct {
+	// Instances are the per-instance reports, ordered by start time.
+	Instances []InstanceReport `json:"instances"`
+	// EventsAnalyzed is the total number of stored events consumed.
+	EventsAnalyzed int `json:"eventsAnalyzed"`
+}
+
+// Analyze builds the post-mortem for every process instance in the store.
+func Analyze(store *logstore.Store, model *process.Model) (*Report, error) {
+	if store == nil || model == nil {
+		return nil, fmt.Errorf("offline: store and model are required")
+	}
+	rep := &Report{EventsAnalyzed: store.Len()}
+	for _, id := range store.InstanceIDs() {
+		rep.Instances = append(rep.Instances, analyzeInstance(store, model, id))
+	}
+	sort.Slice(rep.Instances, func(i, j int) bool {
+		return rep.Instances[i].Started.Before(rep.Instances[j].Started)
+	})
+	return rep, nil
+}
+
+func analyzeInstance(store *logstore.Store, model *process.Model, id string) InstanceReport {
+	out := InstanceReport{InstanceID: id}
+	checker := conformance.NewChecker(model)
+
+	ops := store.Select(logstore.Query{Type: logging.TypeOperation, InstanceID: id})
+	for _, ev := range ops {
+		body := pipeline.BodyOf(ev)
+		res := checker.Check(id, body, ev.Timestamp)
+		step := TraceStep{
+			At:         ev.Timestamp,
+			ActivityID: res.ActivityID,
+			StepID:     res.StepID,
+			Verdict:    res.Verdict,
+			Line:       body,
+		}
+		out.Trace = append(out.Trace, step)
+		if res.Verdict.IsAnomalous() {
+			out.Anomalies = append(out.Anomalies, Anomaly{
+				At:     ev.Timestamp,
+				Kind:   "conformance",
+				Detail: fmt.Sprintf("%s: %q", res.Verdict.Tag(), body),
+			})
+		}
+	}
+	out.Completed = checker.Completed(id)
+	out.Fitness = checker.StatsFor(id).Fitness()
+	if len(out.Trace) > 0 {
+		out.Started = out.Trace[0].At
+		out.Finished = out.Trace[len(out.Trace)-1].At
+	}
+
+	for _, ev := range store.Select(logstore.Query{Type: logging.TypeAssertion, InstanceID: id}) {
+		out.AssertionsEvaluated++
+		if status := ev.Field("status"); status == "fail" || status == "error" {
+			out.AssertionsFailed++
+			out.Anomalies = append(out.Anomalies, Anomaly{
+				At:     ev.Timestamp,
+				Kind:   "assertion",
+				Detail: fmt.Sprintf("%s %s (trigger %s)", ev.Field("checkid"), status, ev.Field("trigger")),
+			})
+		}
+	}
+
+	for _, ev := range store.Select(logstore.Query{Type: logging.TypeDiagnosis, InstanceID: id}) {
+		switch {
+		case strings.Contains(ev.Message, "root cause is identified") ||
+			strings.Contains(ev.Message, "root causes are identified"):
+			out.RootCauses = append(out.RootCauses, tail(ev.Message))
+			out.Anomalies = append(out.Anomalies, Anomaly{
+				At: ev.Timestamp, Kind: "diagnosis", Detail: tail(ev.Message),
+			})
+		case strings.Contains(ev.Message, "No root cause identified"):
+			out.Anomalies = append(out.Anomalies, Anomaly{
+				At: ev.Timestamp, Kind: "diagnosis", Detail: "no root cause identified",
+			})
+		}
+	}
+
+	sort.SliceStable(out.Anomalies, func(i, j int) bool {
+		return out.Anomalies[i].At.Before(out.Anomalies[j].At)
+	})
+	return out
+}
+
+// tail strips the bracketed prefixes of a diagnosis log line.
+func tail(msg string) string {
+	if idx := strings.LastIndex(msg, "] "); idx >= 0 {
+		return msg[idx+2:]
+	}
+	return msg
+}
+
+// Render prints the report for operators.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "post-mortem over %d stored events, %d process instance(s)\n",
+		r.EventsAnalyzed, len(r.Instances))
+	for _, inst := range r.Instances {
+		status := "INCOMPLETE"
+		if inst.Completed {
+			status = "completed"
+		}
+		fmt.Fprintf(&b, "\nprocess instance %q — %s, %d events, fitness %.2f, %s\n",
+			inst.InstanceID, status, len(inst.Trace), inst.Fitness,
+			inst.Finished.Sub(inst.Started).Round(time.Second))
+		fmt.Fprintf(&b, "  assertions: %d evaluated, %d failed\n",
+			inst.AssertionsEvaluated, inst.AssertionsFailed)
+		if len(inst.Anomalies) == 0 {
+			b.WriteString("  no anomalies\n")
+			continue
+		}
+		fmt.Fprintf(&b, "  anomalies (%d):\n", len(inst.Anomalies))
+		for _, a := range inst.Anomalies {
+			fmt.Fprintf(&b, "    %s [%s] %s\n", a.At.Format("15:04:05"), a.Kind, a.Detail)
+		}
+		for _, c := range inst.RootCauses {
+			fmt.Fprintf(&b, "  ROOT CAUSE: %s\n", c)
+		}
+	}
+	return b.String()
+}

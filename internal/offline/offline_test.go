@@ -1,0 +1,178 @@
+package offline
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/logstore"
+	"poddiagnosis/internal/process"
+)
+
+func storeWith(events ...logging.Event) *logstore.Store {
+	s := logstore.NewStore()
+	for _, e := range events {
+		s.Write(e)
+	}
+	return s
+}
+
+func opEv(ts time.Time, task, body string) logging.Event {
+	return logging.Event{
+		Timestamp: ts,
+		Type:      logging.TypeOperation,
+		Fields:    map[string]string{"taskid": task},
+		Message:   logging.FormatOperationLine(ts, task, body),
+	}
+}
+
+func assertEv(ts time.Time, task, checkID, status string) logging.Event {
+	return logging.Event{
+		Timestamp: ts,
+		Type:      logging.TypeAssertion,
+		Fields:    map[string]string{"taskid": task, "checkid": checkID, "status": status, "trigger": "log"},
+		Message:   "[assertion] " + checkID + " " + status,
+	}
+}
+
+func diagEv(ts time.Time, task, msg string) logging.Event {
+	return logging.Event{
+		Timestamp: ts,
+		Type:      logging.TypeDiagnosis,
+		Fields:    map[string]string{"taskid": task},
+		Message:   "[ts] [diagnosis] [" + task + "] [step7] " + msg,
+	}
+}
+
+func cleanTrace(ts time.Time, task string) []logging.Event {
+	bodies := []string{
+		"Starting rolling upgrade of group g to image ami-2",
+		"Created launch configuration lc with image ami-2",
+		"Sorted 1 instances for replacement",
+		"Removed and deregistered instance i-1 from ELB e",
+		"Terminating old instance i-1",
+		"Waiting for group g to start a new instance",
+		"Instance pm on i-2 is ready for use. 1 of 1 instance relaunches done.",
+		"Rolling upgrade task completed",
+	}
+	var out []logging.Event
+	for i, b := range bodies {
+		out = append(out, opEv(ts.Add(time.Duration(i)*30*time.Second), task, b))
+	}
+	return out
+}
+
+func TestAnalyzeCleanInstance(t *testing.T) {
+	ts := time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC)
+	store := storeWith(cleanTrace(ts, "t1")...)
+	store.Write(assertEv(ts.Add(time.Hour), "t1", "asg-instance-count", "pass"))
+	rep, err := Analyze(store, process.RollingUpgradeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Instances) != 1 {
+		t.Fatalf("instances = %d", len(rep.Instances))
+	}
+	inst := rep.Instances[0]
+	if !inst.Completed {
+		t.Error("clean trace not completed")
+	}
+	if len(inst.Anomalies) != 0 {
+		t.Errorf("anomalies = %+v", inst.Anomalies)
+	}
+	if inst.AssertionsEvaluated != 1 || inst.AssertionsFailed != 0 {
+		t.Errorf("assertion counts = %d/%d", inst.AssertionsEvaluated, inst.AssertionsFailed)
+	}
+	if inst.Finished.Sub(inst.Started) != 7*30*time.Second {
+		t.Errorf("span = %s", inst.Finished.Sub(inst.Started))
+	}
+}
+
+func TestAnalyzeAnomalousInstance(t *testing.T) {
+	ts := time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC)
+	store := storeWith(
+		opEv(ts, "t2", "Starting rolling upgrade of group g to image ami-2"),
+		opEv(ts.Add(time.Minute), "t2", "Terminating old instance i-1"), // skipped steps -> unfit
+		opEv(ts.Add(2*time.Minute), "t2", "ERROR: deregistering instance i-1: LoadBalancerNotFound"),
+	)
+	store.Write(assertEv(ts.Add(3*time.Minute), "t2", "asg-version-count", "fail"))
+	store.Write(assertEv(ts.Add(3*time.Minute), "t2", "elb-reachable", "error"))
+	store.Write(diagEv(ts.Add(4*time.Minute), "t2", "One root cause is identified: The load balancer e is unavailable"))
+	store.Write(diagEv(ts.Add(5*time.Minute), "t2", "No root cause identified"))
+
+	rep, err := Analyze(store, process.RollingUpgradeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := rep.Instances[0]
+	if inst.Completed {
+		t.Error("anomalous trace completed")
+	}
+	kinds := map[string]int{}
+	for _, a := range inst.Anomalies {
+		kinds[a.Kind]++
+	}
+	if kinds["conformance"] != 2 { // unfit terminate + error line
+		t.Errorf("conformance anomalies = %d (%+v)", kinds["conformance"], inst.Anomalies)
+	}
+	if kinds["assertion"] != 2 {
+		t.Errorf("assertion anomalies = %d", kinds["assertion"])
+	}
+	if kinds["diagnosis"] != 2 {
+		t.Errorf("diagnosis anomalies = %d", kinds["diagnosis"])
+	}
+	if len(inst.RootCauses) != 1 || !strings.Contains(inst.RootCauses[0], "load balancer") {
+		t.Errorf("root causes = %v", inst.RootCauses)
+	}
+	// Anomalies must be time ordered.
+	for i := 1; i < len(inst.Anomalies); i++ {
+		if inst.Anomalies[i].At.Before(inst.Anomalies[i-1].At) {
+			t.Fatal("anomalies out of order")
+		}
+	}
+}
+
+func TestAnalyzeMultipleInstancesOrdered(t *testing.T) {
+	ts := time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC)
+	store := logstore.NewStore()
+	for _, e := range cleanTrace(ts.Add(time.Hour), "later") {
+		store.Write(e)
+	}
+	for _, e := range cleanTrace(ts, "earlier") {
+		store.Write(e)
+	}
+	rep, err := Analyze(store, process.RollingUpgradeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Instances) != 2 {
+		t.Fatalf("instances = %d", len(rep.Instances))
+	}
+	if rep.Instances[0].InstanceID != "earlier" || rep.Instances[1].InstanceID != "later" {
+		t.Errorf("order = %s, %s", rep.Instances[0].InstanceID, rep.Instances[1].InstanceID)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil, process.RollingUpgradeModel()); err == nil {
+		t.Fatal("nil store accepted")
+	}
+	if _, err := Analyze(logstore.NewStore(), nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+func TestRenderReport(t *testing.T) {
+	ts := time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC)
+	store := storeWith(cleanTrace(ts, "good")...)
+	store.Write(opEv(ts.Add(2*time.Hour), "bad", "Terminating old instance i-9"))
+	store.Write(diagEv(ts.Add(2*time.Hour+time.Minute), "bad", "One root cause is identified: X"))
+	rep, _ := Analyze(store, process.RollingUpgradeModel())
+	out := rep.Render()
+	for _, want := range []string{"post-mortem", "completed", "INCOMPLETE", "no anomalies", "ROOT CAUSE: One root cause is identified: X"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package pipeline implements the local log processor of Figure 3: a
+// pipeline of noise filter, log annotator (process context + extracted
+// fields), timer setter hooks, and triggers for conformance checking and
+// assertion evaluation, forwarding "important" lines to the central log
+// storage.
+//
+// The processor is deliberately mechanical: it classifies each raw
+// operation log line against the process model, attaches process context
+// (process instance id, activity, step id), extracts well-known fields
+// (instance id, AMI id, relaunch progress), and invokes the configured
+// trigger callbacks. Policy — which assertions to evaluate, what timers to
+// set — lives in the POD engine (internal/core).
+package pipeline
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/process"
+)
+
+// Triggers are the callbacks a Processor invokes as it annotates events.
+// Any callback may be nil. Callbacks run on the processor goroutine; keep
+// them fast and non-blocking (hand heavy work to other goroutines).
+type Triggers struct {
+	// Conformance receives every relevant line for token replay.
+	Conformance func(instanceID, line string, ev logging.Event)
+	// StepEvent fires for every line classified to an activity.
+	StepEvent func(instanceID string, node *process.Node, ev logging.Event)
+	// ErrorLine fires for lines matching known-error patterns.
+	ErrorLine func(instanceID, line string, ev logging.Event)
+	// ProcessStart fires on the first activity of an instance (starts
+	// the periodic timer, §III.B.1).
+	ProcessStart func(instanceID string, ev logging.Event)
+	// ProcessEnd fires on the final activity (stops the periodic timer).
+	ProcessEnd func(instanceID string, ev logging.Event)
+}
+
+// Processor is the local log processor agent.
+type Processor struct {
+	model    *process.Model
+	store    logging.Sink // central log storage; may be nil
+	triggers Triggers
+
+	mu      sync.Mutex
+	started map[string]bool
+	stats   Stats
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Stats counts processor activity.
+type Stats struct {
+	// Seen is the number of raw events observed.
+	Seen int
+	// Dropped is the number filtered out as noise.
+	Dropped int
+	// Annotated is the number of lines classified to an activity.
+	Annotated int
+	// Errors is the number of known-error lines.
+	Errors int
+	// Forwarded is the number of events sent to central storage.
+	Forwarded int
+}
+
+// New returns a Processor for the given model, forwarding important lines
+// to store and invoking triggers.
+func New(model *process.Model, store logging.Sink, triggers Triggers) *Processor {
+	return &Processor{
+		model:    model,
+		store:    store,
+		triggers: triggers,
+		started:  make(map[string]bool),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Start consumes events from the subscription until Stop is called or the
+// subscription closes.
+func (p *Processor) Start(sub *logging.Subscription) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case ev, ok := <-sub.C:
+				if !ok {
+					return
+				}
+				p.Process(ev)
+			}
+		}
+	}()
+}
+
+// Stop halts the processing goroutine. Safe to call once after Start.
+func (p *Processor) Stop() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of the processing counters.
+func (p *Processor) Snapshot() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Field-extraction patterns applied to every annotated line.
+var (
+	reInstanceID = regexp.MustCompile(`\b(i-[0-9a-f]+)\b`)
+	reAMIID      = regexp.MustCompile(`\b(ami-[0-9a-zA-Z-]+)\b`)
+	reProgress   = regexp.MustCompile(`\b(\d+) of (\d+) instances?\b`)
+	reSorted     = regexp.MustCompile(`Sorted (\d+) instances`)
+	reGroup      = regexp.MustCompile(`group (\S+)`)
+)
+
+// Process runs one event through the pipeline, returning the annotated
+// event and whether it was forwarded to central storage.
+func (p *Processor) Process(ev logging.Event) (logging.Event, bool) {
+	p.mu.Lock()
+	p.stats.Seen++
+	p.mu.Unlock()
+
+	// Only operation-node logs flow through the local processor.
+	if ev.Type != logging.TypeOperation {
+		p.count(func(s *Stats) { s.Dropped++ })
+		return ev, false
+	}
+
+	// The raw @message is an Asgard-style line; the body is what the
+	// model's patterns match.
+	body := ev.Message
+	if _, _, parsed, ok := logging.ParseOperationLine(ev.Message); ok {
+		body = parsed
+	}
+
+	instanceID := ev.Field("taskid")
+	node, classified := p.model.Classify(body)
+	isError := p.model.IsErrorLine(body)
+
+	// Noise filter: drop lines that neither classify, nor err, nor carry
+	// a known process instance.
+	if !classified && !isError && instanceID == "" {
+		p.count(func(s *Stats) { s.Dropped++ })
+		return ev, false
+	}
+
+	// Log annotator: process context tags and extracted fields.
+	out := ev.Clone()
+	if instanceID != "" {
+		out = out.WithField("processinstanceid", instanceID)
+	}
+	if classified {
+		out = out.WithTag(node.ID)
+		if node.StepID != "" {
+			out = out.WithTag(node.StepID)
+			out = out.WithField("stepid", node.StepID)
+		}
+		out = out.WithField("activity", node.Name)
+	}
+	if isError {
+		out = out.WithTag("error")
+	}
+	for field, re := range map[string]*regexp.Regexp{
+		"instanceid": reInstanceID,
+		"amiid":      reAMIID,
+		"asgid":      reGroup,
+	} {
+		if m := re.FindStringSubmatch(body); m != nil {
+			out = out.WithField(field, m[1])
+		}
+	}
+	if m := reProgress.FindStringSubmatch(body); m != nil {
+		out = out.WithField("num", m[1])
+		out = out.WithField("total", m[2])
+	}
+	if m := reSorted.FindStringSubmatch(body); m != nil {
+		out = out.WithField("total", m[1])
+	}
+
+	// Timer setter hooks: first/last activity of the process.
+	if classified && instanceID != "" {
+		p.mu.Lock()
+		first := !p.started[instanceID]
+		if first {
+			p.started[instanceID] = true
+		}
+		p.mu.Unlock()
+		if first && p.triggers.ProcessStart != nil {
+			p.triggers.ProcessStart(instanceID, out)
+		}
+		if (node.Final || node.ID == process.NodeCompleted) && p.triggers.ProcessEnd != nil {
+			p.triggers.ProcessEnd(instanceID, out)
+		}
+	}
+
+	// Triggers: conformance for every relevant line; step events and
+	// error lines for the engine.
+	if p.triggers.Conformance != nil && instanceID != "" {
+		p.triggers.Conformance(instanceID, body, out)
+	}
+	if classified {
+		p.count(func(s *Stats) { s.Annotated++ })
+		if p.triggers.StepEvent != nil && instanceID != "" {
+			p.triggers.StepEvent(instanceID, node, out)
+		}
+	}
+	if isError {
+		p.count(func(s *Stats) { s.Errors++ })
+		if p.triggers.ErrorLine != nil {
+			p.triggers.ErrorLine(instanceID, body, out)
+		}
+	}
+
+	// Forward "important" lines — classified activities and errors — to
+	// central storage.
+	important := classified || isError
+	if important && p.store != nil {
+		p.store.Write(out)
+		p.count(func(s *Stats) { s.Forwarded++ })
+	}
+	return out, important
+}
+
+func (p *Processor) count(f func(*Stats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
+}
+
+// BodyOf extracts the message body of an operation event (without the
+// timestamp/task prefix).
+func BodyOf(ev logging.Event) string {
+	if _, _, body, ok := logging.ParseOperationLine(ev.Message); ok {
+		return body
+	}
+	return strings.TrimSpace(ev.Message)
+}

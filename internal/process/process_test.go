@@ -1,0 +1,371 @@
+package process
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuilderBuildsLinearModel(t *testing.T) {
+	b := NewBuilder("m", "Model")
+	b.Start("s")
+	b.Activity("a", WithName("A"), WithStep("step1"), WithPatterns(`alpha \d+`))
+	b.Activity("b", WithName("B"), WithStep("step2"), WithPatterns(`beta`))
+	b.End("e")
+	b.Chain("s", "a", "b", "e")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Start() != "s" {
+		t.Errorf("Start = %q", m.Start())
+	}
+	if len(m.Ends()) != 1 || m.Ends()[0] != "e" {
+		t.Errorf("Ends = %v", m.Ends())
+	}
+	if got := m.Outgoing("a"); len(got) != 1 || got[0] != "b" {
+		t.Errorf("Outgoing(a) = %v", got)
+	}
+	if got := m.Incoming("b"); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Incoming(b) = %v", got)
+	}
+	if len(m.Activities()) != 2 {
+		t.Errorf("Activities = %d", len(m.Activities()))
+	}
+	if n := m.ActivityByStep("step2"); n == nil || n.ID != "b" {
+		t.Errorf("ActivityByStep(step2) = %v", n)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Model, error)
+		want  string
+	}{
+		{"no start", func() (*Model, error) {
+			b := NewBuilder("m", "")
+			b.Activity("a")
+			b.End("e")
+			b.Flow("a", "e")
+			return b.Build()
+		}, "no start node"},
+		{"no end", func() (*Model, error) {
+			b := NewBuilder("m", "")
+			b.Start("s")
+			b.Activity("a")
+			b.Flow("s", "a")
+			return b.Build()
+		}, "no end node"},
+		{"two starts", func() (*Model, error) {
+			b := NewBuilder("m", "")
+			b.Start("s1")
+			b.Start("s2")
+			b.End("e")
+			b.Flow("s1", "e")
+			b.Flow("s2", "e")
+			return b.Build()
+		}, "multiple start nodes"},
+		{"duplicate id", func() (*Model, error) {
+			b := NewBuilder("m", "")
+			b.Start("s")
+			b.Activity("s")
+			b.End("e")
+			b.Flow("s", "e")
+			return b.Build()
+		}, "duplicate node id"},
+		{"edge to unknown", func() (*Model, error) {
+			b := NewBuilder("m", "")
+			b.Start("s")
+			b.End("e")
+			b.Flow("s", "e")
+			b.Flow("s", "ghost")
+			return b.Build()
+		}, "unknown node"},
+		{"unreachable", func() (*Model, error) {
+			b := NewBuilder("m", "")
+			b.Start("s")
+			b.Activity("a")
+			b.End("e")
+			b.Flow("s", "e")
+			return b.Build()
+		}, "unreachable"},
+		{"bad pattern", func() (*Model, error) {
+			b := NewBuilder("m", "")
+			b.Start("s")
+			b.Activity("a", WithPatterns(`([`))
+			b.End("e")
+			b.Chain("s", "a", "e")
+			return b.Build()
+		}, "pattern"},
+		{"empty model id", func() (*Model, error) {
+			b := NewBuilder("", "")
+			b.Start("s")
+			b.End("e")
+			b.Flow("s", "e")
+			return b.Build()
+		}, "model id"},
+		{"bad error pattern", func() (*Model, error) {
+			b := NewBuilder("m", "")
+			b.Start("s")
+			b.End("e")
+			b.Flow("s", "e")
+			b.Errors(`([`)
+			return b.Build()
+		}, "error pattern"},
+	}
+	for _, tc := range cases {
+		_, err := tc.build()
+		if err == nil {
+			t.Errorf("%s: Build succeeded, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestClassifyPrefersMostSpecific(t *testing.T) {
+	b := NewBuilder("m", "")
+	b.Start("s")
+	b.Activity("generic", WithPatterns(`Instance \S+`))
+	b.Activity("specific", WithPatterns(`Instance \S+ is ready for use`))
+	b.End("e")
+	b.Chain("s", "generic", "specific", "e")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := m.Classify("Instance i-123 is ready for use")
+	if !ok || n.ID != "specific" {
+		t.Fatalf("Classify = %v, %v", n, ok)
+	}
+	n, ok = m.Classify("Instance i-123 stopped")
+	if !ok || n.ID != "generic" {
+		t.Fatalf("Classify generic = %v, %v", n, ok)
+	}
+	if _, ok := m.Classify("nothing matches this"); ok {
+		t.Fatal("Classify matched noise")
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	m := RollingUpgradeModel()
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID() != m.ID() || back.Name() != m.Name() {
+		t.Error("id/name lost in round trip")
+	}
+	if len(back.Nodes()) != len(m.Nodes()) {
+		t.Errorf("nodes: got %d, want %d", len(back.Nodes()), len(m.Nodes()))
+	}
+	if len(back.ErrorPatterns()) != len(m.ErrorPatterns()) {
+		t.Error("error patterns lost")
+	}
+	// Classification must survive the round trip.
+	line := "Instance pm on i-7df34041 is ready for use. 4 of 4 instance relaunches done."
+	n1, ok1 := m.Classify(line)
+	n2, ok2 := back.Classify(line)
+	if !ok1 || !ok2 || n1.ID != n2.ID {
+		t.Fatalf("classification diverged: %v/%v vs %v/%v", n1, ok1, n2, ok2)
+	}
+}
+
+func TestUnmarshalModelRejectsBadJSON(t *testing.T) {
+	if _, err := UnmarshalModel([]byte(`{"id": }`)); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := UnmarshalModel([]byte(`{"id":"x","nodes":[],"edges":[]}`)); err == nil {
+		t.Fatal("empty model accepted")
+	}
+}
+
+func TestRollingUpgradeModelShape(t *testing.T) {
+	m := RollingUpgradeModel()
+	if m.ID() != RollingUpgradeModelID {
+		t.Errorf("ID = %q", m.ID())
+	}
+	// 9 activities, 2 gateways, start, end.
+	if got := len(m.Nodes()); got != 13 {
+		t.Errorf("node count = %d, want 13", got)
+	}
+	steps := []string{StepStartTask, StepUpdateLC, StepSortInst, StepDeregister,
+		StepTerminateOld, StepWaitASG, StepNewReady, StepCompleted}
+	for _, s := range steps {
+		if m.ActivityByStep(s) == nil {
+			t.Errorf("no activity for %s", s)
+		}
+	}
+	status := m.Node(NodeStatusInfo)
+	if status == nil || !status.Recurring {
+		t.Error("status-info missing or not recurring")
+	}
+	// The loop: g-loop-exit must branch back to g-loop-entry and forward
+	// to completion.
+	out := m.Outgoing("g-loop-exit")
+	if len(out) != 2 {
+		t.Fatalf("loop-exit out-degree = %d", len(out))
+	}
+}
+
+func TestRollingUpgradeClassification(t *testing.T) {
+	m := RollingUpgradeModel()
+	cases := []struct {
+		line string
+		node string
+	}{
+		{"Starting rolling upgrade of group pm--asg to image ami-750c9e4f", NodeStartTask},
+		{"Created launch configuration pm-lc-v2 with image ami-750c9e4f", NodeUpdateLC},
+		{"Updated group pm--asg to launch configuration pm-lc-v2", NodeUpdateLC},
+		{"Sorted 4 instances for replacement", NodeSortInst},
+		{"Removed and deregistered instance i-7df34041 from ELB pm-elb", NodeDeregister},
+		{"Terminating old instance i-7df34041", NodeTerminateOld},
+		{"Waiting for group pm--asg to start a new instance", NodeWaitASG},
+		{"Instance pm on i-7df34041 is ready for use. 4 of 4 instance relaunches done.", NodeNewReady},
+		{"Rolling upgrade task completed", NodeCompleted},
+		{"Status: 2 of 4 instances replaced", NodeStatusInfo},
+	}
+	for _, tc := range cases {
+		n, ok := m.Classify(tc.line)
+		if !ok {
+			t.Errorf("line %q unclassified", tc.line)
+			continue
+		}
+		if n.ID != tc.node {
+			t.Errorf("line %q classified as %s, want %s", tc.line, n.ID, tc.node)
+		}
+	}
+}
+
+func TestRollingUpgradeErrorPatterns(t *testing.T) {
+	m := RollingUpgradeModel()
+	errLines := []string{
+		"ERROR: something broke",
+		"com.netflix.asgard.Task Exception in step",
+		"launch failed with code 42",
+		"request timed out after 30s",
+		"operation timeout exceeded",
+	}
+	for _, l := range errLines {
+		if !m.IsErrorLine(l) {
+			t.Errorf("IsErrorLine(%q) = false", l)
+		}
+	}
+	if m.IsErrorLine("Instance pm on i-1 is ready for use. 1 of 4 instance relaunches done.") {
+		t.Error("healthy line flagged as error")
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	kinds := map[NodeKind]string{
+		KindStart: "start", KindActivity: "activity",
+		KindGateway: "gateway", KindEnd: "end", NodeKind(0): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestMeanDurationsPresent(t *testing.T) {
+	m := RollingUpgradeModel()
+	for _, id := range []string{NodeWaitASG, NodeTerminateOld, NodeDeregister} {
+		if m.Node(id).MeanDuration <= 0 {
+			t.Errorf("%s has no mean duration", id)
+		}
+	}
+	if m.Node(NodeWaitASG).MeanDuration < 30*time.Second {
+		t.Error("wait-asg mean duration implausibly small")
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	m := RollingUpgradeModel()
+	dot := m.DOT()
+	for _, want := range []string{
+		"digraph \"rolling-upgrade\"",
+		"shape=circle", "shape=doublecircle", "shape=diamond", "shape=box",
+		"\"g-loop-exit\" -> \"g-loop-entry\"",
+		"[step7]",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// Recurring activities render dashed.
+	if !strings.Contains(dot, "rounded,dashed") {
+		t.Error("recurring activity not dashed")
+	}
+}
+
+func TestANDGatewayBuilderAndDOT(t *testing.T) {
+	b := NewBuilder("p", "")
+	b.Start("s")
+	b.End("e")
+	b.ANDGateway("fork")
+	b.ANDGateway("join")
+	b.Activity("a", WithPatterns(`a`))
+	b.Activity("b", WithPatterns(`b`))
+	b.Chain("s", "fork")
+	b.Flow("fork", "a")
+	b.Flow("fork", "b")
+	b.Flow("a", "join")
+	b.Flow("b", "join")
+	b.Chain("join", "e")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Node("fork").Kind != KindANDGateway {
+		t.Errorf("fork kind = %v", m.Node("fork").Kind)
+	}
+	if KindANDGateway.String() != "and-gateway" {
+		t.Errorf("String = %q", KindANDGateway.String())
+	}
+	dot := m.DOT()
+	if !strings.Contains(dot, `label="+"`) {
+		t.Error("AND gateway not rendered as +")
+	}
+	// JSON round trip preserves the kind.
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Node("join").Kind != KindANDGateway {
+		t.Error("AND kind lost in round trip")
+	}
+}
+
+func TestScaleOutModelClassification(t *testing.T) {
+	m := ScaleOutModel()
+	cases := []struct {
+		line string
+		node string
+	}{
+		{"Starting scale-out of group pm--asg from 3 to 6 instances", NodeSOStart},
+		{"Requested desired capacity 6 for group pm--asg", NodeSORequest},
+		{"Waiting for group pm--asg to reach 6 in-service instances", NodeSOWait},
+		{"Instance i-1 joined group pm--asg. 4 of 6 instances in service.", NodeSOJoined},
+		{"Scale-out of group pm--asg completed", NodeSOComplete},
+		{"Scale-out status: 4 of 6 instances in service", NodeSOStatus},
+	}
+	for _, tc := range cases {
+		n, ok := m.Classify(tc.line)
+		if !ok || n.ID != tc.node {
+			t.Errorf("line %q -> %v (want %s)", tc.line, n, tc.node)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package rest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/conformance"
+	"poddiagnosis/internal/diagnosis"
+)
+
+// Client talks to a POD REST server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://localhost:8077"). A nil httpClient uses a 30s-timeout default.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// CheckConformance posts one log line for token replay.
+func (c *Client) CheckConformance(ctx context.Context, req ConformanceRequest) (conformance.Result, error) {
+	var out conformance.Result
+	err := c.post(ctx, "/conformance/check", req, &out)
+	return out, err
+}
+
+// Evaluate runs one assertion evaluation.
+func (c *Client) Evaluate(ctx context.Context, req EvaluateRequest) (assertion.Result, error) {
+	var out assertion.Result
+	err := c.post(ctx, "/assertions/evaluate", req, &out)
+	return out, err
+}
+
+// Diagnose runs one diagnosis.
+func (c *Client) Diagnose(ctx context.Context, req diagnosis.Request) (*diagnosis.Diagnosis, error) {
+	var out diagnosis.Diagnosis
+	if err := c.post(ctx, "/diagnosis", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Checks lists the registered assertion check ids.
+func (c *Client) Checks(ctx context.Context) ([]string, error) {
+	var out []string
+	err := c.get(ctx, "/assertions/checks", &out)
+	return out, err
+}
+
+// ConformanceStats holds the fitness summary of one trace.
+type ConformanceStats struct {
+	Events    int     `json:"events"`
+	Fit       int     `json:"fit"`
+	Fitness   float64 `json:"fitness"`
+	Completed bool    `json:"completed"`
+}
+
+// Stats fetches the replay statistics of one trace.
+func (c *Client) Stats(ctx context.Context, traceID string) (ConformanceStats, error) {
+	var out ConformanceStats
+	err := c.get(ctx, "/conformance/stats?trace="+traceID, &out)
+	return out, err
+}
+
+// Instances lists the known process instance ids.
+func (c *Client) Instances(ctx context.Context) ([]string, error) {
+	var out []string
+	err := c.get(ctx, "/conformance/instances", &out)
+	return out, err
+}
+
+// Healthy reports whether the server responds to the health check.
+func (c *Client) Healthy(ctx context.Context) bool {
+	var out map[string]string
+	return c.get(ctx, "/healthz", &out) == nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("rest client: marshal: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("rest client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("rest client: %w", err)
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("rest client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb ErrorBody
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		return fmt.Errorf("rest client: %s %s: status %d: %s", req.Method, req.URL.Path, resp.StatusCode, eb.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("rest client: decode response: %w", err)
+	}
+	return nil
+}

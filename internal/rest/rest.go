@@ -1,0 +1,202 @@
+// Package rest exposes Conformance Checking, Assertion Evaluation and
+// Error Diagnosis as RESTful web services, mirroring the paper's RESTlet
+// deployment (§IV): the process model is provided to the services
+// up-front; the local log agent posts one message per event containing the
+// process model id, the trace id, and the whole log line.
+package rest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/conformance"
+	"poddiagnosis/internal/diagnosis"
+)
+
+// ConformanceRequest is the body of POST /conformance/check.
+type ConformanceRequest struct {
+	// ModelID names the process model (informational; the server is
+	// bound to one model at construction, as in the paper).
+	ModelID string `json:"modelId,omitempty"`
+	// TraceID is the process instance id.
+	TraceID string `json:"traceId"`
+	// Line is the raw log line.
+	Line string `json:"line"`
+	// Timestamp is the event time (optional).
+	Timestamp time.Time `json:"timestamp,omitempty"`
+}
+
+// EvaluateRequest is the body of POST /assertions/evaluate.
+type EvaluateRequest struct {
+	// CheckID names the assertion to evaluate.
+	CheckID string `json:"checkId"`
+	// Params are the evaluation parameters.
+	Params assertion.Params `json:"params"`
+	// Trigger carries the process context.
+	Trigger assertion.Trigger `json:"trigger"`
+}
+
+// ErrorBody is the JSON error envelope.
+type ErrorBody struct {
+	// Error is the message.
+	Error string `json:"error"`
+}
+
+// Server hosts the three POD services over one model.
+type Server struct {
+	checker *conformance.Checker
+	eval    *assertion.Evaluator
+	diag    *diagnosis.Engine
+	mux     *http.ServeMux
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer builds a Server. Any of the components may be nil; their
+// endpoints then return 503.
+func NewServer(checker *conformance.Checker, eval *assertion.Evaluator, diag *diagnosis.Engine) *Server {
+	s := &Server{checker: checker, eval: eval, diag: diag, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /conformance/check", s.handleConformance)
+	s.mux.HandleFunc("GET /conformance/instances", s.handleInstances)
+	s.mux.HandleFunc("GET /conformance/stats", s.handleStats)
+	s.mux.HandleFunc("POST /assertions/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("GET /assertions/checks", s.handleChecks)
+	s.mux.HandleFunc("POST /diagnosis", s.handleDiagnose)
+	s.mux.HandleFunc("GET /model", s.handleModel)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
+	if s.checker == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("conformance checking not configured"))
+		return
+	}
+	var req ConformanceRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.TraceID == "" || req.Line == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("traceId and line are required"))
+		return
+	}
+	ts := req.Timestamp
+	if ts.IsZero() {
+		ts = time.Now()
+	}
+	writeJSON(w, http.StatusOK, s.checker.Check(req.TraceID, req.Line, ts))
+}
+
+func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
+	if s.checker == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("conformance checking not configured"))
+		return
+	}
+	ids := s.checker.InstanceIDs()
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, http.StatusOK, ids)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.checker == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("conformance checking not configured"))
+		return
+	}
+	traceID := r.URL.Query().Get("trace")
+	if traceID == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("query parameter 'trace' is required"))
+		return
+	}
+	stats := s.checker.StatsFor(traceID)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"events":    stats.Events,
+		"fit":       stats.Fit,
+		"fitness":   stats.Fitness(),
+		"completed": stats.Completed,
+	})
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if s.eval == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("assertion evaluation not configured"))
+		return
+	}
+	var req EvaluateRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.CheckID == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("checkId is required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.eval.Evaluate(r.Context(), req.CheckID, req.Params, req.Trigger))
+}
+
+func (s *Server) handleChecks(w http.ResponseWriter, r *http.Request) {
+	if s.eval == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("assertion evaluation not configured"))
+		return
+	}
+	ids := s.eval.Registry().IDs()
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, http.StatusOK, ids)
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	if s.diag == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("diagnosis not configured"))
+		return
+	}
+	var req diagnosis.Request
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.diag.Diagnose(r.Context(), req))
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if s.checker == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("conformance checking not configured"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.checker.Model())
+}
+
+func decode(r *http.Request, v any) error {
+	defer r.Body.Close()
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("rest: decode request: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorBody{Error: err.Error()})
+}

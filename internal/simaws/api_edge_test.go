@@ -1,0 +1,155 @@
+package simaws
+
+import (
+	"context"
+	"testing"
+)
+
+func TestELBLifecycleEdgeCases(t *testing.T) {
+	f := newFixture(t, 1, FastProfile())
+	ctx := context.Background()
+
+	// Duplicate creation.
+	if err := f.cloud.CreateLoadBalancer(ctx, f.elbName); ErrorCode(err) != ErrCodeAlreadyExists {
+		t.Errorf("duplicate ELB: %v", err)
+	}
+	// Register unknown instance.
+	if err := f.cloud.RegisterInstancesWithLoadBalancer(ctx, f.elbName, "i-ghost"); ErrorCode(err) != ErrCodeInvalidInstance {
+		t.Errorf("register ghost: %v", err)
+	}
+	// Register with unknown ELB.
+	if err := f.cloud.RegisterInstancesWithLoadBalancer(ctx, "nope", "i-ghost"); ErrorCode(err) != ErrCodeLoadBalancerNotFound {
+		t.Errorf("register to missing ELB: %v", err)
+	}
+	// Deregister unknown instance from a real ELB: no-op.
+	if err := f.cloud.DeregisterInstancesFromLoadBalancer(ctx, f.elbName, "i-ghost"); err != nil {
+		t.Errorf("deregister ghost: %v", err)
+	}
+	// Deregister from unknown ELB.
+	if err := f.cloud.DeregisterInstancesFromLoadBalancer(ctx, "nope"); ErrorCode(err) != ErrCodeLoadBalancerNotFound {
+		t.Errorf("deregister from missing ELB: %v", err)
+	}
+	// Health of unknown ELB.
+	if _, err := f.cloud.DescribeInstanceHealth(ctx, "nope"); ErrorCode(err) != ErrCodeLoadBalancerNotFound {
+		t.Errorf("health of missing ELB: %v", err)
+	}
+	// Delete and verify gone.
+	if err := f.cloud.DeleteLoadBalancer(ctx, f.elbName); err != nil {
+		t.Fatalf("delete ELB: %v", err)
+	}
+	if err := f.cloud.DeleteLoadBalancer(ctx, f.elbName); ErrorCode(err) != ErrCodeLoadBalancerNotFound {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestRegisterDoubleRegistrationIsIdempotent(t *testing.T) {
+	f := newFixture(t, 1, FastProfile())
+	ctx := context.Background()
+	waitFor(t, 5e9, "1 in-service", func() bool { return len(f.inService(t)) == 1 })
+	id := f.inService(t)[0].ID
+	for i := 0; i < 3; i++ {
+		if err := f.cloud.RegisterInstancesWithLoadBalancer(ctx, f.elbName, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elb, err := f.cloud.DescribeLoadBalancer(ctx, f.elbName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, r := range elb.Instances {
+		if r == id {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("instance registered %d times", n)
+	}
+}
+
+func TestLaunchConfigDeletionAndASGValidation(t *testing.T) {
+	f := newFixture(t, 1, FastProfile())
+	ctx := context.Background()
+	if err := f.cloud.DeleteLaunchConfiguration(ctx, "nope"); ErrorCode(err) != ErrCodeLaunchConfigNotFound {
+		t.Errorf("delete missing LC: %v", err)
+	}
+	// ASG referencing an unknown ELB.
+	err := f.cloud.CreateAutoScalingGroup(ctx, ASG{
+		Name: "g2", LaunchConfigName: f.lcName, Min: 0, Max: 1, Desired: 0,
+		LoadBalancers: []string{"ghost-elb"},
+	})
+	if ErrorCode(err) != ErrCodeLoadBalancerNotFound {
+		t.Errorf("ASG with ghost ELB: %v", err)
+	}
+	// ASG with empty name.
+	if err := f.cloud.CreateAutoScalingGroup(ctx, ASG{LaunchConfigName: f.lcName, Max: 1}); ErrorCode(err) != ErrCodeValidationError {
+		t.Errorf("ASG with empty name: %v", err)
+	}
+	// Duplicate ASG.
+	if err := f.cloud.CreateAutoScalingGroup(ctx, ASG{Name: f.asgName, LaunchConfigName: f.lcName, Max: 1}); ErrorCode(err) != ErrCodeAlreadyExists {
+		t.Errorf("duplicate ASG: %v", err)
+	}
+	// Update with unknown LC.
+	if err := f.cloud.UpdateAutoScalingGroup(ctx, f.asgName, "ghost-lc", -1, -1, -1); ErrorCode(err) != ErrCodeLaunchConfigNotFound {
+		t.Errorf("update to ghost LC: %v", err)
+	}
+	// Update producing invalid bounds.
+	if err := f.cloud.UpdateAutoScalingGroup(ctx, f.asgName, "", 5, 2, -1); ErrorCode(err) != ErrCodeValidationError {
+		t.Errorf("invalid bounds: %v", err)
+	}
+	// Update of unknown group / desired of unknown group.
+	if err := f.cloud.UpdateAutoScalingGroup(ctx, "ghost", "", -1, -1, -1); ErrorCode(err) != ErrCodeASGNotFound {
+		t.Errorf("update ghost ASG: %v", err)
+	}
+	if err := f.cloud.SetDesiredCapacity(ctx, "ghost", 1); ErrorCode(err) != ErrCodeASGNotFound {
+		t.Errorf("desired of ghost ASG: %v", err)
+	}
+}
+
+func TestTerminateEdgeCases(t *testing.T) {
+	f := newFixture(t, 1, FastProfile())
+	ctx := context.Background()
+	if err := f.cloud.TerminateInstance(ctx, "i-ghost"); ErrorCode(err) != ErrCodeInvalidInstance {
+		t.Errorf("terminate ghost: %v", err)
+	}
+	if err := f.cloud.TerminateInstanceInAutoScalingGroup(ctx, "i-ghost", false); ErrorCode(err) != ErrCodeInvalidInstance {
+		t.Errorf("asg-terminate ghost: %v", err)
+	}
+	if _, err := f.cloud.DescribeScalingActivities(ctx, "ghost"); ErrorCode(err) != ErrCodeASGNotFound {
+		t.Errorf("activities of ghost: %v", err)
+	}
+}
+
+func TestKeyPairAndImageEdgeCases(t *testing.T) {
+	f := newFixture(t, 1, FastProfile())
+	ctx := context.Background()
+	if err := f.cloud.ImportKeyPair(ctx, f.keyName); ErrorCode(err) != ErrCodeAlreadyExists {
+		t.Errorf("duplicate key: %v", err)
+	}
+	if err := f.cloud.DeleteKeyPair(ctx, "nope"); ErrorCode(err) != ErrCodeInvalidKeyPair {
+		t.Errorf("delete missing key: %v", err)
+	}
+	if _, err := f.cloud.CreateSecurityGroup(ctx, f.sgName, nil); ErrorCode(err) != ErrCodeAlreadyExists {
+		t.Errorf("duplicate sg: %v", err)
+	}
+	if err := f.cloud.DeleteSecurityGroup(ctx, "nope"); ErrorCode(err) != ErrCodeInvalidGroupNotFound {
+		t.Errorf("delete missing sg: %v", err)
+	}
+	if err := f.cloud.DeregisterImage(ctx, "ami-ghost"); ErrorCode(err) != ErrCodeInvalidAMINotFound {
+		t.Errorf("deregister ghost ami: %v", err)
+	}
+	// Double deregistration.
+	if err := f.cloud.DeregisterImage(ctx, f.amiV1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.cloud.DeregisterImage(ctx, f.amiV1); ErrorCode(err) != ErrCodeInvalidAMINotFound {
+		t.Errorf("double deregister: %v", err)
+	}
+}
+
+func TestDeleteASGUnknown(t *testing.T) {
+	f := newFixture(t, 1, FastProfile())
+	if err := f.cloud.DeleteAutoScalingGroup(context.Background(), "ghost"); ErrorCode(err) != ErrCodeASGNotFound {
+		t.Errorf("delete ghost ASG: %v", err)
+	}
+}

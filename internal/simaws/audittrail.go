@@ -1,0 +1,91 @@
+package simaws
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// AuditTrail models CloudTrail (§VII of the paper): a log of every
+// mutating API call on the account, delivered with a configurable delay —
+// the paper measured up to 15 minutes between a call and its CloudTrail
+// record appearing, which made the product unusable for online diagnosis.
+// The simulator reproduces exactly that trade-off: records become visible
+// to LookupEvents only DeliveryDelay after the call.
+type AuditTrail struct {
+	mu      sync.Mutex
+	delay   time.Duration
+	records []AuditRecord
+	enabled bool
+}
+
+// AuditRecord is one API-call log entry.
+type AuditRecord struct {
+	// At is when the call happened.
+	At time.Time `json:"eventTime"`
+	// VisibleAt is when the record becomes queryable.
+	VisibleAt time.Time `json:"-"`
+	// Op is the API operation, e.g. "TerminateInstances".
+	Op string `json:"eventName"`
+	// Resource is the primary resource the call touched.
+	Resource string `json:"resource"`
+	// Principal identifies the caller ("operator" for direct API use,
+	// "autoscaling" for reconciler actions).
+	Principal string `json:"userIdentity"`
+}
+
+// EnableAuditTrail turns on API-call logging with the given delivery
+// delay. Pass 0 for instant delivery (an idealized CloudTrail).
+func (c *Cloud) EnableAuditTrail(delay time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.audit.enabled = true
+	c.audit.delay = delay
+}
+
+// auditRecord appends one record. Caller must hold mu.
+func (c *Cloud) auditRecord(op, resource, principal string) {
+	if !c.audit.enabled {
+		return
+	}
+	now := c.now()
+	c.audit.records = append(c.audit.records, AuditRecord{
+		At:        now,
+		VisibleAt: now.Add(c.audit.delay),
+		Op:        op,
+		Resource:  resource,
+		Principal: principal,
+	})
+	const maxAuditRecords = 2000
+	if len(c.audit.records) > maxAuditRecords {
+		c.audit.records = append([]AuditRecord(nil), c.audit.records[len(c.audit.records)-maxAuditRecords:]...)
+	}
+}
+
+// LookupAuditEvents returns the audit records visible by now whose
+// operation matches op ("" matches all), newest first. Like CloudTrail,
+// records still within the delivery delay are silently absent.
+func (c *Cloud) LookupAuditEvents(ctx context.Context, op string) ([]AuditRecord, error) {
+	const apiOp = "LookupEvents"
+	if err := c.apiCall(ctx, apiOp); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.audit.enabled {
+		return nil, newErr(apiOp, ErrCodeValidationError, "the audit trail is not enabled")
+	}
+	now := c.now()
+	var out []AuditRecord
+	for i := len(c.audit.records) - 1; i >= 0; i-- {
+		r := c.audit.records[i]
+		if r.VisibleAt.After(now) {
+			continue
+		}
+		if op != "" && r.Op != op {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

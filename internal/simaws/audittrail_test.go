@@ -1,0 +1,126 @@
+package simaws
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/clock"
+)
+
+func auditFixture(t *testing.T, delay time.Duration) (*Cloud, string) {
+	t.Helper()
+	clk := clock.NewScaled(1000, time.Unix(0, 0))
+	c := New(clk, FastProfile(), WithSeed(4))
+	c.EnableAuditTrail(delay)
+	c.Start()
+	t.Cleanup(c.Stop)
+	ctx := context.Background()
+	ami, _ := c.RegisterImage(ctx, "x", "v1", nil)
+	_ = c.ImportKeyPair(ctx, "k")
+	_, _ = c.CreateSecurityGroup(ctx, "s", nil)
+	_ = c.CreateLaunchConfiguration(ctx, LaunchConfig{Name: "lc", ImageID: ami, KeyName: "k", SecurityGroups: []string{"s"}})
+	_ = c.CreateAutoScalingGroup(ctx, ASG{Name: "g", LaunchConfigName: "lc", Min: 0, Max: 4, Desired: 1})
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		insts, err := c.DescribeInstances(ctx)
+		if err == nil {
+			for _, i := range insts {
+				if i.State == StateInService {
+					return c, i.ID
+				}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("instance never in service")
+	return nil, ""
+}
+
+func TestAuditTrailDisabledByDefault(t *testing.T) {
+	clk := clock.NewScaled(1000, time.Unix(0, 0))
+	c := New(clk, FastProfile(), WithSeed(4))
+	c.Start()
+	defer c.Stop()
+	_, err := c.LookupAuditEvents(context.Background(), "")
+	if ErrorCode(err) != ErrCodeValidationError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAuditTrailRecordsTerminations(t *testing.T) {
+	c, victim := auditFixture(t, 0)
+	ctx := context.Background()
+	if err := c.TerminateInstance(ctx, victim); err != nil {
+		t.Fatal(err)
+	}
+	records, err := c.LookupAuditEvents(ctx, "TerminateInstances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("records = %d", len(records))
+	}
+	r := records[0]
+	if r.Resource != victim || r.Principal != "operator" {
+		t.Fatalf("record = %+v", r)
+	}
+}
+
+func TestAuditTrailDeliveryDelayHidesRecentCalls(t *testing.T) {
+	// 15 minutes of simulated delivery delay — the paper's CloudTrail.
+	c, victim := auditFixture(t, 15*time.Minute)
+	ctx := context.Background()
+	if err := c.TerminateInstance(ctx, victim); err != nil {
+		t.Fatal(err)
+	}
+	records, err := c.LookupAuditEvents(ctx, "TerminateInstances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 {
+		t.Fatalf("recent record visible despite delay: %+v", records)
+	}
+	// After the delay elapses (15min sim = 900ms wall at 1000x) the
+	// record appears.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		records, err = c.LookupAuditEvents(ctx, "TerminateInstances")
+		if err == nil && len(records) == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("record never delivered")
+}
+
+func TestAuditTrailFiltersByOperation(t *testing.T) {
+	c, _ := auditFixture(t, 0)
+	ctx := context.Background()
+	_ = c.SetDesiredCapacity(ctx, "g", 2)
+	records, err := c.LookupAuditEvents(ctx, "SetDesiredCapacity")
+	if err != nil || len(records) != 1 {
+		t.Fatalf("records = %v err = %v", records, err)
+	}
+	all, err := c.LookupAuditEvents(ctx, "")
+	if err != nil || len(all) < 1 {
+		t.Fatalf("all = %v err = %v", all, err)
+	}
+}
+
+func TestAuditTrailDistinguishesPrincipals(t *testing.T) {
+	c, victim := auditFixture(t, 0)
+	ctx := context.Background()
+	// Termination through the operation process carries a different
+	// principal than direct operator API use.
+	if err := c.TerminateInstanceInAutoScalingGroup(ctx, victim, false); err != nil {
+		t.Fatal(err)
+	}
+	records, err := c.LookupAuditEvents(ctx, "TerminateInstanceInAutoScalingGroup")
+	if err != nil || len(records) != 1 {
+		t.Fatalf("records = %v err = %v", records, err)
+	}
+	if records[0].Principal != "operation-process" {
+		t.Fatalf("principal = %s", records[0].Principal)
+	}
+}

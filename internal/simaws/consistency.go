@@ -1,0 +1,134 @@
+package simaws
+
+import "time"
+
+// Eventual consistency model: the reconciler records a full deep-copy
+// snapshot of account state every tick. Describe* calls are served either
+// from live state or — with probability Profile.StaleProb — from the most
+// recent snapshot older than a sampled lag. This reproduces the behaviour
+// the paper's "consistent AWS API layer" (§IV) exists to mask: reads that
+// do not yet reflect a recently acknowledged mutation.
+
+// snapshot is an immutable deep copy of the whole account at one instant.
+type snapshot struct {
+	at        time.Time
+	images    map[string]Image
+	keyPairs  map[string]KeyPair
+	sgs       map[string]SecurityGroup
+	lcs       map[string]LaunchConfig
+	asgs      map[string]ASG
+	elbs      map[string]LoadBalancer
+	instances map[string]Instance
+}
+
+// maxSnapshotAge bounds the retained history.
+const maxSnapshotAge = 30 * time.Second
+
+// captureSnapshot deep-copies current state. Caller must hold mu.
+func (c *Cloud) captureSnapshot() snapshot {
+	s := snapshot{
+		at:        c.now(),
+		images:    make(map[string]Image, len(c.images)),
+		keyPairs:  make(map[string]KeyPair, len(c.keyPairs)),
+		sgs:       make(map[string]SecurityGroup, len(c.sgs)),
+		lcs:       make(map[string]LaunchConfig, len(c.lcs)),
+		asgs:      make(map[string]ASG, len(c.asgs)),
+		elbs:      make(map[string]LoadBalancer, len(c.elbs)),
+		instances: make(map[string]Instance, len(c.instances)),
+	}
+	for id, v := range c.images {
+		s.images[id] = copyImage(v)
+	}
+	for id, v := range c.keyPairs {
+		s.keyPairs[id] = *v
+	}
+	for id, v := range c.sgs {
+		s.sgs[id] = copySG(v)
+	}
+	for id, v := range c.lcs {
+		s.lcs[id] = copyLC(v)
+	}
+	for id, v := range c.asgs {
+		s.asgs[id] = copyASG(v)
+	}
+	for id, v := range c.elbs {
+		s.elbs[id] = copyELB(v)
+	}
+	for id, v := range c.instances {
+		s.instances[id] = copyInstance(v)
+	}
+	return s
+}
+
+// recordSnapshot appends a snapshot and prunes old history. Caller must
+// hold mu.
+func (c *Cloud) recordSnapshot() {
+	s := c.captureSnapshot()
+	c.snapshots = append(c.snapshots, s)
+	cutoff := s.at.Add(-maxSnapshotAge)
+	firstKept := 0
+	for firstKept < len(c.snapshots)-1 && c.snapshots[firstKept].at.Before(cutoff) {
+		firstKept++
+	}
+	if firstKept > 0 {
+		c.snapshots = append([]snapshot(nil), c.snapshots[firstKept:]...)
+	}
+}
+
+// view returns the state a describe call observes: usually live state,
+// sometimes a stale snapshot. Caller must hold mu; the returned snapshot
+// is safe to read after releasing mu.
+func (c *Cloud) view() snapshot {
+	if c.profile.StaleProb > 0 && len(c.snapshots) > 0 && c.rng.Float64() < c.profile.StaleProb {
+		lag := c.profile.StaleLag.Sample(c.rng)
+		target := c.now().Add(-lag)
+		// Newest snapshot at or before target; fall back to oldest.
+		best := c.snapshots[0]
+		for _, s := range c.snapshots {
+			if !s.at.After(target) {
+				best = s
+			}
+		}
+		return best
+	}
+	return c.captureSnapshot()
+}
+
+func copyImage(v *Image) Image {
+	out := *v
+	out.Services = append([]string(nil), v.Services...)
+	return out
+}
+
+func copySG(v *SecurityGroup) SecurityGroup {
+	out := *v
+	out.IngressPorts = append([]int(nil), v.IngressPorts...)
+	return out
+}
+
+func copyLC(v *LaunchConfig) LaunchConfig {
+	out := *v
+	out.SecurityGroups = append([]string(nil), v.SecurityGroups...)
+	return out
+}
+
+func copyASG(v *ASG) ASG {
+	out := *v
+	out.LoadBalancers = append([]string(nil), v.LoadBalancers...)
+	out.Instances = append([]string(nil), v.Instances...)
+	out.Activities = append([]Activity(nil), v.Activities...)
+	return out
+}
+
+func copyELB(v *LoadBalancer) LoadBalancer {
+	out := *v
+	out.Instances = append([]string(nil), v.Instances...)
+	return out
+}
+
+func copyInstance(v *Instance) Instance {
+	out := *v
+	out.Services = append([]string(nil), v.Services...)
+	out.SecurityGroups = append([]string(nil), v.SecurityGroups...)
+	return out
+}

@@ -1,0 +1,80 @@
+package simaws
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AWS-style API error codes returned by the simulator. The names mirror the
+// real EC2/ASG/ELB error code vocabulary so that fault trees and assertions
+// can key off them exactly as the paper's implementation keyed off AWS
+// error codes.
+const (
+	ErrCodeThrottling            = "Throttling"
+	ErrCodeRequestLimitExceeded  = "RequestLimitExceeded"
+	ErrCodeInvalidAMINotFound    = "InvalidAMIID.NotFound"
+	ErrCodeInvalidKeyPair        = "InvalidKeyPair.NotFound"
+	ErrCodeInvalidGroupNotFound  = "InvalidGroup.NotFound"
+	ErrCodeInvalidInstance       = "InvalidInstanceID.NotFound"
+	ErrCodeLaunchConfigNotFound  = "LaunchConfigurationNotFound"
+	ErrCodeASGNotFound           = "AutoScalingGroupNotFound"
+	ErrCodeLoadBalancerNotFound  = "LoadBalancerNotFound"
+	ErrCodeServiceUnavailable    = "ServiceUnavailable"
+	ErrCodeInstanceLimitExceeded = "InstanceLimitExceeded"
+	ErrCodeValidationError       = "ValidationError"
+	ErrCodeAlreadyExists         = "AlreadyExists"
+)
+
+// APIError is an AWS-style error with a machine-readable code.
+type APIError struct {
+	// Code is one of the ErrCode* constants.
+	Code string
+	// Op is the API operation that failed, e.g. "DescribeAutoScalingGroups".
+	Op string
+	// Message is a human-readable explanation.
+	Message string
+}
+
+var _ error = (*APIError)(nil)
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("%s: %s: %s", e.Op, e.Code, e.Message)
+}
+
+// newErr builds an APIError.
+func newErr(op, code, format string, args ...any) *APIError {
+	return &APIError{Code: code, Op: op, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrorCode extracts the AWS error code from err, or "" if err is not an
+// APIError.
+func ErrorCode(err error) string {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Code
+	}
+	return ""
+}
+
+// IsNotFound reports whether err is any of the *.NotFound family of codes.
+func IsNotFound(err error) bool {
+	switch ErrorCode(err) {
+	case ErrCodeInvalidAMINotFound, ErrCodeInvalidKeyPair,
+		ErrCodeInvalidGroupNotFound, ErrCodeInvalidInstance,
+		ErrCodeLaunchConfigNotFound, ErrCodeASGNotFound,
+		ErrCodeLoadBalancerNotFound:
+		return true
+	}
+	return false
+}
+
+// IsRetryable reports whether err represents a transient condition that a
+// caller (notably the consistent API layer) should retry.
+func IsRetryable(err error) bool {
+	switch ErrorCode(err) {
+	case ErrCodeThrottling, ErrCodeRequestLimitExceeded, ErrCodeServiceUnavailable:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package simaws
+
+import (
+	"time"
+
+	"poddiagnosis/internal/clock"
+)
+
+// Profile configures the timing and reliability characteristics of the
+// simulated cloud. Two presets are provided: Fast (unit tests) and Paper
+// (calibrated against the latencies visible in the paper's log excerpts,
+// where individual diagnostic API checks take ~70-90 ms).
+type Profile struct {
+	// APILatency is the latency of every API call.
+	APILatency clock.Dist
+	// BootTime is how long an instance stays pending before in-service.
+	BootTime clock.Dist
+	// TerminateTime is how long termination takes.
+	TerminateTime clock.Dist
+	// TickInterval is the reconciler period (also the snapshot cadence
+	// for eventual consistency).
+	TickInterval time.Duration
+	// StaleProb is the probability that a describe call is served from a
+	// stale snapshot instead of live state.
+	StaleProb float64
+	// StaleLag is how far behind a stale read lags.
+	StaleLag clock.Dist
+	// RatePerSecond and RateBurst configure the account-level API token
+	// bucket. RatePerSecond of zero disables throttling.
+	RatePerSecond float64
+	RateBurst     float64
+	// InstanceLimit is the account-wide cap on live instances. Zero means
+	// unlimited.
+	InstanceLimit int
+}
+
+// FastProfile returns a profile tuned for unit tests: sub-millisecond
+// latencies, no staleness, no throttling.
+func FastProfile() Profile {
+	return Profile{
+		APILatency:    clock.Fixed(0),
+		BootTime:      clock.Fixed(10 * time.Millisecond),
+		TerminateTime: clock.Fixed(5 * time.Millisecond),
+		TickInterval:  time.Millisecond,
+	}
+}
+
+// PaperProfile returns a profile calibrated to the paper's environment:
+// ~80 ms API calls (the diagnosis log in §III.B.4 shows successive checks
+// ~70-90 ms apart), minutes-scale instance boot ("the time taken by the
+// replacement process for one instance is usually in the order of
+// minutes"), mild eventual consistency, and an account instance limit that
+// a co-tenant team can exhaust (§VI.A). Durations are in simulated time;
+// run the cloud on a scaled clock to execute quickly.
+func PaperProfile() Profile {
+	return Profile{
+		APILatency:    clock.Dist{Mean: 80 * time.Millisecond, StdDev: 25 * time.Millisecond, Min: 30 * time.Millisecond, Max: 400 * time.Millisecond},
+		BootTime:      clock.Dist{Mean: 90 * time.Second, StdDev: 20 * time.Second, Min: 45 * time.Second, Max: 180 * time.Second},
+		TerminateTime: clock.Dist{Mean: 20 * time.Second, StdDev: 5 * time.Second, Min: 8 * time.Second, Max: 45 * time.Second},
+		TickInterval:  time.Second,
+		StaleProb:     0.08,
+		StaleLag:      clock.Dist{Mean: 3 * time.Second, StdDev: 2 * time.Second, Min: time.Second, Max: 10 * time.Second},
+		RatePerSecond: 50,
+		RateBurst:     100,
+		InstanceLimit: 40,
+	}
+}

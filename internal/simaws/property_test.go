@@ -1,0 +1,139 @@
+package simaws
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"poddiagnosis/internal/clock"
+)
+
+// TestTokenBucketNeverExceedsBudget: over any sequence of allow calls the
+// bucket grants at most burst + rate*elapsed tokens.
+func TestTokenBucketNeverExceedsBudget(t *testing.T) {
+	f := func(calls uint8) bool {
+		clk := clock.NewScaled(10000, time.Unix(0, 0))
+		b := newTokenBucket(10, 5, clk)
+		start := clk.Now()
+		granted := 0
+		for i := 0; i < int(calls); i++ {
+			if b.allow(1) {
+				granted++
+			}
+		}
+		elapsed := clk.Since(start).Seconds()
+		budget := 5 + 10*elapsed + 1 // +1 slack for boundary sampling
+		return float64(granted) <= budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenBucketRefills(t *testing.T) {
+	clk := clock.NewScaled(10000, time.Unix(0, 0)) // very fast sim time
+	b := newTokenBucket(100, 2, clk)
+	if !b.allow(1) || !b.allow(1) {
+		t.Fatal("burst not granted")
+	}
+	if b.allow(1) {
+		t.Fatal("over-burst granted instantly")
+	}
+	// 10ms wall = 100s sim => plenty of refill.
+	time.Sleep(10 * time.Millisecond)
+	if !b.allow(1) {
+		t.Fatal("no refill")
+	}
+}
+
+func TestZeroRateBucketAlwaysAllows(t *testing.T) {
+	clk := clock.NewReal()
+	b := newTokenBucket(0, 0, clk)
+	for i := 0; i < 1000; i++ {
+		if !b.allow(1) {
+			t.Fatal("zero-rate bucket denied")
+		}
+	}
+}
+
+// TestSnapshotHistoryBounded: the eventual-consistency ring never retains
+// snapshots older than the window.
+func TestSnapshotHistoryBounded(t *testing.T) {
+	clk := clock.NewScaled(5000, time.Unix(0, 0))
+	profile := FastProfile()
+	profile.TickInterval = 50 * time.Millisecond
+	c := New(clk, profile, WithSeed(1))
+	c.Start()
+	defer c.Stop()
+	// Run long enough (in sim time) that pruning must happen.
+	time.Sleep(50 * time.Millisecond) // = 250s sim, >> 30s window
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.snapshots) == 0 {
+		t.Fatal("no snapshots recorded")
+	}
+	// Pruning happens per tick; under scheduler contention a tick can be
+	// late by many simulated seconds, so allow a generous margin.
+	oldest := c.snapshots[0].at
+	if clk.Since(oldest) > maxSnapshotAge+90*time.Second {
+		t.Fatalf("oldest snapshot is %v old", clk.Since(oldest))
+	}
+}
+
+// TestDescribeReturnsCopies: mutating a describe result must not affect
+// cloud state.
+func TestDescribeReturnsCopies(t *testing.T) {
+	clk := clock.NewScaled(1000, time.Unix(0, 0))
+	c := New(clk, FastProfile(), WithSeed(1))
+	c.Start()
+	defer c.Stop()
+	ctx := context.Background()
+	ami, err := c.RegisterImage(ctx, "x", "v1", []string{"svc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := c.DescribeImage(ctx, ami)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Services[0] = "mutated"
+	img.Version = "hacked"
+	again, err := c.DescribeImage(ctx, ami)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Services[0] != "svc" || again.Version != "v1" {
+		t.Fatal("describe leaked internal state")
+	}
+}
+
+// TestActivityHistoryCapped: the scaling activity log stays bounded even
+// under perpetual launch failures.
+func TestActivityHistoryCapped(t *testing.T) {
+	clk := clock.NewScaled(20000, time.Unix(0, 0))
+	profile := FastProfile()
+	profile.TickInterval = 100 * time.Millisecond
+	c := New(clk, profile, WithSeed(1))
+	c.Start()
+	defer c.Stop()
+	ctx := context.Background()
+	ami, _ := c.RegisterImage(ctx, "x", "v1", nil)
+	_ = c.ImportKeyPair(ctx, "k")
+	_, _ = c.CreateSecurityGroup(ctx, "s", nil)
+	_ = c.CreateLaunchConfiguration(ctx, LaunchConfig{Name: "lc", ImageID: ami, KeyName: "k", SecurityGroups: []string{"s"}})
+	_ = c.CreateAutoScalingGroup(ctx, ASG{Name: "g", LaunchConfigName: "lc", Min: 0, Max: 4, Desired: 2})
+	// Break launches forever.
+	_ = c.DeregisterImage(ctx, ami)
+	time.Sleep(100 * time.Millisecond) // huge sim-time span of failures
+	acts, err := c.DescribeScalingActivities(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) > 200 {
+		t.Fatalf("activity history unbounded: %d", len(acts))
+	}
+	if len(acts) == 0 {
+		t.Fatal("no failure activities recorded")
+	}
+}

@@ -1,0 +1,185 @@
+package simaws
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// launchRetryInterval paces repeated launch attempts after a failure, so a
+// broken launch configuration produces a steady trickle of Failed
+// activities rather than one per tick.
+const launchRetryInterval = 10 * time.Second
+
+// tick advances instance lifecycles and reconciles every ASG toward its
+// desired capacity, then records an eventual-consistency snapshot.
+func (c *Cloud) tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+
+	// Instance lifecycle transitions.
+	for _, inst := range c.instances {
+		switch inst.State {
+		case StatePending:
+			if !now.Before(inst.ReadyAt) {
+				inst.State = StateInService
+				if asg, ok := c.asgs[inst.ASGName]; ok {
+					c.addActivity(asg, ActivitySuccessful,
+						fmt.Sprintf("Launching a new EC2 instance: %s", inst.ID),
+						"an instance was started in response to a difference between desired and actual capacity",
+						"")
+				}
+				c.publish(fmt.Sprintf("instance %s is now in-service", inst.ID),
+					map[string]string{"instanceid": inst.ID, "amiid": inst.ImageID})
+			}
+		case StateTerminating:
+			if !now.Before(inst.TerminateAt) {
+				inst.State = StateTerminated
+				c.publish(fmt.Sprintf("instance %s terminated", inst.ID),
+					map[string]string{"instanceid": inst.ID})
+			}
+		}
+	}
+
+	// ASG reconciliation.
+	names := make([]string, 0, len(c.asgs))
+	for name := range c.asgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c.reconcileASG(c.asgs[name], now)
+	}
+
+	c.recordSnapshot()
+}
+
+// reconcileASG refreshes membership, launches replacements toward desired
+// capacity, scales in excess instances, and keeps ELB registration in sync.
+// Caller must hold mu.
+func (c *Cloud) reconcileASG(asg *ASG, now time.Time) {
+	// Rebuild membership from instance records (live members only).
+	var members []*Instance
+	for _, inst := range c.instances {
+		if inst.ASGName == asg.Name && (inst.State == StatePending || inst.State == StateInService) {
+			members = append(members, inst)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+	asg.Instances = asg.Instances[:0]
+	for _, m := range members {
+		asg.Instances = append(asg.Instances, m.ID)
+	}
+
+	switch {
+	case len(members) < asg.Desired:
+		if backoffUntil, ok := c.launchBackoff[asg.Name]; ok && now.Before(backoffUntil) {
+			break
+		}
+		for i := len(members); i < asg.Desired; i++ {
+			if !c.launchForASG(asg) {
+				c.launchBackoff[asg.Name] = now.Add(launchRetryInterval)
+				break
+			}
+		}
+	case len(members) > asg.Desired:
+		c.scaleIn(asg, members, len(members)-asg.Desired)
+	}
+
+	// ELB registration reconciliation: every in-service member should be
+	// registered with every attached load balancer.
+	if !c.elbDisrupted {
+		for _, lbName := range asg.LoadBalancers {
+			elb, ok := c.elbs[lbName]
+			if !ok {
+				continue
+			}
+			for _, m := range members {
+				if m.State == StateInService && !containsString(elb.Instances, m.ID) {
+					elb.Instances = append(elb.Instances, m.ID)
+				}
+			}
+		}
+	}
+}
+
+// launchForASG attempts to launch one instance for the group, recording a
+// Failed activity and returning false when the launch cannot proceed.
+// Caller must hold mu.
+func (c *Cloud) launchForASG(asg *ASG) bool {
+	fail := func(code, format string, args ...any) bool {
+		msg := fmt.Sprintf(format, args...)
+		c.addActivity(asg, ActivityFailed, "Launching a new EC2 instance",
+			"an instance was started in response to a difference between desired and actual capacity",
+			code+": "+msg)
+		return false
+	}
+	if c.atLimit() {
+		return fail(ErrCodeInstanceLimitExceeded,
+			"you have requested more instances than your current instance limit of %d allows",
+			c.profile.InstanceLimit)
+	}
+	lc, ok := c.lcs[asg.LaunchConfigName]
+	if !ok {
+		return fail(ErrCodeLaunchConfigNotFound, "launch configuration %q not found", asg.LaunchConfigName)
+	}
+	img, ok := c.images[lc.ImageID]
+	if !ok || !img.Available {
+		return fail(ErrCodeInvalidAMINotFound, "the image id %q does not exist", lc.ImageID)
+	}
+	if _, ok := c.keyPairs[lc.KeyName]; !ok {
+		return fail(ErrCodeInvalidKeyPair, "the key pair %q does not exist", lc.KeyName)
+	}
+	for _, sg := range lc.SecurityGroups {
+		if _, ok := c.sgs[sg]; !ok {
+			return fail(ErrCodeInvalidGroupNotFound, "the security group %q does not exist", sg)
+		}
+	}
+
+	id := c.newID("i")
+	now := c.now()
+	inst := &Instance{
+		ID:               id,
+		ImageID:          lc.ImageID,
+		Version:          img.Version,
+		Services:         append([]string(nil), img.Services...),
+		KeyName:          lc.KeyName,
+		SecurityGroups:   append([]string(nil), lc.SecurityGroups...),
+		InstanceType:     lc.InstanceType,
+		LaunchConfigName: lc.Name,
+		ASGName:          asg.Name,
+		State:            StatePending,
+		LaunchTime:       now,
+		ReadyAt:          now.Add(c.profile.BootTime.Sample(c.rng)),
+	}
+	c.instances[id] = inst
+	asg.Instances = append(asg.Instances, id)
+	c.addActivity(asg, ActivityInProgress,
+		fmt.Sprintf("Launching a new EC2 instance: %s", id),
+		"an instance was started in response to a difference between desired and actual capacity", "")
+	return true
+}
+
+// scaleIn terminates count excess members. Following the AWS default
+// termination policy, instances launched from a launch configuration other
+// than the group's current one go first, then the oldest instances.
+// Caller must hold mu.
+func (c *Cloud) scaleIn(asg *ASG, members []*Instance, count int) {
+	sorted := append([]*Instance(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		aOld := a.LaunchConfigName != asg.LaunchConfigName
+		bOld := b.LaunchConfigName != asg.LaunchConfigName
+		if aOld != bOld {
+			return aOld
+		}
+		if !a.LaunchTime.Equal(b.LaunchTime) {
+			return a.LaunchTime.Before(b.LaunchTime)
+		}
+		return a.ID < b.ID
+	})
+	for i := 0; i < count && i < len(sorted); i++ {
+		c.beginTerminate(sorted[i], "a difference between desired and actual capacity shrinking the group")
+	}
+}

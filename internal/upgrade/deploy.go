@@ -1,0 +1,125 @@
+package upgrade
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"poddiagnosis/internal/simaws"
+)
+
+// AppServices are the components of the paper's evaluation application: a
+// distributed log monitoring stack (§V.B).
+var AppServices = []string{"redis", "logstash", "elasticsearch", "kibana"}
+
+// Cluster records the cloud resources of one deployed application cluster.
+type Cluster struct {
+	// AppName is the application label, e.g. "pm".
+	AppName string
+	// Size is the desired instance count.
+	Size int
+	// ImageID is the currently deployed AMI.
+	ImageID string
+	// Version is the application version of that AMI.
+	Version string
+	// KeyName, SGName, LCName, ELBName and ASGName identify the
+	// supporting resources.
+	KeyName string
+	SGName  string
+	LCName  string
+	ELBName string
+	ASGName string
+}
+
+// Deploy provisions a complete application cluster: AMI, key pair,
+// security group, launch configuration, ELB, and an ASG that will launch
+// size instances. It does not wait for the instances; use WaitReady.
+func Deploy(ctx context.Context, cloud *simaws.Cloud, appName string, size int, version string) (*Cluster, error) {
+	c := &Cluster{
+		AppName: appName,
+		Size:    size,
+		Version: version,
+		KeyName: appName + "-key",
+		SGName:  appName + "-sg",
+		ELBName: appName + "-elb",
+		ASGName: appName + "--asg",
+	}
+	ami, err := cloud.RegisterImage(ctx, appName+"-"+version, version, AppServices)
+	if err != nil {
+		return nil, fmt.Errorf("upgrade: deploy %s: %w", appName, err)
+	}
+	c.ImageID = ami
+	c.LCName = fmt.Sprintf("%s-lc-%s", c.ASGName, ami)
+	if err := cloud.ImportKeyPair(ctx, c.KeyName); err != nil {
+		return nil, fmt.Errorf("upgrade: deploy %s: %w", appName, err)
+	}
+	if _, err := cloud.CreateSecurityGroup(ctx, c.SGName, []int{22, 80, 6379, 9200}); err != nil {
+		return nil, fmt.Errorf("upgrade: deploy %s: %w", appName, err)
+	}
+	if err := cloud.CreateLaunchConfiguration(ctx, simaws.LaunchConfig{
+		Name:           c.LCName,
+		ImageID:        ami,
+		KeyName:        c.KeyName,
+		SecurityGroups: []string{c.SGName},
+		InstanceType:   "m1.small",
+	}); err != nil {
+		return nil, fmt.Errorf("upgrade: deploy %s: %w", appName, err)
+	}
+	if err := cloud.CreateLoadBalancer(ctx, c.ELBName); err != nil {
+		return nil, fmt.Errorf("upgrade: deploy %s: %w", appName, err)
+	}
+	if err := cloud.CreateAutoScalingGroup(ctx, simaws.ASG{
+		Name:             c.ASGName,
+		LaunchConfigName: c.LCName,
+		Min:              0,
+		Max:              size * 3,
+		Desired:          size,
+		LoadBalancers:    []string{c.ELBName},
+	}); err != nil {
+		return nil, fmt.Errorf("upgrade: deploy %s: %w", appName, err)
+	}
+	return c, nil
+}
+
+// WaitReady blocks until the cluster has Size in-service instances
+// registered with the ELB, or the timeout elapses.
+func (c *Cluster) WaitReady(ctx context.Context, cloud *simaws.Cloud, timeout time.Duration) error {
+	clk := cloud.Clock()
+	deadline := clk.Now().Add(timeout)
+	for {
+		if clk.Now().After(deadline) {
+			return fmt.Errorf("upgrade: cluster %s not ready after %v", c.AppName, timeout)
+		}
+		health, err := cloud.DescribeInstanceHealth(ctx, c.ELBName)
+		if err == nil {
+			ready := 0
+			for _, h := range health {
+				if h.State == "InService" {
+					ready++
+				}
+			}
+			if ready >= c.Size {
+				return nil
+			}
+		} else if !simaws.IsRetryable(err) && !simaws.IsNotFound(err) {
+			// NotFound can be an eventually-consistent read of a
+			// just-created resource; keep polling.
+			return fmt.Errorf("upgrade: waiting for cluster %s: %w", c.AppName, err)
+		}
+		if err := clk.Sleep(ctx, time.Second); err != nil {
+			return err
+		}
+	}
+}
+
+// UpgradeSpec returns a Spec that upgrades the cluster to the given image,
+// with the given task id.
+func (c *Cluster) UpgradeSpec(taskID, newImageID string) Spec {
+	return Spec{
+		TaskID:     taskID,
+		AppName:    c.AppName,
+		ASGName:    c.ASGName,
+		ELBName:    c.ELBName,
+		NewImageID: newImageID,
+	}
+}

@@ -1,0 +1,153 @@
+package upgrade
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"poddiagnosis/internal/simaws"
+)
+
+// ScaleOutSpec describes one scale-out task: grow the group to Target
+// in-service instances.
+type ScaleOutSpec struct {
+	// TaskID is the process instance id.
+	TaskID string
+	// ASGName is the group to grow.
+	ASGName string
+	// ELBName is the load balancer fronting the group.
+	ELBName string
+	// Target is the new desired capacity.
+	Target int
+	// WaitTimeout bounds the wait for each joining instance. Defaults to
+	// 6 minutes.
+	WaitTimeout time.Duration
+	// PollInterval is the join polling cadence. Defaults to 5 s.
+	PollInterval time.Duration
+}
+
+func (s *ScaleOutSpec) withDefaults() ScaleOutSpec {
+	out := *s
+	if out.WaitTimeout <= 0 {
+		out.WaitTimeout = 6 * time.Minute
+	}
+	if out.PollInterval <= 0 {
+		out.PollInterval = 5 * time.Second
+	}
+	return out
+}
+
+// RunScaleOut executes the scale-out process: record the starting size,
+// request the new desired capacity, then loop until Target instances are
+// in service and registered, logging each join. The emitted vocabulary
+// matches process.ScaleOutModel.
+func (u *Upgrader) RunScaleOut(ctx context.Context, spec ScaleOutSpec) *Report {
+	spec = spec.withDefaults()
+	rep := &Report{TaskID: spec.TaskID, Started: u.clk.Now()}
+	rep.Err = u.runScaleOut(ctx, spec, rep)
+	rep.Finished = u.clk.Now()
+	return rep
+}
+
+func (u *Upgrader) runScaleOut(ctx context.Context, spec ScaleOutSpec, rep *Report) error {
+	failSO := func(format string, args ...any) error {
+		msg := fmt.Sprintf(format, args...)
+		u.emit(spec.TaskID, "ERROR: %s", msg)
+		return fmt.Errorf("scale-out %s: %s", spec.TaskID, msg)
+	}
+
+	// sostep1: start.
+	known, err := u.inServiceSet(ctx, spec.ASGName)
+	if err != nil {
+		return failSO("listing group %s: %v", spec.ASGName, err)
+	}
+	from := len(known)
+	u.emit(spec.TaskID, "Starting scale-out of group %s from %d to %d instances", spec.ASGName, from, spec.Target)
+
+	// sostep2: request capacity.
+	if err := u.cloud.SetDesiredCapacity(ctx, spec.ASGName, spec.Target); err != nil {
+		return failSO("requesting desired capacity %d for group %s: %v", spec.Target, spec.ASGName, err)
+	}
+	u.emit(spec.TaskID, "Requested desired capacity %d for group %s", spec.Target, spec.ASGName)
+
+	// Loop: sostep3 wait, sostep4 joined, until Target in service.
+	inService := from
+	for inService < spec.Target {
+		u.emit(spec.TaskID, "Waiting for group %s to reach %d in-service instances", spec.ASGName, spec.Target)
+		id, err := u.waitForJoin(ctx, spec, known)
+		if err != nil {
+			return failSO("waiting for group %s to grow: %v", spec.ASGName, err)
+		}
+		known[id] = true
+		inService++
+		rep.NewInstances = append(rep.NewInstances, id)
+		u.emit(spec.TaskID, "Instance %s joined group %s. %d of %d instances in service.",
+			id, spec.ASGName, inService, spec.Target)
+		u.emit(spec.TaskID, "Scale-out status: %d of %d instances in service", inService, spec.Target)
+	}
+
+	// sostep5: completed.
+	u.emit(spec.TaskID, "Scale-out of group %s completed", spec.ASGName)
+	return nil
+}
+
+// inServiceSet snapshots the ids of the group's in-service instances.
+func (u *Upgrader) inServiceSet(ctx context.Context, asgName string) (map[string]bool, error) {
+	instances, err := u.cloud.DescribeInstances(ctx)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool)
+	for _, inst := range instances {
+		if inst.ASGName == asgName && inst.State == simaws.StateInService {
+			set[inst.ID] = true
+		}
+	}
+	return set, nil
+}
+
+// waitForJoin polls until one new instance is in service and registered.
+func (u *Upgrader) waitForJoin(ctx context.Context, spec ScaleOutSpec, known map[string]bool) (string, error) {
+	deadline := u.clk.Now().Add(spec.WaitTimeout)
+	for {
+		if u.clk.Now().After(deadline) {
+			return "", fmt.Errorf("%w after %v", ErrTimeout, spec.WaitTimeout)
+		}
+		if err := u.clk.Sleep(ctx, spec.PollInterval); err != nil {
+			return "", err
+		}
+		instances, err := u.cloud.DescribeInstances(ctx)
+		if err != nil {
+			if simaws.IsRetryable(err) {
+				continue
+			}
+			return "", err
+		}
+		registered := map[string]bool{}
+		if spec.ELBName != "" {
+			elb, err := u.cloud.DescribeLoadBalancer(ctx, spec.ELBName)
+			if err != nil {
+				if simaws.IsRetryable(err) || simaws.IsNotFound(err) {
+					continue
+				}
+				return "", err
+			}
+			for _, id := range elb.Instances {
+				registered[id] = true
+			}
+		}
+		var fresh []string
+		for _, inst := range instances {
+			if inst.ASGName == spec.ASGName && !known[inst.ID] &&
+				inst.State == simaws.StateInService &&
+				(spec.ELBName == "" || registered[inst.ID]) {
+				fresh = append(fresh, inst.ID)
+			}
+		}
+		if len(fresh) > 0 {
+			sort.Strings(fresh)
+			return fresh[0], nil
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package upgrade
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/process"
+)
+
+func TestScaleOutGrowsGroup(t *testing.T) {
+	e := newEnv(t, 2)
+	up := NewUpgrader(e.cloud, e.bus)
+	rep := up.RunScaleOut(e.ctx, ScaleOutSpec{
+		TaskID:  "scale-out pm--asg",
+		ASGName: e.cluster.ASGName,
+		ELBName: e.cluster.ELBName,
+		Target:  4,
+	})
+	if rep.Err != nil {
+		t.Fatalf("scale-out failed: %v", rep.Err)
+	}
+	if len(rep.NewInstances) != 2 {
+		t.Fatalf("new instances = %d", len(rep.NewInstances))
+	}
+	asg, err := e.cloud.DescribeAutoScalingGroup(e.ctx, e.cluster.ASGName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Desired != 4 {
+		t.Errorf("desired = %d", asg.Desired)
+	}
+}
+
+func TestScaleOutLogsConformToModel(t *testing.T) {
+	e := newEnv(t, 1)
+	up := NewUpgrader(e.cloud, e.bus)
+	rep := up.RunScaleOut(e.ctx, ScaleOutSpec{
+		TaskID:  "so-task",
+		ASGName: e.cluster.ASGName,
+		ELBName: e.cluster.ELBName,
+		Target:  3,
+	})
+	if rep.Err != nil {
+		t.Fatalf("scale-out failed: %v", rep.Err)
+	}
+	model := process.ScaleOutModel()
+	msgs := e.messages(t)
+	if len(msgs) == 0 {
+		t.Fatal("no logs captured")
+	}
+	for _, raw := range msgs {
+		_, _, body, ok := logging.ParseOperationLine(raw)
+		if !ok {
+			t.Fatalf("unparseable line %q", raw)
+		}
+		if _, found := model.Classify(body); !found {
+			t.Errorf("line not classified by scale-out model: %q", body)
+		}
+	}
+}
+
+func TestScaleOutFailsWhenTargetUnreachable(t *testing.T) {
+	e := newEnv(t, 1)
+	// Break launches so the group can never grow.
+	if err := e.cloud.DeregisterImage(e.ctx, e.cluster.ImageID); err != nil {
+		t.Fatal(err)
+	}
+	up := NewUpgrader(e.cloud, e.bus)
+	rep := up.RunScaleOut(e.ctx, ScaleOutSpec{
+		TaskID:      "so-broken",
+		ASGName:     e.cluster.ASGName,
+		ELBName:     e.cluster.ELBName,
+		Target:      2,
+		WaitTimeout: 30 * time.Second,
+	})
+	if rep.Err == nil {
+		t.Fatal("scale-out succeeded without launchable AMI")
+	}
+	if !strings.Contains(rep.Err.Error(), "timed out") {
+		t.Errorf("err = %v", rep.Err)
+	}
+}
+
+func TestScaleOutBeyondMaxRejected(t *testing.T) {
+	e := newEnv(t, 1)
+	up := NewUpgrader(e.cloud, e.bus)
+	rep := up.RunScaleOut(e.ctx, ScaleOutSpec{
+		TaskID:  "so-max",
+		ASGName: e.cluster.ASGName,
+		Target:  1000,
+	})
+	if rep.Err == nil {
+		t.Fatal("capacity beyond max accepted")
+	}
+}
+
+func TestScaleOutModelShape(t *testing.T) {
+	m := process.ScaleOutModel()
+	if m.ID() != process.ScaleOutModelID {
+		t.Errorf("id = %s", m.ID())
+	}
+	final := m.Node(process.NodeSOComplete)
+	if final == nil || !final.Final {
+		t.Error("completion activity not marked final")
+	}
+	// The spec text must parse against the default registry.
+	if process.ScaleOutSpecText == "" {
+		t.Fatal("no spec text")
+	}
+}

@@ -1,0 +1,310 @@
+// Package upgrade implements the operation node of the paper's case study:
+// an Asgard-style rolling upgrade orchestrator (§II) driving the simulated
+// cloud, plus the simultaneous operations used as interference in the
+// evaluation (ASG scale-in/out, random instance termination).
+//
+// The orchestrator is deliberately unaware of POD-Diagnosis: it only emits
+// Asgard-style log lines to the log bus. Error detection and diagnosis are
+// layered on top, non-intrusively, exactly as the paper prescribes.
+package upgrade
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/simaws"
+)
+
+// ErrTimeout is returned when a replacement instance does not appear in
+// time.
+var ErrTimeout = errors.New("upgrade: timed out waiting for replacement instance")
+
+// Spec describes one rolling upgrade task.
+type Spec struct {
+	// TaskID is the process instance id, e.g. "pushing pm--asg". It tags
+	// every log line of the task.
+	TaskID string
+	// AppName is the application label used in log lines (e.g. "pm").
+	AppName string
+	// ASGName is the auto scaling group to upgrade.
+	ASGName string
+	// ELBName is the load balancer fronting the group.
+	ELBName string
+	// NewImageID is the AMI of the new version.
+	NewImageID string
+	// NewLCName names the launch configuration to create; generated from
+	// the ASG and image when empty.
+	NewLCName string
+	// BatchSize is how many instances are replaced at a time (k = N-N').
+	// Defaults to 1.
+	BatchSize int
+	// WaitTimeout bounds the wait for each replacement batch. Defaults
+	// to 6 minutes (simulated).
+	WaitTimeout time.Duration
+	// PollInterval is the replacement polling cadence. Defaults to 5 s.
+	PollInterval time.Duration
+}
+
+func (s *Spec) withDefaults() Spec {
+	out := *s
+	if out.BatchSize <= 0 {
+		out.BatchSize = 1
+	}
+	if out.WaitTimeout <= 0 {
+		out.WaitTimeout = 6 * time.Minute
+	}
+	if out.PollInterval <= 0 {
+		out.PollInterval = 5 * time.Second
+	}
+	if out.NewLCName == "" {
+		out.NewLCName = fmt.Sprintf("%s-lc-%s", out.ASGName, out.NewImageID)
+	}
+	if out.AppName == "" {
+		out.AppName = out.ASGName
+	}
+	return out
+}
+
+// Report summarizes a finished (or aborted) rolling upgrade.
+type Report struct {
+	// TaskID is the process instance id.
+	TaskID string
+	// Replaced lists the old instance ids that were replaced.
+	Replaced []string
+	// NewInstances lists the replacement instance ids observed.
+	NewInstances []string
+	// Started and Finished bound the task in simulated time.
+	Started, Finished time.Time
+	// Err is the terminal error, nil on success.
+	Err error
+}
+
+// Upgrader performs rolling upgrades against a simulated cloud, logging to
+// a bus.
+type Upgrader struct {
+	cloud *simaws.Cloud
+	bus   *logging.Bus
+	clk   clock.Clock
+	host  string
+}
+
+// NewUpgrader returns an Upgrader. The bus may be nil (logs are dropped),
+// which is useful in tests that only care about cloud effects.
+func NewUpgrader(cloud *simaws.Cloud, bus *logging.Bus) *Upgrader {
+	return &Upgrader{cloud: cloud, bus: bus, clk: cloud.Clock(), host: "operation-node"}
+}
+
+// emit publishes one Asgard-style operation log line.
+func (u *Upgrader) emit(taskID, format string, args ...any) {
+	if u.bus == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	ts := u.clk.Now()
+	u.bus.Publish(logging.Event{
+		Timestamp:  ts,
+		Source:     "asgard.log",
+		SourceHost: u.host,
+		Type:       logging.TypeOperation,
+		Fields:     map[string]string{"taskid": taskID},
+		Message:    logging.FormatOperationLine(ts, taskID, msg),
+	})
+}
+
+// Run executes the rolling upgrade of Figure 2: update the launch
+// configuration, sort the old instances, then loop — deregister, terminate,
+// wait for the ASG to start a replacement, confirm it is ready and
+// registered — and finally complete. Run blocks until the task finishes,
+// fails, or ctx is cancelled.
+func (u *Upgrader) Run(ctx context.Context, spec Spec) *Report {
+	spec = spec.withDefaults()
+	rep := &Report{TaskID: spec.TaskID, Started: u.clk.Now()}
+	rep.Err = u.run(ctx, spec, rep)
+	rep.Finished = u.clk.Now()
+	return rep
+}
+
+func (u *Upgrader) run(ctx context.Context, spec Spec, rep *Report) error {
+	// Step 1: start task.
+	u.emit(spec.TaskID, "Starting rolling upgrade of group %s to image %s", spec.ASGName, spec.NewImageID)
+
+	// Step 2: update launch configuration.
+	asg, err := u.cloud.DescribeAutoScalingGroup(ctx, spec.ASGName)
+	if err != nil {
+		return u.fail(spec, "describing group %s: %v", spec.ASGName, err)
+	}
+	oldLC, err := u.cloud.DescribeLaunchConfiguration(ctx, asg.LaunchConfigName)
+	if err != nil {
+		return u.fail(spec, "describing launch configuration %s: %v", asg.LaunchConfigName, err)
+	}
+	newLC := simaws.LaunchConfig{
+		Name:           spec.NewLCName,
+		ImageID:        spec.NewImageID,
+		KeyName:        oldLC.KeyName,
+		SecurityGroups: oldLC.SecurityGroups,
+		InstanceType:   oldLC.InstanceType,
+	}
+	if err := u.cloud.CreateLaunchConfiguration(ctx, newLC); err != nil {
+		return u.fail(spec, "creating launch configuration %s: %v", newLC.Name, err)
+	}
+	u.emit(spec.TaskID, "Created launch configuration %s with image %s", newLC.Name, spec.NewImageID)
+	if err := u.cloud.UpdateAutoScalingGroup(ctx, spec.ASGName, newLC.Name, -1, -1, -1); err != nil {
+		return u.fail(spec, "updating group %s: %v", spec.ASGName, err)
+	}
+	u.emit(spec.TaskID, "Updated group %s to launch configuration %s", spec.ASGName, newLC.Name)
+
+	// Step 3: sort instances.
+	old, err := u.oldInstances(ctx, spec)
+	if err != nil {
+		return u.fail(spec, "listing instances of group %s: %v", spec.ASGName, err)
+	}
+	u.emit(spec.TaskID, "Sorted %d instances for replacement", len(old))
+
+	// Replacement loop (steps 4-7), one batch at a time.
+	total := len(old)
+	done := 0
+	for done < total {
+		batch := old[done:min(done+spec.BatchSize, total)]
+		known, err := u.memberSet(ctx, spec.ASGName)
+		if err != nil {
+			return u.fail(spec, "listing group members: %v", err)
+		}
+		for _, inst := range batch {
+			// Step 4: remove and deregister from ELB.
+			if err := u.cloud.DeregisterInstancesFromLoadBalancer(ctx, spec.ELBName, inst.ID); err != nil {
+				return u.fail(spec, "deregistering instance %s from ELB %s: %v", inst.ID, spec.ELBName, err)
+			}
+			u.emit(spec.TaskID, "Removed and deregistered instance %s from ELB %s", inst.ID, spec.ELBName)
+
+			// Step 5: terminate old instance (ASG replaces it).
+			if err := u.cloud.TerminateInstanceInAutoScalingGroup(ctx, inst.ID, false); err != nil {
+				return u.fail(spec, "terminating instance %s: %v", inst.ID, err)
+			}
+			u.emit(spec.TaskID, "Terminating old instance %s", inst.ID)
+			rep.Replaced = append(rep.Replaced, inst.ID)
+		}
+
+		// Step 6: wait for the ASG to start replacements.
+		u.emit(spec.TaskID, "Waiting for group %s to start a new instance", spec.ASGName)
+		fresh, err := u.waitForReplacements(ctx, spec, known, len(batch))
+		if err != nil {
+			return u.fail(spec, "waiting for replacement in group %s: %v", spec.ASGName, err)
+		}
+
+		// Step 7: new instances ready and registered.
+		for _, id := range fresh {
+			done++
+			rep.NewInstances = append(rep.NewInstances, id)
+			u.emit(spec.TaskID, "Instance %s on %s is ready for use. %d of %d instance relaunches done.",
+				spec.AppName, id, done, total)
+		}
+		u.emit(spec.TaskID, "Status: %d of %d instances replaced", done, total)
+	}
+
+	// Step 8: completed.
+	u.emit(spec.TaskID, "Rolling upgrade task completed")
+	return nil
+}
+
+// fail logs an Asgard-style error line and returns an error carrying the
+// same text.
+func (u *Upgrader) fail(spec Spec, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	u.emit(spec.TaskID, "ERROR: %s", msg)
+	return fmt.Errorf("upgrade %s: %s", spec.TaskID, msg)
+}
+
+// oldInstances lists in-service members of the group still running a
+// launch configuration other than the target one, sorted oldest first
+// (Asgard's replacement order).
+func (u *Upgrader) oldInstances(ctx context.Context, spec Spec) ([]simaws.Instance, error) {
+	instances, err := u.cloud.DescribeInstances(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var old []simaws.Instance
+	for _, inst := range instances {
+		if inst.ASGName == spec.ASGName && inst.State == simaws.StateInService &&
+			inst.LaunchConfigName != spec.NewLCName {
+			old = append(old, inst)
+		}
+	}
+	sort.Slice(old, func(i, j int) bool {
+		if !old[i].LaunchTime.Equal(old[j].LaunchTime) {
+			return old[i].LaunchTime.Before(old[j].LaunchTime)
+		}
+		return old[i].ID < old[j].ID
+	})
+	return old, nil
+}
+
+// memberSet snapshots the ids of live group members.
+func (u *Upgrader) memberSet(ctx context.Context, asgName string) (map[string]bool, error) {
+	asg, err := u.cloud.DescribeAutoScalingGroup(ctx, asgName)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool, len(asg.Instances))
+	for _, id := range asg.Instances {
+		set[id] = true
+	}
+	return set, nil
+}
+
+// waitForReplacements polls until want instances that were not previously
+// group members are in service and registered with the ELB, or the wait
+// times out.
+func (u *Upgrader) waitForReplacements(ctx context.Context, spec Spec, known map[string]bool, want int) ([]string, error) {
+	deadline := u.clk.Now().Add(spec.WaitTimeout)
+	for {
+		if u.clk.Now().After(deadline) {
+			return nil, fmt.Errorf("%w after %v", ErrTimeout, spec.WaitTimeout)
+		}
+		if err := u.clk.Sleep(ctx, spec.PollInterval); err != nil {
+			return nil, err
+		}
+		instances, err := u.cloud.DescribeInstances(ctx)
+		if err != nil {
+			if simaws.IsRetryable(err) {
+				continue
+			}
+			return nil, err
+		}
+		elb, err := u.cloud.DescribeLoadBalancer(ctx, spec.ELBName)
+		if err != nil {
+			// Retryable errors and possibly-stale NotFound reads keep the
+			// poll alive; the wait deadline bounds genuine outages.
+			if simaws.IsRetryable(err) || simaws.IsNotFound(err) {
+				continue
+			}
+			return nil, err
+		}
+		registered := make(map[string]bool, len(elb.Instances))
+		for _, id := range elb.Instances {
+			registered[id] = true
+		}
+		var fresh []string
+		for _, inst := range instances {
+			if inst.ASGName == spec.ASGName && !known[inst.ID] &&
+				inst.State == simaws.StateInService && registered[inst.ID] {
+				fresh = append(fresh, inst.ID)
+			}
+		}
+		if len(fresh) >= want {
+			sort.Strings(fresh)
+			return fresh[:want], nil
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,252 @@
+// Package poddiagnosis is the public API of the POD-Diagnosis library, a
+// reproduction of "POD-Diagnosis: Error Diagnosis of Sporadic Operations
+// on Cloud Applications" (DSN 2014).
+//
+// POD-Diagnosis treats a sporadic operation — the canonical example is a
+// rolling upgrade — as an explicit process. The process context (process
+// instance id, step id, step outcomes) carried on annotated log events
+// drives three mechanisms:
+//
+//   - conformance checking: token replay of log lines against the process
+//     model detects unknown, erroneous and out-of-order events;
+//   - assertion evaluation: pre-defined checks of cloud-resource state run
+//     after each step, on one-off and periodic timers, and on demand;
+//   - error diagnosis: fault trees — one per assertion — are instantiated
+//     with the runtime request, pruned by process context, and visited
+//     top-down, running diagnosis tests to confirm or exclude root causes.
+//
+// The library ships a complete simulated AWS substrate (EC2, ASG, ELB,
+// launch configurations, eventual consistency, throttling), an
+// Asgard-style rolling upgrade orchestrator, a process mining pipeline to
+// discover models from logs, fault injectors, and the full evaluation
+// harness reproducing the paper's figures and tables.
+//
+// A minimal deployment:
+//
+//	clk := poddiagnosis.NewScaledClock(100)
+//	bus := poddiagnosis.NewLogBus()
+//	cloud := poddiagnosis.NewSimulatedCloud(clk, poddiagnosis.PaperProfile(), bus, 1)
+//	cloud.Start()
+//	defer cloud.Stop()
+//	// ... deploy a cluster, then:
+//	mon, err := poddiagnosis.NewMonitor(poddiagnosis.Config{
+//	    Cloud: cloud, Bus: bus,
+//	    Expect: poddiagnosis.Expectation{ASGName: "pm--asg", ClusterSize: 4, ...},
+//	})
+//	mon.Start()
+//	defer mon.Stop()
+//	// run the upgrade; then inspect mon.Detections().
+package poddiagnosis
+
+import (
+	"time"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/assertspec"
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/core"
+	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/faultinject"
+	"poddiagnosis/internal/faulttree"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/mining"
+	"poddiagnosis/internal/offline"
+	"poddiagnosis/internal/process"
+	"poddiagnosis/internal/simaws"
+	"poddiagnosis/internal/upgrade"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// Core engine types.
+type (
+	// Monitor is a running POD-Diagnosis deployment watching one
+	// operation.
+	Monitor = core.Engine
+	// Config assembles a Monitor.
+	Config = core.Config
+	// Expectation declares the operation's desired end state.
+	Expectation = core.Expectation
+	// Detection is one detected anomaly with its diagnosis.
+	Detection = core.Detection
+)
+
+// Log and cloud substrate types.
+type (
+	// LogBus is the in-process log event fabric.
+	LogBus = logging.Bus
+	// LogEvent is one structured log record.
+	LogEvent = logging.Event
+	// Cloud is the simulated AWS account.
+	Cloud = simaws.Cloud
+	// CloudProfile tunes the simulated cloud's timing and reliability.
+	CloudProfile = simaws.Profile
+	// Clock abstracts time (real or scaled).
+	Clock = clock.Clock
+)
+
+// Process, assertion and diagnosis types.
+type (
+	// ProcessModel is a BPMN-style operation model.
+	ProcessModel = process.Model
+	// AssertionRegistry holds the check library.
+	AssertionRegistry = assertion.Registry
+	// AssertionParams parameterize evaluations.
+	AssertionParams = assertion.Params
+	// FaultTreeRepository is the root-cause knowledge base.
+	FaultTreeRepository = faulttree.Repository
+	// Diagnosis is the result of one root-cause analysis.
+	Diagnosis = diagnosis.Diagnosis
+	// Cluster records a deployed application's cloud resources.
+	Cluster = upgrade.Cluster
+	// UpgradeSpec describes one rolling upgrade task.
+	UpgradeSpec = upgrade.Spec
+	// Upgrader performs rolling upgrades (the watched operation).
+	Upgrader = upgrade.Upgrader
+)
+
+// NewMonitor validates the config and builds a Monitor. Call Start to
+// begin processing and Stop to shut down.
+func NewMonitor(cfg Config) (*Monitor, error) { return core.NewEngine(cfg) }
+
+// NewLogBus returns an empty log bus.
+func NewLogBus() *LogBus { return logging.NewBus() }
+
+// NewScaledClock returns a clock running scale times faster than real
+// time, starting from the current time.
+func NewScaledClock(scale float64) Clock {
+	return clock.NewScaled(scale, time.Now())
+}
+
+// NewRealClock returns the wall clock.
+func NewRealClock() Clock { return clock.NewReal() }
+
+// PaperProfile returns the cloud profile calibrated against the paper's
+// environment (API latency, boot times, eventual consistency, account
+// limits).
+func PaperProfile() CloudProfile { return simaws.PaperProfile() }
+
+// FastProfile returns a millisecond-scale profile for tests.
+func FastProfile() CloudProfile { return simaws.FastProfile() }
+
+// NewSimulatedCloud builds a simulated AWS account. The bus may be nil;
+// seed fixes the randomness. Call Start before use and Stop when done.
+func NewSimulatedCloud(clk Clock, profile CloudProfile, bus *LogBus, seed int64) *Cloud {
+	opts := []simaws.Option{simaws.WithSeed(seed)}
+	if bus != nil {
+		opts = append(opts, simaws.WithBus(bus))
+	}
+	return simaws.New(clk, profile, opts...)
+}
+
+// RollingUpgradeModel returns the canonical rolling-upgrade process model
+// (paper Figure 2).
+func RollingUpgradeModel() *ProcessModel { return process.RollingUpgradeModel() }
+
+// ScaleOutModel returns the process model of the scale-out operation —
+// the second operation shipped with the library, demonstrating that a new
+// model plus an assertion specification is all another sporadic operation
+// needs (§III.C).
+func ScaleOutModel() *ProcessModel { return process.ScaleOutModel() }
+
+// ScaleOutAssertionSpecText is the assertion specification for the
+// scale-out operation.
+const ScaleOutAssertionSpecText = process.ScaleOutSpecText
+
+// ScaleOutSpec describes one scale-out task for Upgrader.RunScaleOut.
+type ScaleOutSpec = upgrade.ScaleOutSpec
+
+// DefaultAssertions returns the pre-defined assertion library.
+func DefaultAssertions() *AssertionRegistry { return assertion.DefaultRegistry() }
+
+// DefaultFaultTrees returns the fault-tree knowledge base for the rolling
+// upgrade operation (paper Figure 5).
+func DefaultFaultTrees() *FaultTreeRepository { return faulttree.DefaultRepository() }
+
+// Deploy provisions a complete application cluster (AMI, key pair,
+// security group, launch configuration, ELB, ASG) on the simulated cloud.
+var Deploy = upgrade.Deploy
+
+// NewUpgrader returns the Asgard-style rolling upgrade orchestrator.
+var NewUpgrader = upgrade.NewUpgrader
+
+// Fault injection (the paper's §V.C catalog).
+type (
+	// FaultKind enumerates the 8 injected fault types.
+	FaultKind = faultinject.Kind
+	// Interference enumerates the simultaneous operations.
+	Interference = faultinject.Interference
+	// Injector injects faults and interferences into a running upgrade.
+	Injector = faultinject.Injector
+)
+
+// Fault kinds, re-exported in paper order.
+const (
+	FaultAMIChanged          = faultinject.KindAMIChanged
+	FaultKeyPairChanged      = faultinject.KindKeyPairChanged
+	FaultSGChanged           = faultinject.KindSGChanged
+	FaultInstanceTypeChanged = faultinject.KindInstanceTypeChanged
+	FaultAMIUnavailable      = faultinject.KindAMIUnavailable
+	FaultKeyPairUnavailable  = faultinject.KindKeyPairUnavailable
+	FaultSGUnavailable       = faultinject.KindSGUnavailable
+	FaultELBUnavailable      = faultinject.KindELBUnavailable
+)
+
+// Interference kinds, re-exported.
+const (
+	InterferenceScaleIn           = faultinject.InterferenceScaleIn
+	InterferenceRandomTermination = faultinject.InterferenceRandomTermination
+	InterferenceAccountPressure   = faultinject.InterferenceAccountPressure
+)
+
+// NewInjector returns a fault injector for the cluster.
+var NewInjector = faultinject.NewInjector
+
+// Process mining (§III.A).
+type (
+	// Miner discovers process models from operation logs.
+	Miner = mining.Miner
+	// MinedLine is one mining input line.
+	MinedLine = mining.Line
+	// MiningResult is the discovery outcome.
+	MiningResult = mining.Result
+)
+
+// NewMiner returns a Miner with default settings.
+var NewMiner = mining.NewMiner
+
+// Assertion specification language (the paper's §VIII future work).
+type (
+	// AssertionSpec is a parsed assertion specification document.
+	AssertionSpec = assertspec.Spec
+	// AssertionBinding attaches one check to one process trigger.
+	AssertionBinding = assertspec.Binding
+)
+
+// ParseAssertionSpec parses an assertion specification document against
+// the default check registry.
+func ParseAssertionSpec(src string) (*AssertionSpec, error) {
+	return assertspec.Parse(src, assertion.DefaultRegistry())
+}
+
+// DefaultAssertionSpecText is the rolling-upgrade specification that
+// reproduces the paper's experiment setup.
+const DefaultAssertionSpecText = assertspec.DefaultSpecText
+
+// ParseOperationLine splits an Asgard-style log line into timestamp, task
+// and message.
+var ParseOperationLine = logging.ParseOperationLine
+
+// Offline post-mortem analysis over the central log storage.
+type (
+	// PostMortem is a whole-store offline analysis report.
+	PostMortem = offline.Report
+	// InstancePostMortem is the per-process-instance portion.
+	InstancePostMortem = offline.InstanceReport
+)
+
+// AnalyzeStore replays the central log storage offline: conformance
+// verdicts per instance, stored assertion failures, and the diagnosis
+// conclusions reached online.
+var AnalyzeStore = offline.Analyze
