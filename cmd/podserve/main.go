@@ -1,11 +1,13 @@
 // Command podserve hosts the three POD-Diagnosis services — conformance
 // checking, assertion evaluation, and error diagnosis — as RESTful web
 // services over a simulated cloud, mirroring the paper's RESTlet
-// deployment (§IV).
+// deployment (§IV). A full monitoring engine (local log processor,
+// conformance checker, assertion timers, diagnosis) watches the demo
+// cluster, so the observability endpoints carry live data.
 //
 // Usage:
 //
-//	podserve [-addr :8077] [-size N] [-scale X]
+//	podserve [-addr :8077] [-size N] [-scale X] [-pprof addr]
 //
 // Endpoints:
 //
@@ -16,6 +18,12 @@
 //	POST /diagnosis              {"assertionId": "...", "stepId": "...", "params": {...}}
 //	GET  /model
 //	GET  /healthz
+//	GET  /readyz                 engine drain / queue depth
+//	GET  /metrics                Prometheus text exposition
+//	GET  /traces                 completed spans as JSON
+//
+// With -pprof ADDR, net/http/pprof is served on a second listener at
+// ADDR (e.g. -pprof localhost:6060).
 package main
 
 import (
@@ -23,17 +31,13 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
-	"poddiagnosis/internal/assertion"
 	"poddiagnosis/internal/clock"
-	"poddiagnosis/internal/conformance"
-	"poddiagnosis/internal/consistentapi"
-	"poddiagnosis/internal/diagnosis"
-	"poddiagnosis/internal/faulttree"
+	"poddiagnosis/internal/core"
 	"poddiagnosis/internal/logging"
-	"poddiagnosis/internal/process"
 	"poddiagnosis/internal/rest"
 	"poddiagnosis/internal/simaws"
 	"poddiagnosis/internal/upgrade"
@@ -45,9 +49,10 @@ func main() {
 
 func run() int {
 	var (
-		addr  = flag.String("addr", ":8077", "listen address")
-		size  = flag.Int("size", 4, "size of the backing demo cluster")
-		scale = flag.Float64("scale", 60, "clock speed-up factor")
+		addr      = flag.String("addr", ":8077", "listen address")
+		size      = flag.Int("size", 4, "size of the backing demo cluster")
+		scale     = flag.Float64("scale", 60, "clock speed-up factor")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -70,11 +75,45 @@ func run() int {
 		return 1
 	}
 
-	client := consistentapi.New(cloud, consistentapi.Config{})
-	eval := assertion.NewEvaluator(client, assertion.DefaultRegistry(), bus)
-	checker := conformance.NewChecker(process.RollingUpgradeModel())
-	diag := diagnosis.NewEngine(faulttree.DefaultRepository(), eval, bus, diagnosis.Options{})
-	server := rest.NewServer(checker, eval, diag)
+	// A full engine (not just the three bare services) so that timers,
+	// the local log processor and the diagnosis pipeline all run — and
+	// show up in /metrics, /traces and /readyz.
+	engine, err := core.NewEngine(core.Config{
+		Cloud: cloud,
+		Bus:   bus,
+		Expect: core.Expectation{
+			ASGName:      cluster.ASGName,
+			ELBName:      cluster.ELBName,
+			NewImageID:   cluster.ImageID,
+			NewVersion:   cluster.Version,
+			NewLCName:    cluster.LCName,
+			KeyName:      cluster.KeyName,
+			SGName:       cluster.SGName,
+			InstanceType: "m1.small",
+			ClusterSize:  cluster.Size,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	engine.Start()
+	defer engine.Stop()
+
+	server := rest.NewServer(engine.Checker(), engine.Evaluator(), engine.Diagnoser(),
+		rest.WithReady(func() rest.ReadyStatus {
+			q := engine.QueueDepth()
+			return rest.ReadyStatus{
+				Ready:      true,
+				QueueDepth: q.Depth(),
+				Detail: fmt.Sprintf("work=%d opEvents=%d centralEvents=%d",
+					q.Work, q.OpEvents, q.CentralEvents),
+			}
+		}))
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	fmt.Fprintf(os.Stderr, "cluster %s ready behind %s; serving on %s\n", cluster.ASGName, cluster.ELBName, *addr)
 	httpServer := &http.Server{
@@ -87,4 +126,20 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// servePprof hosts the pprof handlers on their own mux so profiling
+// endpoints never leak onto the public API listener.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", addr)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "pprof:", err)
+	}
 }

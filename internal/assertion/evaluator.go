@@ -4,9 +4,21 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"poddiagnosis/internal/consistentapi"
 	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/obs"
+)
+
+// Assertion metrics. The latency histogram is wall-clock so it reflects
+// the real cost paid on the evaluation path (the Result's Duration field
+// carries the simulated-clock duration).
+var (
+	mEvaluations = obs.Default.CounterVec("pod_assertion_evaluations_total",
+		"Assertion evaluations by check id and outcome status.", "check", "status")
+	mEvalLatency = obs.Default.Histogram("pod_assertion_eval_seconds",
+		"Wall-clock assertion evaluation latency.", nil)
 )
 
 // TriggerSource identifies what initiated an assertion evaluation.
@@ -58,6 +70,10 @@ func (e *Evaluator) Client() *consistentapi.Client { return e.client }
 // Evaluate runs the check with the given id and parameters, stamping,
 // logging and recording the result. Unknown check ids yield StatusError.
 func (e *Evaluator) Evaluate(ctx context.Context, checkID string, p Params, trig Trigger) Result {
+	wallStart := time.Now()
+	ctx, span := obs.StartSpan(ctx, "assertion.evaluate")
+	span.SetAttr("check", checkID)
+	span.SetAttr("trigger", string(trig.Source))
 	clk := e.client.Clock()
 	started := clk.Now()
 	var res Result
@@ -72,6 +88,11 @@ func (e *Evaluator) Evaluate(ctx context.Context, checkID string, p Params, trig
 	}
 	res.EvaluatedAt = started
 	res.Duration = clk.Since(started)
+	mEvaluations.With(res.CheckID, res.Status.String()).Inc()
+	mEvalLatency.Observe(time.Since(wallStart).Seconds())
+	span.SetAttr("status", res.Status.String())
+	span.SetAttr("simDuration", res.Duration.String())
+	span.End()
 
 	e.mu.Lock()
 	e.history = append(e.history, res)

@@ -25,7 +25,19 @@ import (
 	"sync"
 	"time"
 
+	"poddiagnosis/internal/obs"
 	"poddiagnosis/internal/process"
+)
+
+// Conformance metrics. Check latency is wall-clock: token replay is pure
+// compute, and this histogram is the baseline for optimizing it.
+var (
+	mChecks = obs.Default.CounterVec("pod_conformance_checks_total",
+		"Log lines replayed against the process model, by verdict.", "verdict")
+	mNonConforming = obs.Default.Counter("pod_conformance_nonconforming_total",
+		"Replayed lines with an anomalous verdict (unfit, error, unclassified).")
+	mCheckLatency = obs.Default.Histogram("pod_conformance_check_seconds",
+		"Wall-clock token-replay latency per log line.", nil)
 )
 
 // Verdict classifies one replayed log line.
@@ -144,6 +156,7 @@ func (c *Checker) Completed(instanceID string) bool {
 // Check replays one log line for the given process instance, creating the
 // instance on first sight.
 func (c *Checker) Check(instanceID, line string, at time.Time) Result {
+	started := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st, ok := c.instances[instanceID]
@@ -163,6 +176,11 @@ func (c *Checker) Check(instanceID, line string, at time.Time) Result {
 		if res.Verdict == VerdictFit {
 			st.fit++
 		}
+		mChecks.With(string(res.Verdict)).Inc()
+		if res.Verdict.IsAnomalous() {
+			mNonConforming.Inc()
+		}
+		mCheckLatency.Observe(time.Since(started).Seconds())
 	}()
 
 	// Known-error lines trump classification.

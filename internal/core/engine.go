@@ -25,9 +25,21 @@ import (
 	"poddiagnosis/internal/faulttree"
 	"poddiagnosis/internal/logging"
 	"poddiagnosis/internal/logstore"
+	"poddiagnosis/internal/obs"
 	"poddiagnosis/internal/pipeline"
 	"poddiagnosis/internal/process"
 	"poddiagnosis/internal/simaws"
+)
+
+// Engine metrics: what the paper's §V counts (detections and their
+// triggers), plus the operational signals needed to size the worker pool.
+var (
+	mDetections = obs.Default.CounterVec("pod_engine_detections_total",
+		"Recorded detections by trigger source.", "source")
+	mTimerFires = obs.Default.CounterVec("pod_engine_timer_fires_total",
+		"Assertion timer fires by kind (step = one-off deadline, periodic).", "kind")
+	mWorkDropped = obs.Default.Counter("pod_engine_work_dropped_total",
+		"Background work items discarded because the queue was full or the engine was stopping.")
 )
 
 // Expectation declares the desired end state of the operation being
@@ -295,6 +307,10 @@ func (e *Engine) Evaluator() *assertion.Evaluator { return e.evaluator }
 // Checker returns the conformance checker.
 func (e *Engine) Checker() *conformance.Checker { return e.checker }
 
+// Diagnoser returns the diagnosis engine (exposed for on-demand use,
+// e.g. the POST /diagnosis REST endpoint).
+func (e *Engine) Diagnoser() *diagnosis.Engine { return e.diag }
+
 // Detections returns a copy of all recorded detections.
 func (e *Engine) Detections() []Detection {
 	e.mu.Lock()
@@ -310,8 +326,35 @@ func (e *Engine) Detections() []Detection {
 func (e *Engine) submit(f func()) {
 	select {
 	case <-e.stop:
+		mWorkDropped.Inc()
 	case e.workCh <- f:
 	default:
+		mWorkDropped.Inc()
+	}
+}
+
+// Queue reports the engine's current backlog: queued background work and
+// pending events on the two log subscriptions. Zero across the board
+// means the engine is drained; serving surfaces (GET /readyz) report it.
+type Queue struct {
+	// Work is the number of queued assertion evaluations and diagnoses.
+	Work int `json:"work"`
+	// OpEvents is the operation-log subscription backlog.
+	OpEvents int `json:"opEvents"`
+	// CentralEvents is the central-merge subscription backlog.
+	CentralEvents int `json:"centralEvents"`
+}
+
+// Depth is the total backlog.
+func (q Queue) Depth() int { return q.Work + q.OpEvents + q.CentralEvents }
+
+// QueueDepth snapshots the engine's backlog. Safe to call only between
+// Start and Stop.
+func (e *Engine) QueueDepth() Queue {
+	return Queue{
+		Work:          len(e.workCh),
+		OpEvents:      len(e.opSub.C),
+		CentralEvents: len(e.centralSub.C),
 	}
 }
 
@@ -545,6 +588,7 @@ func (e *Engine) resetStepTimer(instanceID string, node *process.Node) {
 		}
 		checkID := tb.CheckID
 		cancels = append(cancels, e.timers.After(deadline, func() {
+			mTimerFires.With("step").Inc()
 			e.submit(func() {
 				e.evaluateAndMaybeDiagnose(checkID, params, trig)
 			})
@@ -589,6 +633,7 @@ func (e *Engine) onProcessStart(instanceID string, ev logging.Event) {
 		}
 		checkID := pb.CheckID
 		cancels = append(cancels, e.timers.Every(interval, func() {
+			mTimerFires.With("periodic").Inc()
 			e.submit(func() {
 				e.evaluateAndMaybeDiagnose(checkID, params, trig)
 			})
@@ -652,6 +697,7 @@ func (e *Engine) shouldDiagnose(key string) bool {
 // record appends a detection and settles its dedup key when the diagnosis
 // identified a root cause.
 func (e *Engine) record(d Detection) {
+	mDetections.With(string(d.Source)).Inc()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if d.Diagnosis != nil && d.Diagnosis.Conclusion == diagnosis.ConclusionIdentified {

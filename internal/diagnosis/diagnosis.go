@@ -20,6 +20,22 @@ import (
 	"poddiagnosis/internal/clock"
 	"poddiagnosis/internal/faulttree"
 	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/obs"
+)
+
+// Diagnosis metrics. Walk duration is wall-clock (the Diagnosis result
+// carries the simulated-clock duration the paper's §V measures).
+var (
+	mWalks = obs.Default.CounterVec("pod_diagnosis_walks_total",
+		"Fault-tree diagnosis runs by conclusion.", "conclusion")
+	mWalkDuration = obs.Default.Histogram("pod_diagnosis_walk_seconds",
+		"Wall-clock duration of one fault-tree diagnosis run.", nil)
+	mTests = obs.Default.Counter("pod_diagnosis_tests_total",
+		"On-demand diagnosis tests executed.")
+	mCacheHits = obs.Default.Counter("pod_diagnosis_cache_hits_total",
+		"Diagnosis tests answered from the per-run result cache.")
+	mCausesFound = obs.Default.Counter("pod_diagnosis_causes_found_total",
+		"Confirmed root causes across all diagnosis runs.")
 )
 
 // Source identifies what triggered a diagnosis.
@@ -153,6 +169,14 @@ type run struct {
 
 // Diagnose executes one diagnosis for the request.
 func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
+	wallStart := time.Now()
+	ctx, span := obs.StartSpan(ctx, "diagnosis.walk")
+	span.SetAttr("source", string(req.Source))
+	span.SetAttr("instance", req.ProcessInstanceID)
+	span.SetAttr("step", req.StepID)
+	if req.AssertionID != "" {
+		span.SetAttr("assertion", req.AssertionID)
+	}
 	started := e.clk.Now()
 	d := &Diagnosis{Request: req, StartedAt: started}
 	r := &run{req: req, diag: d, cache: make(map[string]assertion.Result), testsLeft: e.opts.MaxTests}
@@ -196,6 +220,13 @@ func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
 		e.log(req, "No root cause identified")
 	}
 	d.Duration = e.clk.Since(started)
+	mWalks.With(string(d.Conclusion)).Inc()
+	mWalkDuration.Observe(time.Since(wallStart).Seconds())
+	mCausesFound.Add(float64(len(d.RootCauses)))
+	span.SetAttr("conclusion", string(d.Conclusion))
+	span.SetAttr("tests", fmt.Sprintf("%d", len(d.TestsRun)))
+	span.SetAttr("simDuration", d.Duration.String())
+	span.End()
 	return d
 }
 
@@ -269,6 +300,7 @@ func (e *Engine) test(ctx context.Context, r *run, n *faulttree.Node) (assertion
 	params := r.req.Params.Merge(n.CheckParams)
 	key := cacheKey(n.CheckID, params)
 	if res, ok := r.cache[key]; ok {
+		mCacheHits.Inc()
 		return res, false
 	}
 	if r.testsLeft <= 0 {
@@ -279,12 +311,18 @@ func (e *Engine) test(ctx context.Context, r *run, n *faulttree.Node) (assertion
 		}, false
 	}
 	r.testsLeft--
+	mTests.Inc()
+	ctx, span := obs.StartSpan(ctx, "diagnosis.test")
+	span.SetAttr("node", n.ID)
+	span.SetAttr("check", n.CheckID)
 	e.log(r.req, "Verifying %s", strings.TrimSuffix(n.Description, "."))
 	res := e.eval.Evaluate(ctx, n.CheckID, params, assertion.Trigger{
 		Source:            assertion.TriggerOnDemand,
 		ProcessInstanceID: r.req.ProcessInstanceID,
 		StepID:            r.req.StepID,
 	})
+	span.SetAttr("status", res.Status.String())
+	span.End()
 	r.cache[key] = res
 	r.diag.TestsRun = append(r.diag.TestsRun, res)
 	return res, true

@@ -2,6 +2,20 @@ package logging
 
 import (
 	"sync"
+	"sync/atomic"
+
+	"poddiagnosis/internal/obs"
+)
+
+// Bus metrics: the full-buffer eviction in Publish used to lose events
+// with zero signal; both totals now land in the default registry.
+var (
+	mPublished = obs.Default.Counter("pod_logbus_published_total",
+		"Log events published to the bus.")
+	mDropped = obs.Default.Counter("pod_logbus_dropped_total",
+		"Log events evicted from full subscriber buffers.")
+	mSubscribers = obs.Default.Gauge("pod_logbus_subscribers",
+		"Active bus subscriptions.")
 )
 
 // Bus is an in-process publish/subscribe channel for log events. It stands
@@ -10,10 +24,11 @@ import (
 // producer: slow subscribers drop their oldest pending events, mirroring
 // the lossy nature of real log shipping under backpressure.
 type Bus struct {
-	mu     sync.Mutex
-	subs   map[int]*Subscription
-	nextID int
-	closed bool
+	mu      sync.Mutex
+	subs    map[int]*Subscription
+	nextID  int
+	closed  bool
+	dropped atomic.Uint64
 }
 
 // NewBus returns an empty bus.
@@ -52,6 +67,7 @@ func (b *Bus) Subscribe(buffer int, filter func(Event) bool) *Subscription {
 	sub.id = b.nextID
 	b.nextID++
 	b.subs[sub.id] = sub
+	mSubscribers.Inc()
 	return sub
 }
 
@@ -64,6 +80,7 @@ func (s *Subscription) Cancel() {
 		if _, ok := s.bus.subs[s.id]; ok {
 			delete(s.bus.subs, s.id)
 			close(s.ch)
+			mSubscribers.Dec()
 		}
 	})
 }
@@ -77,6 +94,7 @@ func (b *Bus) Publish(e Event) {
 	if b.closed {
 		return
 	}
+	mPublished.Inc()
 	for _, sub := range b.subs {
 		if sub.filter != nil && !sub.filter(e) {
 			continue
@@ -88,6 +106,8 @@ func (b *Bus) Publish(e Event) {
 				// Buffer full: drop the oldest and retry.
 				select {
 				case <-sub.ch:
+					b.dropped.Add(1)
+					mDropped.Inc()
 				default:
 				}
 				continue
@@ -96,6 +116,11 @@ func (b *Bus) Publish(e Event) {
 		}
 	}
 }
+
+// Dropped returns the total number of events evicted from full subscriber
+// buffers since the bus was created — the signal slow subscribers used to
+// lose silently.
+func (b *Bus) Dropped() uint64 { return b.dropped.Load() }
 
 // Close closes the bus and every subscription channel. Publish becomes a
 // no-op afterwards.
@@ -109,6 +134,7 @@ func (b *Bus) Close() {
 	for id, sub := range b.subs {
 		delete(b.subs, id)
 		close(sub.ch)
+		mSubscribers.Dec()
 	}
 }
 

@@ -144,6 +144,26 @@ func TestBusDropsOldestWhenFull(t *testing.T) {
 	if e := <-sub.C; e.Message != "e" {
 		t.Fatalf("second retained = %q, want e", e.Message)
 	}
+	if got := b.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+}
+
+func TestBusDroppedCountsAcrossSubscribers(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	slow := b.Subscribe(1, nil)
+	fast := b.Subscribe(16, nil)
+	for i := 0; i < 4; i++ {
+		b.Publish(Event{Message: "x"})
+	}
+	// The slow subscriber evicted 3; the fast one kept everything.
+	if got := b.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	if len(fast.C) != 4 || len(slow.C) != 1 {
+		t.Fatalf("buffers = fast:%d slow:%d, want 4/1", len(fast.C), len(slow.C))
+	}
 }
 
 func TestBusCancelClosesChannel(t *testing.T) {

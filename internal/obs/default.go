@@ -1,0 +1,17 @@
+package obs
+
+import "context"
+
+// Default is the process-global metrics registry. Instrumented packages
+// declare their instruments against it at init time, so any binary that
+// links a component exposes that component's metric families.
+var Default = NewRegistry()
+
+// DefaultTracer is the process-global span tracer.
+var DefaultTracer = NewTracer(4096)
+
+// StartSpan opens a span on the default tracer as a child of the span
+// carried by ctx, returning a derived context and the span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return DefaultTracer.StartSpan(ctx, name)
+}

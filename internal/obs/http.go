@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// MetricsHandler serves the registry in Prometheus text exposition
+// format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// TracesHandler serves the tracer's retained spans as JSON:
+//
+//	GET /traces              -> {"spans": [...]} oldest first
+//	GET /traces?trace=ID     -> spans of one trace, parents first
+//	GET /traces?limit=N      -> at most the newest N spans
+func TracesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var spans []SpanData
+		if idStr := req.URL.Query().Get("trace"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 10, 64)
+			if err != nil {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusBadRequest)
+				_ = json.NewEncoder(w).Encode(map[string]string{"error": "invalid trace id"})
+				return
+			}
+			spans = t.Trace(id)
+		} else {
+			spans = t.Spans()
+		}
+		if limStr := req.URL.Query().Get("limit"); limStr != "" {
+			if lim, err := strconv.Atoi(limStr); err == nil && lim >= 0 && lim < len(spans) {
+				spans = spans[len(spans)-lim:]
+			}
+		}
+		if spans == nil {
+			spans = []SpanData{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"spans": spans})
+	})
+}

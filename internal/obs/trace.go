@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanData is one completed (or in-flight, when snapshotted) span.
+type SpanData struct {
+	// TraceID groups a tree of spans; it equals the root span's id.
+	TraceID uint64 `json:"traceId"`
+	// SpanID is unique per tracer.
+	SpanID uint64 `json:"spanId"`
+	// ParentID is the enclosing span's id; 0 for roots.
+	ParentID uint64 `json:"parentId,omitempty"`
+	// Name identifies the operation, e.g. "diagnosis.walk".
+	Name string `json:"name"`
+	// Start is the wall-clock start time.
+	Start time.Time `json:"start"`
+	// DurationUS is the wall-clock duration in microseconds. Spans measure
+	// real compute cost; simulated-clock durations, where relevant, ride
+	// along as attributes.
+	DurationUS int64 `json:"durationUs"`
+	// Attrs are free-form key/value annotations.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Span is a live span. End it exactly once; SetAttr after End is ignored.
+type Span struct {
+	t *Tracer
+
+	mu    sync.Mutex
+	data  SpanData
+	ended bool
+}
+
+// Tracer creates spans and retains the most recent completed ones in a
+// ring buffer. It is safe for concurrent use.
+type Tracer struct {
+	ids atomic.Uint64
+
+	mu   sync.Mutex
+	buf  []SpanData
+	next int
+	full bool
+}
+
+// NewTracer returns a tracer retaining up to capacity completed spans
+// (minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{buf: make([]SpanData, capacity)}
+}
+
+// ctxKey carries the current span through a context.
+type ctxKey struct{}
+
+// StartSpan opens a span named name as a child of the span carried by
+// ctx (if any) and returns a derived context carrying the new span. A nil
+// tracer returns a no-op span, so instrumentation never needs nil checks.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	id := t.ids.Add(1)
+	data := SpanData{SpanID: id, TraceID: id, Name: name, Start: time.Now()}
+	if parent, ok := ctx.Value(ctxKey{}).(*Span); ok && parent != nil {
+		// SpanID and TraceID are immutable after creation; no lock needed.
+		data.ParentID = parent.data.SpanID
+		data.TraceID = parent.data.TraceID
+	}
+	s := &Span{t: t, data: data}
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// SetAttr annotates the span. Safe on nil and ended spans (no-op).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.data.Attrs == nil {
+		s.data.Attrs = make(map[string]string, 4)
+	}
+	s.data.Attrs[key] = value
+}
+
+// End closes the span and records it into the tracer's ring buffer. Safe
+// on nil spans; repeated calls are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.DurationUS = time.Since(s.data.Start).Microseconds()
+	data := s.data
+	s.mu.Unlock()
+	s.t.record(data)
+}
+
+// record appends one completed span to the ring.
+func (t *Tracer) record(d SpanData) {
+	t.mu.Lock()
+	t.buf[t.next] = d
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the retained completed spans, oldest first.
+func (t *Tracer) Spans() []SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]SpanData(nil), t.buf[:t.next]...)
+	}
+	out := make([]SpanData, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Trace returns the retained spans of one trace, parents before children
+// (by start time, then span id).
+func (t *Tracer) Trace(traceID uint64) []SpanData {
+	all := t.Spans()
+	out := all[:0:0]
+	for _, s := range all {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].SpanID < out[j].SpanID
+	})
+	return out
+}
+
+// Reset discards all retained spans (the id sequence keeps advancing).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.next = 0
+	t.full = false
+	t.mu.Unlock()
+}

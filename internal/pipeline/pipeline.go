@@ -18,8 +18,13 @@ import (
 	"sync"
 
 	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/obs"
 	"poddiagnosis/internal/process"
 )
+
+// Local-log-processor metrics, mirroring the Stats counters.
+var mEvents = obs.Default.CounterVec("pod_pipeline_events_total",
+	"Events through the local log processor by disposition.", "disposition")
 
 // Triggers are the callbacks a Processor invokes as it annotates events.
 // Any callback may be nil. Callbacks run on the processor goroutine; keep
@@ -126,10 +131,12 @@ func (p *Processor) Process(ev logging.Event) (logging.Event, bool) {
 	p.mu.Lock()
 	p.stats.Seen++
 	p.mu.Unlock()
+	mEvents.With("seen").Inc()
 
 	// Only operation-node logs flow through the local processor.
 	if ev.Type != logging.TypeOperation {
 		p.count(func(s *Stats) { s.Dropped++ })
+		mEvents.With("dropped").Inc()
 		return ev, false
 	}
 
@@ -148,6 +155,7 @@ func (p *Processor) Process(ev logging.Event) (logging.Event, bool) {
 	// a known process instance.
 	if !classified && !isError && instanceID == "" {
 		p.count(func(s *Stats) { s.Dropped++ })
+		mEvents.With("dropped").Inc()
 		return ev, false
 	}
 
@@ -207,12 +215,14 @@ func (p *Processor) Process(ev logging.Event) (logging.Event, bool) {
 	}
 	if classified {
 		p.count(func(s *Stats) { s.Annotated++ })
+		mEvents.With("annotated").Inc()
 		if p.triggers.StepEvent != nil && instanceID != "" {
 			p.triggers.StepEvent(instanceID, node, out)
 		}
 	}
 	if isError {
 		p.count(func(s *Stats) { s.Errors++ })
+		mEvents.With("error").Inc()
 		if p.triggers.ErrorLine != nil {
 			p.triggers.ErrorLine(instanceID, body, out)
 		}
@@ -224,6 +234,7 @@ func (p *Processor) Process(ev logging.Event) (logging.Event, bool) {
 	if important && p.store != nil {
 		p.store.Write(out)
 		p.count(func(s *Stats) { s.Forwarded++ })
+		mEvents.With("forwarded").Inc()
 	}
 	return out, important
 }

@@ -1,0 +1,147 @@
+package rest
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"poddiagnosis/internal/obs"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	e := newRESTEnv(t)
+	// Drive one request through an instrumented route first.
+	if !e.client.Healthy(e.ctx) {
+		t.Fatal("server not healthy")
+	}
+	resp, err := http.Get(e.srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	// The environment deploys a cluster, so simaws counters must be hot;
+	// the healthz request above must appear in the HTTP metrics.
+	for _, want := range []string{
+		"# TYPE pod_simaws_api_calls_total counter",
+		`pod_simaws_api_calls_total{op="CreateAutoScalingGroup"}`,
+		`pod_http_requests_total{route="healthz",class="2xx"}`,
+		`pod_http_request_seconds_bucket{route="healthz",le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	e := newRESTEnv(t)
+	if !e.client.Healthy(e.ctx) {
+		t.Fatal("server not healthy")
+	}
+	resp, err := http.Get(e.srv.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Spans []obs.SpanData `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range body.Spans {
+		if s.Name == "http.healthz" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no http.healthz span among %d spans", len(body.Spans))
+	}
+}
+
+func TestReadyzDefaultAndCustom(t *testing.T) {
+	srv := httptest.NewServer(NewServer(nil, nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default readyz status = %d", resp.StatusCode)
+	}
+
+	notReady := httptest.NewServer(NewServer(nil, nil, nil, WithReady(func() ReadyStatus {
+		return ReadyStatus{Ready: false, QueueDepth: 17, Detail: "draining"}
+	})))
+	defer notReady.Close()
+	resp2, err := http.Get(notReady.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("not-ready status = %d", resp2.StatusCode)
+	}
+	var st ReadyStatus
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready || st.QueueDepth != 17 || st.Detail != "draining" {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestUnknownPathReturnsJSON404(t *testing.T) {
+	srv := httptest.NewServer(NewServer(nil, nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/no/such/endpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q, want application/json", ct)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eb.Error, "/no/such/endpoint") {
+		t.Errorf("error body = %+v", eb)
+	}
+}
+
+func TestRequestMetricsCountStatusClasses(t *testing.T) {
+	e := newRESTEnv(t)
+	// One 400 on a known route.
+	resp, err := http.Post(e.srv.URL+"/conformance/check", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	body, err := http.Get(e.srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer body.Body.Close()
+	text, _ := io.ReadAll(body.Body)
+	if !strings.Contains(string(text), `pod_http_requests_total{route="conformance_check",class="4xx"}`) {
+		t.Error("4xx class not counted for conformance_check")
+	}
+}

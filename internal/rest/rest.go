@@ -16,6 +16,16 @@ import (
 	"poddiagnosis/internal/assertion"
 	"poddiagnosis/internal/conformance"
 	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/obs"
+)
+
+// HTTP serving metrics, labelled by logical route name (not raw path, to
+// keep cardinality bounded).
+var (
+	mRequests = obs.Default.CounterVec("pod_http_requests_total",
+		"HTTP requests by route and status class.", "route", "class")
+	mRequestLatency = obs.Default.HistogramVec("pod_http_request_seconds",
+		"HTTP request handling latency by route.", nil, "route")
 )
 
 // ConformanceRequest is the body of POST /conformance/check.
@@ -47,36 +57,146 @@ type ErrorBody struct {
 	Error string `json:"error"`
 }
 
+// ReadyStatus is the body of GET /readyz.
+type ReadyStatus struct {
+	// Ready reports whether the deployment can take traffic.
+	Ready bool `json:"ready"`
+	// QueueDepth is the monitoring engine's backlog (queued evaluations,
+	// diagnoses and undrained log events); zero means drained.
+	QueueDepth int `json:"queueDepth"`
+	// Detail is free-form context, e.g. per-queue depths.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithReady installs the readiness probe backing GET /readyz; typically a
+// closure over core.Engine.QueueDepth. Without it /readyz always reports
+// ready with depth 0.
+func WithReady(fn func() ReadyStatus) Option {
+	return func(s *Server) { s.ready = fn }
+}
+
+// WithObservability overrides the metrics registry and tracer served by
+// GET /metrics and GET /traces (default: obs.Default, obs.DefaultTracer).
+func WithObservability(reg *obs.Registry, tracer *obs.Tracer) Option {
+	return func(s *Server) { s.reg, s.tracer = reg, tracer }
+}
+
 // Server hosts the three POD services over one model.
 type Server struct {
 	checker *conformance.Checker
 	eval    *assertion.Evaluator
 	diag    *diagnosis.Engine
 	mux     *http.ServeMux
+	reg     *obs.Registry
+	tracer  *obs.Tracer
+	ready   func() ReadyStatus
 }
 
 var _ http.Handler = (*Server)(nil)
 
 // NewServer builds a Server. Any of the components may be nil; their
 // endpoints then return 503.
-func NewServer(checker *conformance.Checker, eval *assertion.Evaluator, diag *diagnosis.Engine) *Server {
-	s := &Server{checker: checker, eval: eval, diag: diag, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /conformance/check", s.handleConformance)
-	s.mux.HandleFunc("GET /conformance/instances", s.handleInstances)
-	s.mux.HandleFunc("GET /conformance/stats", s.handleStats)
-	s.mux.HandleFunc("POST /assertions/evaluate", s.handleEvaluate)
-	s.mux.HandleFunc("GET /assertions/checks", s.handleChecks)
-	s.mux.HandleFunc("POST /diagnosis", s.handleDiagnose)
-	s.mux.HandleFunc("GET /model", s.handleModel)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+func NewServer(checker *conformance.Checker, eval *assertion.Evaluator, diag *diagnosis.Engine, opts ...Option) *Server {
+	s := &Server{
+		checker: checker, eval: eval, diag: diag,
+		mux:    http.NewServeMux(),
+		reg:    obs.Default,
+		tracer: obs.DefaultTracer,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.route("POST /conformance/check", "conformance_check", s.handleConformance)
+	s.route("GET /conformance/instances", "conformance_instances", s.handleInstances)
+	s.route("GET /conformance/stats", "conformance_stats", s.handleStats)
+	s.route("POST /assertions/evaluate", "assertions_evaluate", s.handleEvaluate)
+	s.route("GET /assertions/checks", "assertions_checks", s.handleChecks)
+	s.route("POST /diagnosis", "diagnosis", s.handleDiagnose)
+	s.route("GET /model", "model", s.handleModel)
+	s.route("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.route("GET /readyz", "readyz", s.handleReady)
+	s.route("GET /metrics", "metrics", obs.MetricsHandler(s.reg).ServeHTTP)
+	s.route("GET /traces", "traces", obs.TracesHandler(s.tracer).ServeHTTP)
+	// Catch-all so unknown paths get the JSON error envelope instead of
+	// the mux's plain-text 404.
+	s.route("/", "not_found", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
+	})
 	return s
+}
+
+// route registers pattern with the serving middleware: a span per
+// request, a status-class counter and a latency histogram, all labelled
+// with the logical route name.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, span := s.tracer.StartSpan(r.Context(), "http."+name)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		span.SetAttr("status", fmt.Sprintf("%d", sw.status))
+		span.End()
+		mRequests.With(name, statusClass(sw.status)).Inc()
+		mRequestLatency.With(name).Observe(time.Since(start).Seconds())
+	})
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.status = status
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// statusClass buckets a status code as "2xx", "4xx", ...
+func statusClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	case status >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	st := ReadyStatus{Ready: true}
+	if s.ready != nil {
+		st = s.ready()
+	}
+	status := http.StatusOK
+	if !st.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, st)
 }
 
 func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {

@@ -137,12 +137,15 @@ func (c *Cloud) publish(message string, fields map[string]string) {
 // then jittered latency. It returns an APIError on throttle and ctx.Err()
 // on cancellation.
 func (c *Cloud) apiCall(ctx context.Context, op string) error {
+	mAPICalls.With(op).Inc()
 	if !c.bucket.allow(1) {
+		mAPIThrottled.With(op).Inc()
 		return newErr(op, ErrCodeRequestLimitExceeded, "request limit exceeded for account")
 	}
 	c.mu.Lock()
 	d := c.profile.APILatency.Sample(c.rng)
 	c.mu.Unlock()
+	mAPILatency.Observe(d.Seconds())
 	if err := c.clk.Sleep(ctx, d); err != nil {
 		return fmt.Errorf("%s: %w", op, err)
 	}

@@ -80,6 +80,7 @@ func (c *Cloud) recordSnapshot() {
 // is safe to read after releasing mu.
 func (c *Cloud) view() snapshot {
 	if c.profile.StaleProb > 0 && len(c.snapshots) > 0 && c.rng.Float64() < c.profile.StaleProb {
+		mStaleReads.Inc()
 		lag := c.profile.StaleLag.Sample(c.rng)
 		target := c.now().Add(-lag)
 		// Newest snapshot at or before target; fall back to oldest.

@@ -42,8 +42,10 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("%s: %s: %s", e.Op, e.Code, e.Message)
 }
 
-// newErr builds an APIError.
+// newErr builds an APIError. Every simulated API error flows through
+// here, which makes it the one choke point for the error-by-code counter.
 func newErr(op, code, format string, args ...any) *APIError {
+	mAPIErrors.With(op, code).Inc()
 	return &APIError{Code: code, Op: op, Message: fmt.Sprintf(format, args...)}
 }
 

@@ -1,0 +1,19 @@
+package simaws
+
+import "poddiagnosis/internal/obs"
+
+// Simulated-AWS metrics, keyed exactly like the real AWS vocabulary (op =
+// API operation name, code = AWS error code) so dashboards built against
+// the simulator transfer to a real backend.
+var (
+	mAPICalls = obs.Default.CounterVec("pod_simaws_api_calls_total",
+		"Simulated AWS API calls by operation.", "op")
+	mAPIErrors = obs.Default.CounterVec("pod_simaws_api_errors_total",
+		"Simulated AWS API errors by operation and AWS error code.", "op", "code")
+	mAPIThrottled = obs.Default.CounterVec("pod_simaws_api_throttled_total",
+		"Simulated AWS API calls rejected by account-level throttling.", "op")
+	mAPILatency = obs.Default.Histogram("pod_simaws_api_latency_seconds",
+		"Sampled simulated API latency (simulated seconds).", nil)
+	mStaleReads = obs.Default.Counter("pod_simaws_stale_reads_total",
+		"Describe calls served from a stale eventual-consistency snapshot.")
+)
