@@ -153,8 +153,7 @@ func run() int {
 	fmt.Printf("starting rolling upgrade of %s to %s...\n", cluster.ASGName, newAMI)
 	rep := upgrade.NewUpgrader(cloud, bus).Run(ctx, spec)
 	_ = clk.Sleep(ctx, 30*time.Second)
-	mon.Drain(5 * time.Second)
-	time.Sleep(20 * time.Millisecond)
+	mon.Drain(ctx, 5*time.Minute)
 	mon.Stop()
 
 	if rep.Err != nil {

@@ -1,13 +1,14 @@
 // Command podserve hosts the three POD-Diagnosis services — conformance
 // checking, assertion evaluation, and error diagnosis — as RESTful web
 // services over a simulated cloud, mirroring the paper's RESTlet
-// deployment (§IV). A full monitoring engine (local log processor,
-// conformance checker, assertion timers, diagnosis) watches the demo
-// cluster, so the observability endpoints carry live data.
+// deployment (§IV). One shared monitoring Manager watches several demo
+// clusters upgrading concurrently (one Session per cluster), so the
+// multi-tenant /operations surface and the observability endpoints carry
+// live data.
 //
 // Usage:
 //
-//	podserve [-addr :8077] [-size N] [-scale X] [-pprof addr]
+//	podserve [-addr :8077] [-clusters N] [-size N] [-scale X] [-pprof addr]
 //
 // Endpoints:
 //
@@ -16,9 +17,14 @@
 //	POST /assertions/evaluate    {"checkId": "...", "params": {...}}
 //	GET  /assertions/checks
 //	POST /diagnosis              {"assertionId": "...", "stepId": "...", "params": {...}}
+//	POST /operations             register a monitoring session
+//	GET  /operations             list sessions
+//	GET  /operations/{id}        one session's summary
+//	GET  /operations/{id}/detections
+//	DELETE /operations/{id}      end and remove a session
 //	GET  /model
 //	GET  /healthz
-//	GET  /readyz                 engine drain / queue depth
+//	GET  /readyz                 manager backlog, per-operation breakdown
 //	GET  /metrics                Prometheus text exposition
 //	GET  /traces                 completed spans as JSON
 //
@@ -50,11 +56,15 @@ func main() {
 func run() int {
 	var (
 		addr      = flag.String("addr", ":8077", "listen address")
-		size      = flag.Int("size", 4, "size of the backing demo cluster")
+		clusters  = flag.Int("clusters", 3, "number of demo clusters upgrading under the shared manager")
+		size      = flag.Int("size", 4, "size of each backing demo cluster")
 		scale     = flag.Float64("scale", 60, "clock speed-up factor")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+	if *clusters < 1 {
+		*clusters = 1
+	}
 
 	ctx := context.Background()
 	clk := clock.NewScaled(*scale, time.Now())
@@ -64,58 +74,76 @@ func run() int {
 	cloud.Start()
 	defer cloud.Stop()
 
-	fmt.Fprintf(os.Stderr, "deploying a %d-instance demo cluster...\n", *size)
-	cluster, err := upgrade.Deploy(ctx, cloud, "pm", *size, "v1")
+	// One Manager shared by every demo operation: bus subscriptions, log
+	// storage, evaluator, diagnosis engine and worker pool are common;
+	// each cluster gets its own Session.
+	// Generous retention: ended demo sessions stay queryable over
+	// /operations long after their upgrade finishes.
+	mgr, err := core.NewManager(core.ManagerConfig{Cloud: cloud, Bus: bus, Retention: 24 * time.Hour})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	if err := cluster.WaitReady(ctx, cloud, 10*time.Minute); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
+	mgr.Start()
+	defer mgr.Stop()
 
-	// A full engine (not just the three bare services) so that timers,
-	// the local log processor and the diagnosis pipeline all run — and
-	// show up in /metrics, /traces and /readyz.
-	engine, err := core.NewEngine(core.Config{
-		Cloud: cloud,
-		Bus:   bus,
-		Expect: core.Expectation{
+	fmt.Fprintf(os.Stderr, "deploying %d demo clusters of %d instances...\n", *clusters, *size)
+	for i := 1; i <= *clusters; i++ {
+		app := fmt.Sprintf("pm%d", i)
+		cluster, err := upgrade.Deploy(ctx, cloud, app, *size, "v1")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := cluster.WaitReady(ctx, cloud, 10*time.Minute); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		newAMI, err := cloud.RegisterImage(ctx, app+"-v2", "v2", upgrade.AppServices)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		taskID := "pushing " + cluster.ASGName
+		spec := cluster.UpgradeSpec(taskID, newAMI)
+		spec.NewLCName = cluster.ASGName + "-lc-" + newAMI
+		if _, err := mgr.Watch(core.Expectation{
 			ASGName:      cluster.ASGName,
 			ELBName:      cluster.ELBName,
-			NewImageID:   cluster.ImageID,
-			NewVersion:   cluster.Version,
-			NewLCName:    cluster.LCName,
+			NewImageID:   newAMI,
+			NewVersion:   "v2",
+			NewLCName:    spec.NewLCName,
 			KeyName:      cluster.KeyName,
 			SGName:       cluster.SGName,
 			InstanceType: "m1.small",
 			ClusterSize:  cluster.Size,
-		},
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
-	engine.Start()
-	defer engine.Stop()
-
-	server := rest.NewServer(engine.Checker(), engine.Evaluator(), engine.Diagnoser(),
-		rest.WithReady(func() rest.ReadyStatus {
-			q := engine.QueueDepth()
-			return rest.ReadyStatus{
-				Ready:      true,
-				QueueDepth: q.Depth(),
-				Detail: fmt.Sprintf("work=%d opEvents=%d centralEvents=%d",
-					q.Work, q.OpEvents, q.CentralEvents),
+		}, core.BindInstance(taskID), core.WithSessionID(app)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		// Stagger the rolling upgrades so the sessions overlap but don't
+		// start in lockstep; the server keeps serving while they run.
+		delay := time.Duration(i-1) * time.Minute
+		go func(spec upgrade.Spec, delay time.Duration) {
+			if err := clk.Sleep(ctx, delay); err != nil {
+				return
 			}
-		}))
+			if rep := upgrade.NewUpgrader(cloud, bus).Run(ctx, spec); rep.Err != nil {
+				fmt.Fprintf(os.Stderr, "upgrade %s: %v\n", spec.TaskID, rep.Err)
+			}
+		}(spec, delay)
+		fmt.Fprintf(os.Stderr, "cluster %s ready behind %s; session %s watching %q\n",
+			cluster.ASGName, cluster.ELBName, app, taskID)
+	}
+
+	server := rest.NewServer(mgr.Checker(), mgr.Evaluator(), mgr.Diagnoser(),
+		rest.WithManager(mgr))
 
 	if *pprofAddr != "" {
 		go servePprof(*pprofAddr)
 	}
 
-	fmt.Fprintf(os.Stderr, "cluster %s ready behind %s; serving on %s\n", cluster.ASGName, cluster.ELBName, *addr)
+	fmt.Fprintf(os.Stderr, "serving on %s\n", *addr)
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           server,

@@ -81,8 +81,7 @@ func main() {
 	fmt.Println("rolling upgrade to v2 starting amid simultaneous operations...")
 	report := pod.NewUpgrader(cloud, bus).Run(ctx, spec)
 	_ = clk.Sleep(ctx, time.Minute) // let the periodic assertion observe the aftermath
-	mon.Drain(5 * time.Second)
-	time.Sleep(50 * time.Millisecond)
+	mon.Drain(ctx, 2*time.Minute)
 	mon.Stop()
 
 	fmt.Printf("\nupgrade finished (err=%v)\n", report.Err)

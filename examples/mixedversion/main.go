@@ -74,8 +74,7 @@ func main() {
 
 	fmt.Println("rolling upgrade to v2 starting (a rival release will race it)...")
 	report := pod.NewUpgrader(cloud, bus).Run(ctx, spec)
-	mon.Drain(5 * time.Second)
-	time.Sleep(50 * time.Millisecond)
+	mon.Drain(ctx, 2*time.Minute)
 	mon.Stop()
 
 	fmt.Printf("\nupgrade finished (err=%v); POD-Diagnosis recorded %d detections:\n",

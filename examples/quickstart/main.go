@@ -70,7 +70,7 @@ func main() {
 
 	fmt.Println("rolling upgrade to v2 starting...")
 	report := pod.NewUpgrader(cloud, bus).Run(ctx, spec)
-	mon.Drain(5 * time.Second)
+	mon.Drain(ctx, 2*time.Minute)
 	mon.Stop()
 
 	if report.Err != nil {

@@ -82,8 +82,7 @@ func main() {
 		WaitTimeout: 4 * time.Minute,
 	})
 	_ = clk.Sleep(ctx, 30*time.Second)
-	mon.Drain(5 * time.Second)
-	time.Sleep(50 * time.Millisecond)
+	mon.Drain(ctx, 2*time.Minute)
 	mon.Stop()
 
 	if rep.Err != nil {

@@ -4,6 +4,14 @@
 // error diagnosis, all keyed by process context (process instance id, step
 // id, step outcomes) carried on annotated log events.
 //
+// The package is split into two layers. A Manager owns the shared
+// substrate — bus subscriptions, central log storage, the consistent API
+// client, the assertion evaluator, the diagnosis engine and one worker
+// pool — and routes annotated events to per-operation Sessions sharded by
+// process-instance id. Engine remains as a thin single-session
+// compatibility wrapper (one Manager, one Session adopting every
+// instance).
+//
 // The engine is non-intrusive: it only consumes the operation node's log
 // events from the bus and queries the cloud through the consistent API
 // layer. It never touches the upgrade tool.
@@ -11,14 +19,9 @@ package core
 
 import (
 	"context"
-	"fmt"
-	"strconv"
-	"sync"
 	"time"
 
 	"poddiagnosis/internal/assertion"
-	"poddiagnosis/internal/assertspec"
-	"poddiagnosis/internal/clock"
 	"poddiagnosis/internal/conformance"
 	"poddiagnosis/internal/consistentapi"
 	"poddiagnosis/internal/diagnosis"
@@ -26,7 +29,6 @@ import (
 	"poddiagnosis/internal/logging"
 	"poddiagnosis/internal/logstore"
 	"poddiagnosis/internal/obs"
-	"poddiagnosis/internal/pipeline"
 	"poddiagnosis/internal/process"
 	"poddiagnosis/internal/simaws"
 )
@@ -39,30 +41,30 @@ var (
 	mTimerFires = obs.Default.CounterVec("pod_engine_timer_fires_total",
 		"Assertion timer fires by kind (step = one-off deadline, periodic).", "kind")
 	mWorkDropped = obs.Default.Counter("pod_engine_work_dropped_total",
-		"Background work items discarded because the queue was full or the engine was stopping.")
+		"Background work items discarded because the queue was full or the manager was stopping.")
 )
 
 // Expectation declares the desired end state of the operation being
 // watched; it parameterizes assertions and fault-tree instantiation.
 type Expectation struct {
 	// ASGName, ELBName identify the cluster under upgrade.
-	ASGName string
-	ELBName string
+	ASGName string `json:"asgName"`
+	ELBName string `json:"elbName,omitempty"`
 	// NewImageID and NewVersion describe the target release.
-	NewImageID string
-	NewVersion string
+	NewImageID string `json:"newImageId,omitempty"`
+	NewVersion string `json:"newVersion,omitempty"`
 	// NewLCName is the launch configuration the upgrade creates.
-	NewLCName string
+	NewLCName string `json:"newLcName,omitempty"`
 	// KeyName, SGName and InstanceType are the expected (unchanged)
 	// launch settings.
-	KeyName      string
-	SGName       string
-	InstanceType string
+	KeyName      string `json:"keyName,omitempty"`
+	SGName       string `json:"sgName,omitempty"`
+	InstanceType string `json:"instanceType,omitempty"`
 	// ClusterSize is N, the desired instance count.
-	ClusterSize int
+	ClusterSize int `json:"clusterSize"`
 	// MinInService is N' — the minimum capacity that must stay in
 	// service during the upgrade. Defaults to ClusterSize-1.
-	MinInService int
+	MinInService int `json:"minInService,omitempty"`
 }
 
 // params renders the expectation as assertion parameters.
@@ -79,7 +81,7 @@ func (x Expectation) params() assertion.Params {
 	}
 }
 
-// Config assembles an Engine.
+// Config assembles an Engine: a Manager watching a single operation.
 type Config struct {
 	// Cloud is the simulated AWS account.
 	Cloud *simaws.Cloud
@@ -114,8 +116,11 @@ type Config struct {
 	DisableAssertions bool
 	// Diagnosis tunes the diagnosis engine.
 	Diagnosis diagnosis.Options
-	// MaxDetections caps recorded detections per engine. Zero means 64.
+	// MaxDetections caps recorded detections per session. Zero means 64.
 	MaxDetections int
+	// Workers sizes the shared worker pool. Defaults to
+	// runtime.GOMAXPROCS(0), minimum 2.
+	Workers int
 }
 
 // Detection is one detected anomaly with its diagnosis.
@@ -131,207 +136,93 @@ type Detection struct {
 	StepID string `json:"stepId,omitempty"`
 	// InstanceID is the process instance.
 	InstanceID string `json:"instanceId"`
+	// Operation is the id of the session that recorded the detection.
+	Operation string `json:"operation,omitempty"`
 	// Message describes the anomaly.
 	Message string `json:"message"`
 	// Diagnosis is the root-cause analysis result.
 	Diagnosis *diagnosis.Diagnosis `json:"diagnosis,omitempty"`
 }
 
-// Engine is a running POD-Diagnosis deployment for one operation.
+// Engine is the single-operation compatibility wrapper: one Manager with
+// one Session that adopts every process instance on the bus.
 type Engine struct {
-	cfg       Config
-	spec      *assertspec.Spec
-	clk       clock.Clock
-	checker   *conformance.Checker
-	evaluator *assertion.Evaluator
-	diag      *diagnosis.Engine
-	processor *pipeline.Processor
-	store     *logstore.Store
-	central   *logstore.CentralProcessor
-	timers    *assertion.TimerSet
-
-	opSub      *logging.Subscription
-	centralSub *logging.Subscription
-
-	mu          sync.Mutex
-	detections  []Detection
-	seen        map[string]int  // diagnosis attempts per dedup key
-	identified  map[string]bool // keys whose diagnosis already identified a cause
-	progress    map[string]int  // instance -> relaunches done
-	total       map[string]int  // instance -> total relaunches
-	stepCancel  map[string]func()
-	perioCancel map[string]func()
-
-	work   sync.WaitGroup
-	workCh chan func()
-	stop   chan struct{}
+	cfg  Config
+	mgr  *Manager
+	sess *Session
 }
 
-// NewEngine validates the config and builds an engine. Call Start to begin
-// processing and Stop to shut down.
+// NewEngine validates the config and builds a one-session deployment.
+// Call Start to begin processing and Stop to shut down.
 func NewEngine(cfg Config) (*Engine, error) {
-	if cfg.Cloud == nil || cfg.Bus == nil {
-		return nil, fmt.Errorf("core: Cloud and Bus are required")
-	}
-	if cfg.Expect.ASGName == "" || cfg.Expect.ClusterSize <= 0 {
-		return nil, fmt.Errorf("core: Expect.ASGName and Expect.ClusterSize are required")
-	}
-	if cfg.Model == nil {
-		cfg.Model = process.RollingUpgradeModel()
-	}
-	if cfg.Registry == nil {
-		cfg.Registry = assertion.DefaultRegistry()
-	}
-	if cfg.Trees == nil {
-		cfg.Trees = faulttree.DefaultRepository()
-	}
-	if cfg.PeriodicInterval <= 0 {
-		cfg.PeriodicInterval = time.Minute
-	}
-	if cfg.StepTimeoutSlack <= 0 {
-		cfg.StepTimeoutSlack = 1.6
-	}
-	if cfg.MaxDetections <= 0 {
-		cfg.MaxDetections = 64
-	}
-	if cfg.Expect.MinInService <= 0 {
-		cfg.Expect.MinInService = cfg.Expect.ClusterSize - 1
-		if cfg.Expect.MinInService < 1 {
-			cfg.Expect.MinInService = 1
-		}
-	}
-	if err := cfg.Trees.Validate(cfg.Registry); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	specText := cfg.AssertionSpec
-	if specText == "" {
-		specText = assertspec.DefaultSpecText
-	}
-	spec, err := assertspec.Parse(specText, cfg.Registry)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-
-	client := consistentapi.New(cfg.Cloud, cfg.API)
-	e := &Engine{
-		cfg:         cfg,
-		spec:        spec,
-		clk:         cfg.Cloud.Clock(),
-		checker:     conformance.NewChecker(cfg.Model),
-		evaluator:   assertion.NewEvaluator(client, cfg.Registry, cfg.Bus),
-		store:       logstore.NewStore(),
-		timers:      assertion.NewTimerSet(cfg.Cloud.Clock()),
-		seen:        make(map[string]int),
-		identified:  make(map[string]bool),
-		progress:    make(map[string]int),
-		total:       make(map[string]int),
-		stepCancel:  make(map[string]func()),
-		perioCancel: make(map[string]func()),
-		workCh:      make(chan func(), 64),
-		stop:        make(chan struct{}),
-	}
-	e.diag = diagnosis.NewEngine(cfg.Trees, e.evaluator, cfg.Bus, cfg.Diagnosis)
-	e.processor = pipeline.New(cfg.Model, e.store, pipeline.Triggers{
-		Conformance:  e.onConformance,
-		StepEvent:    e.onStepEvent,
-		ProcessStart: e.onProcessStart,
-		ProcessEnd:   e.onProcessEnd,
+	mgr, err := NewManager(ManagerConfig{
+		Cloud:              cfg.Cloud,
+		Bus:                cfg.Bus,
+		Model:              cfg.Model,
+		Registry:           cfg.Registry,
+		Trees:              cfg.Trees,
+		API:                cfg.API,
+		AssertionSpec:      cfg.AssertionSpec,
+		PeriodicInterval:   cfg.PeriodicInterval,
+		StepTimeoutSlack:   cfg.StepTimeoutSlack,
+		DisableConformance: cfg.DisableConformance,
+		DisableAssertions:  cfg.DisableAssertions,
+		Diagnosis:          cfg.Diagnosis,
+		MaxDetections:      cfg.MaxDetections,
+		Workers:            cfg.Workers,
 	})
-	e.central = logstore.NewCentralProcessor(e.store, nil)
-	return e, nil
+	if err != nil {
+		return nil, err
+	}
+	sess, err := mgr.Watch(cfg.Expect, MatchAnyInstance())
+	if err != nil {
+		return nil, err
+	}
+	// Reflect the manager's applied defaults back into the wrapper config.
+	cfg.Expect = sess.Expect()
+	cfg.PeriodicInterval = mgr.cfg.PeriodicInterval
+	cfg.StepTimeoutSlack = mgr.cfg.StepTimeoutSlack
+	cfg.MaxDetections = mgr.cfg.MaxDetections
+	cfg.Workers = mgr.cfg.Workers
+	return &Engine{cfg: cfg, mgr: mgr, sess: sess}, nil
 }
 
 // Start begins consuming log events and evaluating triggers.
-func (e *Engine) Start() {
-	e.opSub = e.cfg.Bus.Subscribe(4096, logging.TypeFilter(logging.TypeOperation))
-	e.centralSub = e.cfg.Bus.Subscribe(4096, logging.TypeFilter(
-		logging.TypeCloud, logging.TypeAssertion, logging.TypeConformance, logging.TypeDiagnosis))
-	e.processor.Start(e.opSub)
-	e.central.Start(e.centralSub)
-	// Worker pool for assertion evaluations and diagnoses so pipeline
-	// callbacks never block on cloud API latency.
-	for i := 0; i < 4; i++ {
-		e.work.Add(1)
-		go func() {
-			defer e.work.Done()
-			for {
-				select {
-				case <-e.stop:
-					return
-				case f := <-e.workCh:
-					f()
-				}
-			}
-		}()
-	}
-}
+func (e *Engine) Start() { e.mgr.Start() }
 
-// Stop shuts down the engine: timers, pipeline, workers. Pending queued
-// work is discarded; in-flight work completes.
-func (e *Engine) Stop() {
-	e.timers.StopAll()
-	e.processor.Stop()
-	e.central.Stop()
-	e.opSub.Cancel()
-	e.centralSub.Cancel()
-	close(e.stop)
-	e.work.Wait()
-}
+// Stop shuts down the underlying manager: timers, pipeline, workers.
+// Pending queued work is discarded; in-flight work completes.
+func (e *Engine) Stop() { e.mgr.Stop() }
 
 // Drain waits until the log subscriptions and the work queue have been
-// quiescent for a few consecutive polls, or the timeout elapses; it is
-// used by harnesses to collect straggling evaluations and diagnoses after
-// an operation ends.
-func (e *Engine) Drain(timeout time.Duration) {
-	deadline := time.Now().Add(timeout)
-	quiet := 0
-	for time.Now().Before(deadline) {
-		if len(e.opSub.C) == 0 && len(e.centralSub.C) == 0 && len(e.workCh) == 0 {
-			quiet++
-			if quiet >= 3 {
-				return
-			}
-		} else {
-			quiet = 0
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+// quiescent for a few consecutive polls of the injected clock, or until
+// the (simulated-time) timeout elapses or ctx is cancelled. It reports
+// whether quiescence was reached.
+func (e *Engine) Drain(ctx context.Context, timeout time.Duration) bool {
+	return e.mgr.Drain(ctx, timeout)
 }
 
+// Manager returns the underlying manager.
+func (e *Engine) Manager() *Manager { return e.mgr }
+
+// Session returns the engine's single monitoring session.
+func (e *Engine) Session() *Session { return e.sess }
+
 // Store returns the central log storage.
-func (e *Engine) Store() *logstore.Store { return e.store }
+func (e *Engine) Store() *logstore.Store { return e.mgr.Store() }
 
 // Evaluator returns the assertion evaluator (exposed for on-demand use).
-func (e *Engine) Evaluator() *assertion.Evaluator { return e.evaluator }
+func (e *Engine) Evaluator() *assertion.Evaluator { return e.mgr.Evaluator() }
 
-// Checker returns the conformance checker.
-func (e *Engine) Checker() *conformance.Checker { return e.checker }
+// Checker returns the session's conformance checker.
+func (e *Engine) Checker() *conformance.Checker { return e.sess.Checker() }
 
 // Diagnoser returns the diagnosis engine (exposed for on-demand use,
 // e.g. the POST /diagnosis REST endpoint).
-func (e *Engine) Diagnoser() *diagnosis.Engine { return e.diag }
+func (e *Engine) Diagnoser() *diagnosis.Engine { return e.mgr.Diagnoser() }
 
 // Detections returns a copy of all recorded detections.
-func (e *Engine) Detections() []Detection {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]Detection, len(e.detections))
-	copy(out, e.detections)
-	return out
-}
-
-// submit queues background work, dropping it if the engine is stopping or
-// the queue is full (detection bursts beyond the cap carry no new
-// information).
-func (e *Engine) submit(f func()) {
-	select {
-	case <-e.stop:
-		mWorkDropped.Inc()
-	case e.workCh <- f:
-	default:
-		mWorkDropped.Inc()
-	}
-}
+func (e *Engine) Detections() []Detection { return e.sess.Detections() }
 
 // Queue reports the engine's current backlog: queued background work and
 // pending events on the two log subscriptions. Zero across the board
@@ -351,361 +242,14 @@ func (q Queue) Depth() int { return q.Work + q.OpEvents + q.CentralEvents }
 // QueueDepth snapshots the engine's backlog. Safe to call only between
 // Start and Stop.
 func (e *Engine) QueueDepth() Queue {
+	mq := e.mgr.QueueDepth()
+	work := mq.Work
+	if p := e.sess.Pending(); p > work {
+		work = p
+	}
 	return Queue{
-		Work:          len(e.workCh),
-		OpEvents:      len(e.opSub.C),
-		CentralEvents: len(e.centralSub.C),
+		Work:          work,
+		OpEvents:      mq.OpEvents,
+		CentralEvents: mq.CentralEvents,
 	}
-}
-
-// baseParams assembles the expectation parameters plus per-event context.
-func (e *Engine) baseParams(ev logging.Event) assertion.Params {
-	p := e.cfg.Expect.params()
-	if id := ev.Field("instanceid"); id != "" {
-		p[assertion.ParamInstance] = id
-	}
-	return p
-}
-
-// ---- pipeline trigger callbacks ----
-
-// onConformance replays the line and reacts to anomalies.
-func (e *Engine) onConformance(instanceID, line string, ev logging.Event) {
-	if e.cfg.DisableConformance {
-		return
-	}
-	res := e.checker.Check(instanceID, line, ev.Timestamp)
-	e.publishConformance(instanceID, res, ev)
-	if !res.Verdict.IsAnomalous() {
-		return
-	}
-	stepID := res.StepID
-	if stepID == "" && res.Context != nil {
-		stepID = res.Context.LastValidStep
-	}
-	key := "conf|" + instanceID + "|" + string(res.Verdict) + "|" + stepID
-	if !e.shouldDiagnose(key) {
-		return
-	}
-	params := e.baseParams(ev)
-	detail := fmt.Sprintf("conformance %s on line %q", res.Verdict, line)
-	e.submit(func() {
-		d := e.diag.Diagnose(context.Background(), diagnosis.Request{
-			Source:            diagnosis.SourceConformance,
-			ProcessInstanceID: instanceID,
-			StepID:            stepID,
-			Params:            params,
-			Detail:            detail,
-		})
-		e.record(Detection{
-			At:         ev.Timestamp,
-			Source:     diagnosis.SourceConformance,
-			TriggerID:  res.Verdict.Tag(),
-			StepID:     stepID,
-			InstanceID: instanceID,
-			Message:    detail,
-			Diagnosis:  d,
-		})
-	})
-}
-
-// publishConformance logs the verdict to the bus (merged into central
-// storage like the paper's conformance service results).
-func (e *Engine) publishConformance(instanceID string, res conformance.Result, ev logging.Event) {
-	e.cfg.Bus.Publish(logging.Event{
-		Timestamp:  ev.Timestamp,
-		Source:     "conformance.log",
-		SourceHost: "pod-conformance",
-		Type:       logging.TypeConformance,
-		Tags:       []string{res.Verdict.Tag()},
-		Fields: map[string]string{
-			"taskid":  instanceID,
-			"stepid":  res.StepID,
-			"verdict": string(res.Verdict),
-		},
-		Message: fmt.Sprintf("[conformance] [%s] [%s] verdict=%s activity=%s",
-			instanceID, res.StepID, res.Verdict, res.ActivityID),
-	})
-}
-
-// binding is one resolved assertion evaluation to run.
-type binding struct {
-	checkID string
-	params  assertion.Params
-}
-
-// vars assembles the specification variables available at this point of
-// the process: cluster-level targets plus the event's extracted context.
-func (e *Engine) vars(instanceID string, ev logging.Event) map[string]string {
-	e.mu.Lock()
-	progress := e.progress[instanceID]
-	total, hasTotal := e.total[instanceID]
-	e.mu.Unlock()
-	next := progress + 1
-	if hasTotal && next > total {
-		next = total
-	}
-	v := map[string]string{
-		"n":        strconv.Itoa(e.cfg.Expect.ClusterSize),
-		"min":      strconv.Itoa(e.cfg.Expect.MinInService),
-		"progress": strconv.Itoa(progress),
-		"next":     strconv.Itoa(next),
-	}
-	if id := ev.Field("instanceid"); id != "" {
-		v["instanceid"] = id
-	}
-	return v
-}
-
-// stepBindings resolves the specification's post-step assertions for the
-// given step. Bindings whose variables cannot be resolved from the event
-// (e.g. instance-version without an instance id) are skipped.
-func (e *Engine) stepBindings(instanceID string, node *process.Node, ev logging.Event) []binding {
-	specBindings := e.spec.ByStep(node.StepID)
-	if len(specBindings) == 0 {
-		return nil
-	}
-	base := e.baseParams(ev)
-	vars := e.vars(instanceID, ev)
-	out := make([]binding, 0, len(specBindings))
-	for _, sb := range specBindings {
-		params, ok := sb.Resolve(base, vars)
-		if !ok {
-			continue
-		}
-		out = append(out, binding{sb.CheckID, params})
-	}
-	return out
-}
-
-// onStepEvent updates progress, resets the one-off step timer and
-// evaluates post-step assertions.
-func (e *Engine) onStepEvent(instanceID string, node *process.Node, ev logging.Event) {
-	// Track operation progress from any line the annotator extracted
-	// "k of n" counters from (relaunches done, instances in service, ...).
-	if n, err := strconv.Atoi(ev.Field("num")); err == nil {
-		e.mu.Lock()
-		e.progress[instanceID] = n
-		e.mu.Unlock()
-	}
-	if n, err := strconv.Atoi(ev.Field("total")); err == nil {
-		e.mu.Lock()
-		e.total[instanceID] = n
-		e.mu.Unlock()
-	}
-
-	e.resetStepTimer(instanceID, node)
-
-	if e.cfg.DisableAssertions {
-		return
-	}
-	trig := assertion.Trigger{
-		Source:            assertion.TriggerLog,
-		ProcessInstanceID: instanceID,
-		StepID:            node.StepID,
-	}
-	for _, b := range e.stepBindings(instanceID, node, ev) {
-		b := b
-		e.submit(func() { e.evaluateAndMaybeDiagnose(b.checkID, b.params, trig) })
-	}
-}
-
-// evaluateAndMaybeDiagnose runs one assertion; a non-pass result is a
-// detection and triggers diagnosis.
-func (e *Engine) evaluateAndMaybeDiagnose(checkID string, p assertion.Params, trig assertion.Trigger) {
-	res := e.evaluator.Evaluate(context.Background(), checkID, p, trig)
-	if res.Passed() {
-		return
-	}
-	key := "assert|" + trig.ProcessInstanceID + "|" + checkID + "|" + trig.StepID
-	if !e.shouldDiagnose(key) {
-		return
-	}
-	src := diagnosis.SourceAssertion
-	if trig.Source == assertion.TriggerTimer {
-		src = diagnosis.SourceTimer
-	}
-	d := e.diag.Diagnose(context.Background(), diagnosis.Request{
-		AssertionID:       checkID,
-		Source:            src,
-		ProcessInstanceID: trig.ProcessInstanceID,
-		StepID:            trig.StepID,
-		Params:            p,
-		Detail:            res.Message,
-	})
-	e.record(Detection{
-		At:         res.EvaluatedAt,
-		Source:     src,
-		TriggerID:  checkID,
-		StepID:     trig.StepID,
-		InstanceID: trig.ProcessInstanceID,
-		Message:    res.Message,
-		Diagnosis:  d,
-	})
-}
-
-// resetStepTimer cancels the previous one-off timer for the instance and
-// arms a new one sized from the step's historical duration: if the next
-// step's log line does not arrive in time, the high-level version-count
-// assertion is evaluated with the next expected progress (a purely
-// timer-based trigger, which carries no instance id — §VI.A).
-func (e *Engine) resetStepTimer(instanceID string, node *process.Node) {
-	e.mu.Lock()
-	if cancel, ok := e.stepCancel[instanceID]; ok {
-		cancel()
-		delete(e.stepCancel, instanceID)
-	}
-	if node.ID == process.NodeCompleted {
-		e.mu.Unlock()
-		return
-	}
-	mean := node.MeanDuration
-	if mean <= 0 {
-		mean = 30 * time.Second
-	}
-	deadline := time.Duration(float64(mean) * e.cfg.StepTimeoutSlack)
-	e.mu.Unlock()
-
-	if e.cfg.DisableAssertions {
-		return
-	}
-	timeouts := e.spec.TimeoutsFor(node.StepID)
-	if len(timeouts) == 0 {
-		return
-	}
-	base := e.cfg.Expect.params()
-	vars := e.vars(instanceID, logging.Event{})
-	trig := assertion.Trigger{
-		Source:            assertion.TriggerTimer,
-		ProcessInstanceID: instanceID,
-		// No step id: the timer fires between steps (weak context).
-	}
-	cancels := make([]func(), 0, len(timeouts))
-	for _, tb := range timeouts {
-		params, ok := tb.Resolve(base, vars)
-		if !ok {
-			continue
-		}
-		checkID := tb.CheckID
-		cancels = append(cancels, e.timers.After(deadline, func() {
-			mTimerFires.With("step").Inc()
-			e.submit(func() {
-				e.evaluateAndMaybeDiagnose(checkID, params, trig)
-			})
-		}))
-	}
-	if len(cancels) == 0 {
-		return
-	}
-	e.mu.Lock()
-	e.stepCancel[instanceID] = func() {
-		for _, c := range cancels {
-			c()
-		}
-	}
-	e.mu.Unlock()
-}
-
-// onProcessStart arms the periodic capacity assertion (§III.B.1: "the
-// timer setter uses the log line indicating the start of the operation
-// process to start the periodic timer").
-func (e *Engine) onProcessStart(instanceID string, ev logging.Event) {
-	if e.cfg.DisableAssertions {
-		return
-	}
-	base := e.cfg.Expect.params()
-	vars := e.vars(instanceID, ev)
-	trig := assertion.Trigger{
-		Source:            assertion.TriggerTimer,
-		ProcessInstanceID: instanceID,
-	}
-	cancels := make([]func(), 0, 1)
-	for _, pb := range e.spec.Periodic() {
-		params, ok := pb.Resolve(base, vars)
-		if !ok {
-			continue
-		}
-		interval := pb.Every
-		if e.cfg.PeriodicInterval > 0 {
-			// The engine-level interval overrides the spec's default, so
-			// experiments can tune the cadence without editing the spec.
-			interval = e.cfg.PeriodicInterval
-		}
-		checkID := pb.CheckID
-		cancels = append(cancels, e.timers.Every(interval, func() {
-			mTimerFires.With("periodic").Inc()
-			e.submit(func() {
-				e.evaluateAndMaybeDiagnose(checkID, params, trig)
-			})
-		}))
-	}
-	if len(cancels) == 0 {
-		return
-	}
-	e.mu.Lock()
-	if old, ok := e.perioCancel[instanceID]; ok {
-		old()
-	}
-	e.perioCancel[instanceID] = func() {
-		for _, c := range cancels {
-			c()
-		}
-	}
-	e.mu.Unlock()
-}
-
-// onProcessEnd stops the instance's timers.
-func (e *Engine) onProcessEnd(instanceID string, ev logging.Event) {
-	e.mu.Lock()
-	if cancel, ok := e.perioCancel[instanceID]; ok {
-		cancel()
-		delete(e.perioCancel, instanceID)
-	}
-	if cancel, ok := e.stepCancel[instanceID]; ok {
-		cancel()
-		delete(e.stepCancel, instanceID)
-	}
-	e.mu.Unlock()
-}
-
-// ---- bookkeeping ----
-
-func (e *Engine) progressOf(instanceID string) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.progress[instanceID]
-}
-
-// shouldDiagnose dedups diagnosis triggers and enforces the detection cap.
-// A trigger key is retried up to three times while its diagnoses remain
-// inconclusive — matching the paper's observation that repeated failures
-// re-enter diagnosis — but once a root cause is identified the key is
-// settled.
-func (e *Engine) shouldDiagnose(key string) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.identified[key] || e.seen[key] >= 3 {
-		return false
-	}
-	if len(e.detections) >= e.cfg.MaxDetections {
-		return false
-	}
-	e.seen[key]++
-	return true
-}
-
-// record appends a detection and settles its dedup key when the diagnosis
-// identified a root cause.
-func (e *Engine) record(d Detection) {
-	mDetections.With(string(d.Source)).Inc()
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if d.Diagnosis != nil && d.Diagnosis.Conclusion == diagnosis.ConclusionIdentified {
-		e.identified["assert|"+d.InstanceID+"|"+d.TriggerID+"|"+d.StepID] = true
-		e.identified["conf|"+d.InstanceID+"|"+d.TriggerID+"|"+d.StepID] = true
-	}
-	if len(e.detections) >= e.cfg.MaxDetections {
-		return
-	}
-	e.detections = append(e.detections, d)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -32,19 +33,20 @@ func TestProgressTrackingFromReadyLines(t *testing.T) {
 	r.bus.Publish(opEvent(now, "task-p", "Starting rolling upgrade of group pm--asg to image ami-x"))
 	r.bus.Publish(opEvent(now, "task-p", "Sorted 5 instances for replacement"))
 	r.bus.Publish(opEvent(now, "task-p", "Instance pm on i-1 is ready for use. 3 of 5 instance relaunches done."))
+	sess := r.engine.Session()
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if r.engine.progressOf("task-p") == 3 {
+		if sess.progressOf("task-p") == 3 {
 			break
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	if got := r.engine.progressOf("task-p"); got != 3 {
+	if got := sess.progressOf("task-p"); got != 3 {
 		t.Fatalf("progress = %d, want 3", got)
 	}
-	r.engine.mu.Lock()
-	total := r.engine.total["task-p"]
-	r.engine.mu.Unlock()
+	sess.mu.Lock()
+	total := sess.total["task-p"]
+	sess.mu.Unlock()
 	if total != 5 {
 		t.Fatalf("total = %d, want 5", total)
 	}
@@ -58,11 +60,12 @@ func TestProcessEndCancelsTimers(t *testing.T) {
 	r.bus.Publish(opEvent(now, "task-t", "Starting rolling upgrade of group pm--asg to image ami-x"))
 	r.bus.Publish(opEvent(now, "task-t", "Waiting for group pm--asg to start a new instance"))
 	// Wait for the periodic + step timers to be registered.
+	sess := r.engine.Session()
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		r.engine.mu.Lock()
-		n := len(r.engine.perioCancel) + len(r.engine.stepCancel)
-		r.engine.mu.Unlock()
+		sess.mu.Lock()
+		n := len(sess.perioCancel) + len(sess.stepCancel)
+		sess.mu.Unlock()
 		if n >= 2 {
 			break
 		}
@@ -71,9 +74,9 @@ func TestProcessEndCancelsTimers(t *testing.T) {
 	r.bus.Publish(opEvent(now, "task-t", "Rolling upgrade task completed"))
 	deadline = time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		r.engine.mu.Lock()
-		n := len(r.engine.perioCancel) + len(r.engine.stepCancel)
-		r.engine.mu.Unlock()
+		sess.mu.Lock()
+		n := len(sess.perioCancel) + len(sess.stepCancel)
+		sess.mu.Unlock()
 		if n == 0 {
 			return
 		}
@@ -93,8 +96,7 @@ func TestDetectionCapBoundsRecording(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		r.bus.Publish(opEvent(now, "task-c", "ERROR: boom number "+string(rune('a'+i))))
 	}
-	r.engine.Drain(5 * time.Second)
-	time.Sleep(30 * time.Millisecond)
+	r.engine.Drain(context.Background(), 2*time.Minute)
 	if got := len(r.engine.Detections()); got > 2 {
 		t.Fatalf("detections = %d, cap 2", got)
 	}
@@ -102,25 +104,30 @@ func TestDetectionCapBoundsRecording(t *testing.T) {
 
 func TestReDiagnosisAfterInconclusive(t *testing.T) {
 	r := newRig(t, 2, nil)
-	eng := r.engine
+	sess := r.engine.Session()
 	// First diagnosis for a key concludes nothing: the key may retry.
 	key := "assert|t|x|step1"
-	if !eng.shouldDiagnose(key) {
+	if !sess.shouldDiagnose(key) {
 		t.Fatal("first attempt blocked")
 	}
-	eng.record(Detection{InstanceID: "t", TriggerID: "x", StepID: "step1",
-		Diagnosis: &diagnosis.Diagnosis{Conclusion: diagnosis.ConclusionNone}})
-	if !eng.shouldDiagnose(key) {
+	sess.record(Detection{InstanceID: "t", TriggerID: "x", StepID: "step1",
+		Diagnosis: &diagnosis.Diagnosis{Conclusion: diagnosis.ConclusionNone}}, key)
+	if !sess.shouldDiagnose(key) {
 		t.Fatal("retry after inconclusive blocked")
 	}
 	// Once identified, the key is settled.
-	eng.record(Detection{InstanceID: "t", TriggerID: "x", StepID: "step1",
-		Diagnosis: &diagnosis.Diagnosis{Conclusion: diagnosis.ConclusionIdentified}})
-	if eng.shouldDiagnose(key) {
+	sess.record(Detection{InstanceID: "t", TriggerID: "x", StepID: "step1",
+		Diagnosis: &diagnosis.Diagnosis{Conclusion: diagnosis.ConclusionIdentified}}, key)
+	if sess.shouldDiagnose(key) {
 		t.Fatal("retry after identification allowed")
 	}
+	// Only the originating key settles: a conformance key sharing the
+	// same parts is unaffected (the old code blindly settled both).
+	if !sess.shouldDiagnose("conf|t|x|step1") {
+		t.Fatal("conformance key settled by assertion identification")
+	}
 	// Unrelated keys unaffected.
-	if !eng.shouldDiagnose("assert|t|y|step1") {
+	if !sess.shouldDiagnose("assert|t|y|step1") {
 		t.Fatal("unrelated key blocked")
 	}
 }
@@ -178,13 +185,13 @@ func TestStepBindingsShape(t *testing.T) {
 	}
 	for _, tc := range cases {
 		n := model.Node(tc.node)
-		got := r.engine.stepBindings("t", n, ev)
+		got := r.engine.Session().stepBindings("t", n, ev)
 		if len(got) != tc.wantN {
 			t.Errorf("%s bindings = %d, want %d", tc.node, len(got), tc.wantN)
 		}
 	}
 	// Without an instance id, the low-level double check is skipped.
-	bare := r.engine.stepBindings("t", model.Node(process.NodeNewReady), logging.Event{})
+	bare := r.engine.Session().stepBindings("t", model.Node(process.NodeNewReady), logging.Event{})
 	if len(bare) != 5 {
 		t.Errorf("bare step7 bindings = %d, want 5", len(bare))
 	}
@@ -223,10 +230,10 @@ func TestCustomAssertionSpec(t *testing.T) {
 	custom := "on step8 assert asg-instance-count want={n}\n"
 	r := newRig(t, 2, func(c *Config) { c.AssertionSpec = custom })
 	model := process.RollingUpgradeModel()
-	if got := r.engine.stepBindings("t", model.Node(process.NodeNewReady), logging.Event{}); len(got) != 0 {
+	if got := r.engine.Session().stepBindings("t", model.Node(process.NodeNewReady), logging.Event{}); len(got) != 0 {
 		t.Errorf("step7 bindings = %d, want 0", len(got))
 	}
-	got := r.engine.stepBindings("t", model.Node(process.NodeCompleted), logging.Event{})
+	got := r.engine.Session().stepBindings("t", model.Node(process.NodeCompleted), logging.Event{})
 	if len(got) != 1 || got[0].checkID != "asg-instance-count" {
 		t.Fatalf("step8 bindings = %+v", got)
 	}

@@ -99,8 +99,7 @@ func (r *rig) runUpgrade(t *testing.T) *upgrade.Report {
 	t.Helper()
 	r.engine.Start()
 	rep := r.up.Run(r.ctx, r.spec)
-	r.engine.Drain(5 * time.Second)
-	time.Sleep(50 * time.Millisecond) // let in-flight diagnoses finish
+	r.engine.Drain(r.ctx, 2*time.Minute)
 	r.engine.Stop()
 	return rep
 }

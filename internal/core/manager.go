@@ -1,0 +1,703 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/assertspec"
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/conformance"
+	"poddiagnosis/internal/consistentapi"
+	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/faulttree"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/logstore"
+	"poddiagnosis/internal/obs"
+	"poddiagnosis/internal/pipeline"
+	"poddiagnosis/internal/process"
+	"poddiagnosis/internal/simaws"
+)
+
+// Manager metrics: multi-tenant counterparts of the engine metrics.
+var (
+	mWorkers = obs.Default.Gauge("pod_engine_workers",
+		"Size of the shared assertion/diagnosis worker pool.")
+	mSessions = obs.Default.GaugeVec("pod_manager_sessions",
+		"Monitoring sessions by lifecycle state.", "state")
+	mShardPending = obs.Default.GaugeVec("pod_manager_shard_pending",
+		"Queued plus in-flight work items by process-instance shard.", "shard")
+	mOpDetections = obs.Default.CounterVec("pod_manager_detections_total",
+		"Recorded detections by operation (session id).", "operation")
+	mRouted = obs.Default.CounterVec("pod_manager_routed_total",
+		"Annotated events routed to sessions by outcome.", "outcome")
+)
+
+// numShards is the number of process-instance shards the manager routes
+// across. Sharding bounds lock contention between concurrently monitored
+// operations and gives the backlog gauges a stable label set.
+const numShards = 16
+
+// ManagerConfig assembles a Manager: the substrate shared by every
+// monitoring session. Per-operation knobs (expectation, assertion spec,
+// timer cadence) live on Watch options instead.
+type ManagerConfig struct {
+	// Cloud is the simulated AWS account.
+	Cloud *simaws.Cloud
+	// Bus carries log events between components.
+	Bus *logging.Bus
+	// Model is the operation's process model. Defaults to the rolling
+	// upgrade model of Figure 2.
+	Model *process.Model
+	// Registry is the assertion library. Defaults to the built-in one.
+	Registry *assertion.Registry
+	// Trees is the fault-tree knowledge base. Defaults to the built-in
+	// catalog.
+	Trees *faulttree.Repository
+	// API tunes the consistent API layer.
+	API consistentapi.Config
+	// AssertionSpec is the default assertion specification for sessions
+	// that don't override it. Empty means assertspec.DefaultSpecText.
+	AssertionSpec string
+	// PeriodicInterval is the default cadence of the periodic capacity
+	// assertion (§III.B.3). Defaults to 60s.
+	PeriodicInterval time.Duration
+	// StepTimeoutSlack scales historical step durations into one-off
+	// timer deadlines. Defaults to 1.6.
+	StepTimeoutSlack float64
+	// DisableConformance turns off conformance checking (ablation A2).
+	DisableConformance bool
+	// DisableAssertions turns off assertion triggering (ablation A2).
+	DisableAssertions bool
+	// Diagnosis tunes the diagnosis engine.
+	Diagnosis diagnosis.Options
+	// MaxDetections caps recorded detections per session. Zero means 64.
+	MaxDetections int
+	// Workers sizes the shared worker pool for assertion evaluations and
+	// diagnoses. Defaults to runtime.GOMAXPROCS(0), minimum 2.
+	Workers int
+	// Retention is how long (simulated time) an ended session stays
+	// queryable before garbage collection. Defaults to 10 minutes.
+	Retention time.Duration
+	// OnUnknownInstance, when set, is consulted for process instance ids
+	// no session claims. Returning a non-nil Expectation lazily registers
+	// a session bound to that instance; returning nil drops the event's
+	// triggers (it still reaches central storage).
+	OnUnknownInstance func(instanceID string, ev logging.Event) *Expectation
+}
+
+// Manager owns the shared POD-Diagnosis substrate — bus subscriptions, the
+// local log processor, central log storage, the consistent API client, the
+// assertion evaluator, the diagnosis engine, the timer wheel and one
+// worker pool — and routes annotated events to per-operation Sessions
+// sharded by process-instance id. It is the multi-tenant refactor of the
+// original single-operation Engine (§IV deploys conformance, assertion and
+// diagnosis as shared services that many operation instances post into).
+type Manager struct {
+	cfg         ManagerConfig
+	defaultSpec *assertspec.Spec
+	clk         clock.Clock
+	checker     *conformance.Checker // service checker for the REST surface
+	evaluator   *assertion.Evaluator
+	diag        *diagnosis.Engine
+	processor   *pipeline.Processor
+	store       *logstore.Store
+	central     *logstore.CentralProcessor
+	timers      *assertion.TimerSet
+	workers     int
+
+	opSub      *logging.Subscription
+	centralSub *logging.Subscription
+
+	shards [numShards]shard
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    []*Session // insertion order, for adoption scans and listings
+	nextID   int
+
+	pending atomic.Int64 // queued + in-flight work items across all sessions
+
+	work   sync.WaitGroup
+	gc     sync.WaitGroup
+	workCh chan func()
+	stop   chan struct{}
+}
+
+// shard maps process instance ids to their owning session and tracks the
+// shard's share of the work backlog.
+type shard struct {
+	mu       sync.RWMutex
+	owner    map[string]*Session
+	pending  atomic.Int64
+	depthVec *obs.Gauge
+}
+
+// shardOf hashes a process instance id onto a shard index.
+func shardOf(instanceID string) int {
+	h := fnv.New32a()
+	h.Write([]byte(instanceID))
+	return int(h.Sum32() % numShards)
+}
+
+// NewManager validates the config and builds the shared substrate. Call
+// Start to begin processing, Watch to register operations, and Stop to
+// shut down.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.Cloud == nil || cfg.Bus == nil {
+		return nil, fmt.Errorf("core: Cloud and Bus are required")
+	}
+	if cfg.Model == nil {
+		cfg.Model = process.RollingUpgradeModel()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = assertion.DefaultRegistry()
+	}
+	if cfg.Trees == nil {
+		cfg.Trees = faulttree.DefaultRepository()
+	}
+	if cfg.PeriodicInterval <= 0 {
+		cfg.PeriodicInterval = time.Minute
+	}
+	if cfg.StepTimeoutSlack <= 0 {
+		cfg.StepTimeoutSlack = 1.6
+	}
+	if cfg.MaxDetections <= 0 {
+		cfg.MaxDetections = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 2 {
+		cfg.Workers = 2
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = 10 * time.Minute
+	}
+	if err := cfg.Trees.Validate(cfg.Registry); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	specText := cfg.AssertionSpec
+	if specText == "" {
+		specText = assertspec.DefaultSpecText
+	}
+	spec, err := assertspec.Parse(specText, cfg.Registry)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	client := consistentapi.New(cfg.Cloud, cfg.API)
+	queueCap := 64 * cfg.Workers
+	if queueCap < 256 {
+		queueCap = 256
+	}
+	m := &Manager{
+		cfg:         cfg,
+		defaultSpec: spec,
+		clk:         cfg.Cloud.Clock(),
+		checker:     conformance.NewChecker(cfg.Model),
+		evaluator:   assertion.NewEvaluator(client, cfg.Registry, cfg.Bus),
+		store:       logstore.NewStore(),
+		timers:      assertion.NewTimerSet(cfg.Cloud.Clock()),
+		workers:     cfg.Workers,
+		sessions:    make(map[string]*Session),
+		workCh:      make(chan func(), queueCap),
+		stop:        make(chan struct{}),
+	}
+	for i := range m.shards {
+		m.shards[i].owner = make(map[string]*Session)
+		m.shards[i].depthVec = mShardPending.With(strconv.Itoa(i))
+	}
+	m.diag = diagnosis.NewEngine(cfg.Trees, m.evaluator, cfg.Bus, cfg.Diagnosis)
+	m.processor = pipeline.NewRouted(cfg.Model, m.store, m.route)
+	m.central = logstore.NewCentralProcessor(m.store, nil)
+	return m, nil
+}
+
+// Start begins consuming log events, routing them to sessions, and runs
+// the worker pool plus the session garbage collector.
+func (m *Manager) Start() {
+	m.opSub = m.cfg.Bus.Subscribe(4096, logging.TypeFilter(logging.TypeOperation))
+	m.centralSub = m.cfg.Bus.Subscribe(4096, logging.TypeFilter(
+		logging.TypeCloud, logging.TypeAssertion, logging.TypeConformance, logging.TypeDiagnosis))
+	m.processor.Start(m.opSub)
+	m.central.Start(m.centralSub)
+	mWorkers.Set(float64(m.workers))
+	// Shared worker pool for assertion evaluations and diagnoses so
+	// pipeline callbacks never block on cloud API latency.
+	for i := 0; i < m.workers; i++ {
+		m.work.Add(1)
+		go func() {
+			defer m.work.Done()
+			for {
+				select {
+				case <-m.stop:
+					return
+				case f := <-m.workCh:
+					f()
+				}
+			}
+		}()
+	}
+	// Session GC: sweep ended sessions past the retention window.
+	m.gc.Add(1)
+	go func() {
+		defer m.gc.Done()
+		interval := m.cfg.Retention / 4
+		if interval <= 0 {
+			interval = time.Minute
+		}
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-m.clk.After(interval):
+				m.sweep()
+			}
+		}
+	}()
+}
+
+// Stop shuts down the manager: timers, pipeline, workers, GC. Pending
+// queued work is discarded; in-flight work completes.
+func (m *Manager) Stop() {
+	m.timers.StopAll()
+	m.processor.Stop()
+	m.central.Stop()
+	m.opSub.Cancel()
+	m.centralSub.Cancel()
+	close(m.stop)
+	m.work.Wait()
+	m.gc.Wait()
+}
+
+// WatchOption customizes a session at registration time.
+type WatchOption func(*watchOptions)
+
+type watchOptions struct {
+	id               string
+	bind             []string
+	matchASG         bool
+	matchAny         bool
+	specText         string
+	periodicInterval time.Duration
+	stepSlack        float64
+	maxDetections    int
+}
+
+// WithSessionID names the session; default ids are op-1, op-2, ...
+func WithSessionID(id string) WatchOption { return func(o *watchOptions) { o.id = id } }
+
+// BindInstance pre-binds process instance ids (e.g. the upgrade task id)
+// to the session. A session with only explicit bindings auto-ends once
+// every bound instance's process completes.
+func BindInstance(ids ...string) WatchOption {
+	return func(o *watchOptions) { o.bind = append(o.bind, ids...) }
+}
+
+// MatchASGInstances adopts unknown process instances whose annotated
+// events reference the session's ASG (extracted "asgid" field, or the
+// instance id embedding the ASG name).
+func MatchASGInstances() WatchOption { return func(o *watchOptions) { o.matchASG = true } }
+
+// MatchAnyInstance adopts every unclaimed process instance. This is the
+// single-operation compatibility mode used by NewEngine.
+func MatchAnyInstance() WatchOption { return func(o *watchOptions) { o.matchAny = true } }
+
+// WithAssertionSpec overrides the manager's default assertion spec for
+// this session.
+func WithAssertionSpec(text string) WatchOption {
+	return func(o *watchOptions) { o.specText = text }
+}
+
+// WithPeriodicInterval overrides the periodic assertion cadence for this
+// session.
+func WithPeriodicInterval(d time.Duration) WatchOption {
+	return func(o *watchOptions) { o.periodicInterval = d }
+}
+
+// WithStepTimeoutSlack overrides the step-timer slack for this session.
+func WithStepTimeoutSlack(slack float64) WatchOption {
+	return func(o *watchOptions) { o.stepSlack = slack }
+}
+
+// WithMaxDetections overrides the per-session detection cap.
+func WithMaxDetections(n int) WatchOption {
+	return func(o *watchOptions) { o.maxDetections = n }
+}
+
+// Watch registers a new monitoring session for one operation and returns
+// its handle. The expectation is validated and normalized (MinInService
+// defaults to ClusterSize-1).
+func (m *Manager) Watch(x Expectation, opts ...WatchOption) (*Session, error) {
+	if x.ASGName == "" || x.ClusterSize <= 0 {
+		return nil, fmt.Errorf("core: Expect.ASGName and Expect.ClusterSize are required")
+	}
+	if x.MinInService <= 0 {
+		x.MinInService = x.ClusterSize - 1
+		if x.MinInService < 1 {
+			x.MinInService = 1
+		}
+	}
+	var o watchOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	spec := m.defaultSpec
+	if o.specText != "" {
+		parsed, err := assertspec.Parse(o.specText, m.cfg.Registry)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		spec = parsed
+	}
+	if o.periodicInterval <= 0 {
+		o.periodicInterval = m.cfg.PeriodicInterval
+	}
+	if o.stepSlack <= 0 {
+		o.stepSlack = m.cfg.StepTimeoutSlack
+	}
+	if o.maxDetections <= 0 {
+		o.maxDetections = m.cfg.MaxDetections
+	}
+
+	s := &Session{
+		mgr:              m,
+		expect:           x,
+		spec:             spec,
+		checker:          conformance.NewChecker(m.cfg.Model),
+		periodicInterval: o.periodicInterval,
+		stepSlack:        o.stepSlack,
+		maxDetections:    o.maxDetections,
+		matchAny:         o.matchAny,
+		matchASG:         o.matchASG,
+		state:            SessionActive,
+		bound:            make(map[string]bool),
+		instances:        make(map[string]bool),
+		completed:        make(map[string]bool),
+		seen:             make(map[string]int),
+		identified:       make(map[string]bool),
+		progress:         make(map[string]int),
+		total:            make(map[string]int),
+		stepCancel:       make(map[string]func()),
+		perioCancel:      make(map[string]func()),
+	}
+
+	m.mu.Lock()
+	if o.id == "" {
+		m.nextID++
+		o.id = fmt.Sprintf("op-%d", m.nextID)
+	}
+	if _, dup := m.sessions[o.id]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("core: session %q already exists", o.id)
+	}
+	s.id = o.id
+	m.sessions[s.id] = s
+	m.order = append(m.order, s)
+	m.mu.Unlock()
+
+	for _, id := range o.bind {
+		m.bind(id, s, true)
+	}
+	mSessions.With(string(SessionActive)).Inc()
+	return s, nil
+}
+
+// Session returns the session with the given id, or nil.
+func (m *Manager) Session(id string) *Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sessions[id]
+}
+
+// Sessions lists all sessions in registration order.
+func (m *Manager) Sessions() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Remove ends the session (if still active) and deletes it immediately,
+// without waiting for the retention sweep. It reports whether the session
+// existed.
+func (m *Manager) Remove(id string) bool {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.End()
+	m.drop([]*Session{s})
+	return true
+}
+
+// bind maps an instance id to its owning session.
+func (m *Manager) bind(instanceID string, s *Session, explicit bool) {
+	sh := &m.shards[shardOf(instanceID)]
+	sh.mu.Lock()
+	sh.owner[instanceID] = s
+	sh.mu.Unlock()
+	s.adopt(instanceID, explicit)
+}
+
+// route resolves the session for an annotated event; it is the pipeline's
+// Router. Unknown instances are offered to active matching sessions, then
+// to the lazy-registration callback, and otherwise dropped (their lines
+// still reach central storage).
+func (m *Manager) route(instanceID string, ev logging.Event) pipeline.Handler {
+	sh := &m.shards[shardOf(instanceID)]
+	sh.mu.RLock()
+	s := sh.owner[instanceID]
+	sh.mu.RUnlock()
+	if s != nil {
+		if s.ended() {
+			mRouted.With("ended").Inc()
+			return nil
+		}
+		mRouted.With("session").Inc()
+		return s
+	}
+
+	// Adoption scan: the first event of an unknown instance may carry the
+	// extracted "asgid" field; task ids also embed the ASG name.
+	m.mu.Lock()
+	for _, cand := range m.order {
+		if cand.ended() {
+			continue
+		}
+		if cand.matchAny ||
+			(cand.matchASG && (ev.Field("asgid") == cand.expect.ASGName ||
+				strings.Contains(instanceID, cand.expect.ASGName))) {
+			s = cand
+			break
+		}
+	}
+	m.mu.Unlock()
+	if s != nil {
+		m.bind(instanceID, s, false)
+		mRouted.With("adopted").Inc()
+		return s
+	}
+
+	// Lazy registration: ask the callback (outside m.mu — it may Watch).
+	if m.cfg.OnUnknownInstance != nil {
+		if x := m.cfg.OnUnknownInstance(instanceID, ev); x != nil {
+			reg, err := m.Watch(*x, BindInstance(instanceID))
+			if err == nil {
+				mRouted.With("registered").Inc()
+				return reg
+			}
+		}
+	}
+	mRouted.With("dropped").Inc()
+	return nil
+}
+
+// submit queues background work for an instance's shard, dropping it if
+// the manager is stopping or the queue is full (detection bursts beyond
+// the cap carry no new information). dropped is called when the work is
+// discarded instead of run.
+func (m *Manager) submit(instanceID string, f func(), dropped func()) {
+	sh := &m.shards[shardOf(instanceID)]
+	m.pending.Add(1)
+	sh.depthVec.Set(float64(sh.pending.Add(1)))
+	done := func() {
+		m.pending.Add(-1)
+		sh.depthVec.Set(float64(sh.pending.Add(-1)))
+	}
+	wrapped := func() {
+		defer done()
+		f()
+	}
+	select {
+	case <-m.stop:
+		done()
+		dropped()
+		mWorkDropped.Inc()
+	case m.workCh <- wrapped:
+	default:
+		done()
+		dropped()
+		mWorkDropped.Inc()
+	}
+}
+
+// sessionEnded updates the lifecycle gauges when a session ends.
+func (m *Manager) sessionEnded() {
+	mSessions.With(string(SessionActive)).Add(-1)
+	mSessions.With(string(SessionEnded)).Inc()
+}
+
+// sweep garbage-collects sessions that ended before the retention window.
+func (m *Manager) sweep() {
+	cutoff := m.clk.Now().Add(-m.cfg.Retention)
+	var expired []*Session
+	m.mu.Lock()
+	for _, s := range m.order {
+		s.mu.Lock()
+		gone := s.state == SessionEnded && s.endedAt.Before(cutoff)
+		s.mu.Unlock()
+		if gone {
+			expired = append(expired, s)
+		}
+	}
+	m.mu.Unlock()
+	if len(expired) > 0 {
+		m.drop(expired)
+	}
+}
+
+// drop removes sessions from the registry and the instance shards.
+func (m *Manager) drop(victims []*Session) {
+	dead := make(map[*Session]bool, len(victims))
+	for _, s := range victims {
+		dead[s] = true
+	}
+	m.mu.Lock()
+	kept := m.order[:0]
+	for _, s := range m.order {
+		if dead[s] {
+			delete(m.sessions, s.id)
+			mSessions.With(string(SessionEnded)).Add(-1)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	m.order = kept
+	m.mu.Unlock()
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.owner {
+			if dead[s] {
+				delete(sh.owner, id)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Drain waits until the log subscriptions and the worker pool have been
+// quiescent — no buffered events, no queued or in-flight work — for a few
+// consecutive polls, or until the (simulated-clock) timeout elapses or ctx
+// is cancelled. It reports whether quiescence was reached. Harnesses use
+// it to collect straggling evaluations and diagnoses after an operation
+// ends.
+func (m *Manager) Drain(ctx context.Context, timeout time.Duration) bool {
+	deadline := m.clk.Now().Add(timeout)
+	poll := timeout / 200
+	if poll < 5*time.Millisecond {
+		poll = 5 * time.Millisecond
+	}
+	if poll > time.Second {
+		poll = time.Second
+	}
+	quiet := 0
+	for m.clk.Now().Before(deadline) {
+		if len(m.opSub.C) == 0 && len(m.centralSub.C) == 0 &&
+			len(m.workCh) == 0 && m.pending.Load() == 0 {
+			quiet++
+			if quiet >= 3 {
+				return true
+			}
+		} else {
+			quiet = 0
+		}
+		if err := m.clk.Sleep(ctx, poll); err != nil {
+			return false
+		}
+	}
+	return false
+}
+
+// Store returns the central log storage.
+func (m *Manager) Store() *logstore.Store { return m.store }
+
+// Evaluator returns the shared assertion evaluator.
+func (m *Manager) Evaluator() *assertion.Evaluator { return m.evaluator }
+
+// Checker returns the manager's service conformance checker — the one the
+// REST POST /conformance/check surface replays into. Sessions keep their
+// own private checkers.
+func (m *Manager) Checker() *conformance.Checker { return m.checker }
+
+// Diagnoser returns the shared diagnosis engine.
+func (m *Manager) Diagnoser() *diagnosis.Engine { return m.diag }
+
+// Clock returns the manager's (simulated) clock.
+func (m *Manager) Clock() clock.Clock { return m.clk }
+
+// ManagerQueue reports the manager's backlog: shared worker queue, the two
+// log subscriptions, and the per-session pending work.
+type ManagerQueue struct {
+	// Work is the number of queued work items on the shared pool.
+	Work int `json:"work"`
+	// OpEvents is the operation-log subscription backlog.
+	OpEvents int `json:"opEvents"`
+	// CentralEvents is the central-merge subscription backlog.
+	CentralEvents int `json:"centralEvents"`
+	// Sessions maps session id to its queued + in-flight work items.
+	Sessions map[string]int `json:"sessions,omitempty"`
+}
+
+// Depth is the total backlog. Per-session pending counts already include
+// the queued items on the shared pool, so Work is informational and not
+// double-counted.
+func (q ManagerQueue) Depth() int {
+	d := q.OpEvents + q.CentralEvents
+	for _, n := range q.Sessions {
+		d += n
+	}
+	if q.Work > d {
+		d = q.Work
+	}
+	return d
+}
+
+// QueueDepth snapshots the manager's backlog.
+func (m *Manager) QueueDepth() ManagerQueue {
+	q := ManagerQueue{
+		Work:          len(m.workCh),
+		OpEvents:      len(m.opSub.C),
+		CentralEvents: len(m.centralSub.C),
+		Sessions:      make(map[string]int),
+	}
+	m.mu.Lock()
+	order := make([]*Session, len(m.order))
+	copy(order, m.order)
+	m.mu.Unlock()
+	for _, s := range order {
+		q.Sessions[s.id] = s.Pending()
+	}
+	return q
+}
+
+// publishConformance logs the verdict to the bus (merged into central
+// storage like the paper's conformance service results).
+func (m *Manager) publishConformance(instanceID string, res conformance.Result, ev logging.Event) {
+	m.cfg.Bus.Publish(logging.Event{
+		Timestamp:  ev.Timestamp,
+		Source:     "conformance.log",
+		SourceHost: "pod-conformance",
+		Type:       logging.TypeConformance,
+		Tags:       []string{res.Verdict.Tag()},
+		Fields: map[string]string{
+			"taskid":  instanceID,
+			"stepid":  res.StepID,
+			"verdict": string(res.Verdict),
+		},
+		Message: fmt.Sprintf("[conformance] [%s] [%s] verdict=%s activity=%s",
+			instanceID, res.StepID, res.Verdict, res.ActivityID),
+	})
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/simaws"
+	"poddiagnosis/internal/upgrade"
+)
+
+// benchConcurrentOps drives n clean rolling upgrades through one Manager
+// and reports wall time per upgrade set.
+func benchConcurrentOps(b *testing.B, n int) {
+	b.Helper()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		clk := clock.NewScaled(2000, time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC))
+		bus := logging.NewBus()
+		profile := simaws.FastProfile()
+		profile.TickInterval = time.Second
+		cloud := simaws.New(clk, profile, simaws.WithSeed(int64(100+i)), simaws.WithBus(bus))
+		cloud.Start()
+		mgr, err := NewManager(ManagerConfig{Cloud: cloud, Bus: bus})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr.Start()
+
+		specs := make([]upgrade.Spec, 0, n)
+		for j := 0; j < n; j++ {
+			app := fmt.Sprintf("bench%d", j)
+			cluster, err := upgrade.Deploy(ctx, cloud, app, 2, "v1")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := cluster.WaitReady(ctx, cloud, 5*time.Minute); err != nil {
+				b.Fatal(err)
+			}
+			newAMI, err := cloud.RegisterImage(ctx, app+"-v2", "v2", upgrade.AppServices)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec := cluster.UpgradeSpec("pushing "+cluster.ASGName, newAMI)
+			spec.NewLCName = cluster.ASGName + "-lc-" + newAMI
+			spec.WaitTimeout = 5 * time.Minute
+			spec.PollInterval = 5 * time.Second
+			if _, err := mgr.Watch(Expectation{
+				ASGName:      cluster.ASGName,
+				ELBName:      cluster.ELBName,
+				NewImageID:   newAMI,
+				NewVersion:   "v2",
+				NewLCName:    spec.NewLCName,
+				KeyName:      cluster.KeyName,
+				SGName:       cluster.SGName,
+				InstanceType: "m1.small",
+				ClusterSize:  2,
+			}, BindInstance(spec.TaskID), WithSessionID(app)); err != nil {
+				b.Fatal(err)
+			}
+			specs = append(specs, spec)
+		}
+
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for _, spec := range specs {
+			spec := spec
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				upgrade.NewUpgrader(cloud, bus).Run(ctx, spec)
+			}()
+		}
+		wg.Wait()
+		mgr.Drain(ctx, 2*time.Minute)
+		b.StopTimer()
+
+		mgr.Stop()
+		cloud.Stop()
+		bus.Close()
+	}
+}
+
+// BenchmarkManagerConcurrentOps compares one Manager watching a single
+// rolling upgrade against the same Manager watching 8 at once.
+func BenchmarkManagerConcurrentOps(b *testing.B) {
+	for _, n := range []int{1, 8} {
+		b.Run(fmt.Sprintf("ops=%d", n), func(b *testing.B) {
+			benchConcurrentOps(b, n)
+		})
+	}
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/consistentapi"
+	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/faultinject"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/simaws"
+	"poddiagnosis/internal/upgrade"
+)
+
+// multiRig is one simulated cloud with a single Manager watching many
+// concurrently upgrading clusters.
+type multiRig struct {
+	clk   *clock.Scaled
+	bus   *logging.Bus
+	cloud *simaws.Cloud
+	mgr   *Manager
+	ctx   context.Context
+}
+
+func newMultiRig(t *testing.T, mutate func(*ManagerConfig)) *multiRig {
+	t.Helper()
+	clk := clock.NewScaled(1200, time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC))
+	bus := logging.NewBus()
+	profile := simaws.FastProfile()
+	profile.TickInterval = time.Second
+	cloud := simaws.New(clk, profile, simaws.WithSeed(33), simaws.WithBus(bus))
+	cloud.Start()
+	cfg := ManagerConfig{
+		Cloud: cloud,
+		Bus:   bus,
+		API: consistentapi.Config{
+			MaxAttempts:    3,
+			InitialBackoff: 500 * time.Millisecond,
+			MaxBackoff:     4 * time.Second,
+			CallTimeout:    30 * time.Second,
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	mgr, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Start()
+	t.Cleanup(func() { mgr.Stop(); cloud.Stop(); bus.Close() })
+	return &multiRig{clk: clk, bus: bus, cloud: cloud, mgr: mgr, ctx: context.Background()}
+}
+
+// op is one cluster under rolling upgrade with its monitoring session.
+type op struct {
+	cluster *upgrade.Cluster
+	sess    *Session
+	taskID  string
+	spec    upgrade.Spec
+	newAMI  string
+}
+
+// addOp deploys a v1 cluster named app, registers a v2 AMI and a session
+// bound to the upcoming upgrade task.
+func (r *multiRig) addOp(t *testing.T, app string, size int) *op {
+	t.Helper()
+	cluster, err := upgrade.Deploy(r.ctx, r.cloud, app, size, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.WaitReady(r.ctx, r.cloud, 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	newAMI, err := r.cloud.RegisterImage(r.ctx, app+"-v2", "v2", upgrade.AppServices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskID := "pushing " + cluster.ASGName
+	spec := cluster.UpgradeSpec(taskID, newAMI)
+	spec.NewLCName = cluster.ASGName + "-lc-" + newAMI
+	spec.WaitTimeout = 5 * time.Minute
+	spec.PollInterval = 5 * time.Second
+	sess, err := r.mgr.Watch(Expectation{
+		ASGName:      cluster.ASGName,
+		ELBName:      cluster.ELBName,
+		NewImageID:   newAMI,
+		NewVersion:   "v2",
+		NewLCName:    spec.NewLCName,
+		KeyName:      cluster.KeyName,
+		SGName:       cluster.SGName,
+		InstanceType: "m1.small",
+		ClusterSize:  size,
+	}, BindInstance(taskID), WithSessionID(app))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &op{cluster: cluster, sess: sess, taskID: taskID, spec: spec, newAMI: newAMI}
+}
+
+// runAll executes every op's upgrade concurrently and drains the manager.
+func (r *multiRig) runAll(t *testing.T, ops []*op) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, o := range ops {
+		o := o
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			upgrade.NewUpgrader(r.cloud, r.bus).Run(r.ctx, o.spec)
+		}()
+	}
+	wg.Wait()
+	if !r.mgr.Drain(r.ctx, 2*time.Minute) {
+		t.Log("manager did not fully drain (continuing with snapshot)")
+	}
+}
+
+func sessionHasCause(dets []Detection, base string) bool {
+	for _, d := range dets {
+		if d.Diagnosis != nil && d.Diagnosis.HasCause(base) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTwoOverlappingFaultedUpgrades runs two rolling upgrades with
+// different injected faults under one Manager and checks that each
+// session records only its own operation's detections (no dedup or
+// detection bleed across sessions).
+func TestTwoOverlappingFaultedUpgrades(t *testing.T) {
+	r := newMultiRig(t, nil)
+	alpha := r.addOp(t, "alpha", 3)
+	beta := r.addOp(t, "beta", 3)
+
+	// alpha: fault 2 (key pair changed mid-upgrade); beta: fault 1 (AMI
+	// changed by a concurrent rogue team). Both are cluster-scoped.
+	injA := faultinject.NewInjector(r.cloud, alpha.cluster, 7)
+	defer injA.Heal()
+	injB := faultinject.NewInjector(r.cloud, beta.cluster, 11)
+	defer injB.Heal()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_ = injA.Inject(r.ctx, faultinject.KindKeyPairChanged, 10*time.Second, alpha.spec.NewLCName, alpha.newAMI)
+	}()
+	go func() {
+		defer wg.Done()
+		_ = injB.Inject(r.ctx, faultinject.KindAMIChanged, 10*time.Second, beta.spec.NewLCName, beta.newAMI)
+	}()
+	r.runAll(t, []*op{alpha, beta})
+	wg.Wait()
+	r.mgr.Drain(r.ctx, 2*time.Minute)
+
+	detsA := alpha.sess.Detections()
+	detsB := beta.sess.Detections()
+	if len(detsA) == 0 {
+		t.Fatal("alpha (key pair fault) produced no detections")
+	}
+	if len(detsB) == 0 {
+		t.Fatal("beta (AMI fault) produced no detections")
+	}
+	for _, d := range detsA {
+		if d.InstanceID != alpha.taskID {
+			t.Errorf("alpha detection references foreign instance %q", d.InstanceID)
+		}
+		if d.Operation != alpha.sess.ID() {
+			t.Errorf("alpha detection labelled %q, want %q", d.Operation, alpha.sess.ID())
+		}
+	}
+	for _, d := range detsB {
+		if d.InstanceID != beta.taskID {
+			t.Errorf("beta detection references foreign instance %q", d.InstanceID)
+		}
+		if d.Operation != beta.sess.ID() {
+			t.Errorf("beta detection labelled %q, want %q", d.Operation, beta.sess.ID())
+		}
+	}
+	if !sessionHasCause(detsA, "wrong-keypair") {
+		for _, d := range detsA {
+			t.Logf("alpha: %s %s -> %v", d.Source, d.TriggerID, d.Diagnosis)
+		}
+		t.Error("alpha did not diagnose wrong-keypair")
+	}
+	if !sessionHasCause(detsB, "wrong-ami") {
+		for _, d := range detsB {
+			t.Logf("beta: %s %s -> %v", d.Source, d.TriggerID, d.Diagnosis)
+		}
+		t.Error("beta did not diagnose wrong-ami")
+	}
+	// Cross-bleed: alpha's fault must not surface in beta and vice versa.
+	if sessionHasCause(detsB, "wrong-keypair") {
+		t.Error("beta diagnosed alpha's key pair fault")
+	}
+	if sessionHasCause(detsA, "wrong-ami") {
+		t.Error("alpha diagnosed beta's AMI fault")
+	}
+}
+
+// TestManagerMonitorsEightConcurrentUpgrades drives 8 clean rolling
+// upgrades through one Manager at once: every session must replay its own
+// operation to completion, auto-end, and record no cross-operation or
+// falsely identified detections.
+func TestManagerMonitorsEightConcurrentUpgrades(t *testing.T) {
+	r := newMultiRig(t, nil)
+	const n = 8
+	ops := make([]*op, 0, n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, r.addOp(t, fmt.Sprintf("app%d", i), 2))
+	}
+	r.runAll(t, ops)
+
+	for _, o := range ops {
+		if !o.sess.Checker().Completed(o.taskID) {
+			t.Errorf("%s: conformance did not see completion", o.sess.ID())
+		}
+		for _, d := range o.sess.Detections() {
+			if d.InstanceID != o.taskID {
+				t.Errorf("%s: detection references foreign instance %q", o.sess.ID(), d.InstanceID)
+			}
+			if d.Diagnosis == nil || d.Diagnosis.Conclusion == diagnosis.ConclusionIdentified {
+				t.Errorf("%s: unexpected detection on clean run: %+v", o.sess.ID(), d)
+			}
+		}
+		// The sessions' private conformance contexts replay exactly one
+		// instance each.
+		if ids := o.sess.Checker().InstanceIDs(); len(ids) != 1 || ids[0] != o.taskID {
+			t.Errorf("%s: checker instances = %v", o.sess.ID(), ids)
+		}
+	}
+	// Bind-only sessions auto-end when their bound task completes.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		ended := 0
+		for _, o := range ops {
+			if o.sess.State() == SessionEnded {
+				ended++
+			}
+		}
+		if ended == n {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, o := range ops {
+		if o.sess.State() != SessionEnded {
+			t.Errorf("%s: state = %s, want ended", o.sess.ID(), o.sess.State())
+		}
+	}
+	// The manager still lists all sessions (retention window not elapsed).
+	if got := len(r.mgr.Sessions()); got != n {
+		t.Errorf("sessions = %d, want %d", got, n)
+	}
+	q := r.mgr.QueueDepth()
+	if len(q.Sessions) != n {
+		t.Errorf("queue depth sessions = %d, want %d", len(q.Sessions), n)
+	}
+}
+
+// TestSessionLifecycleAndGC covers explicit removal and the retention
+// sweep.
+func TestSessionLifecycleAndGC(t *testing.T) {
+	r := newMultiRig(t, func(c *ManagerConfig) { c.Retention = 30 * time.Second })
+	s1, err := r.mgr.Watch(Expectation{ASGName: "g1--asg", ClusterSize: 2}, BindInstance("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.State() != SessionActive {
+		t.Fatalf("state = %s", s1.State())
+	}
+	s2, err := r.mgr.Watch(Expectation{ASGName: "g2--asg", ClusterSize: 2}, BindInstance("t2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate ids are rejected.
+	if _, err := r.mgr.Watch(Expectation{ASGName: "g3--asg", ClusterSize: 2}, WithSessionID(s2.ID())); err == nil {
+		t.Fatal("duplicate session id accepted")
+	}
+	// Explicit removal is immediate.
+	if !r.mgr.Remove(s2.ID()) {
+		t.Fatal("Remove returned false")
+	}
+	if r.mgr.Session(s2.ID()) != nil {
+		t.Fatal("removed session still listed")
+	}
+	if r.mgr.Remove(s2.ID()) {
+		t.Fatal("second Remove returned true")
+	}
+	// Ended sessions are swept after the retention window (30s simulated
+	// = 25ms wall at this scale; the GC ticks every Retention/4).
+	s1.End()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && r.mgr.Session(s1.ID()) != nil {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.mgr.Session(s1.ID()) != nil {
+		t.Fatal("ended session not garbage collected after retention window")
+	}
+}
+
+// TestLazyRegistrationCallback exercises OnUnknownInstance: an unclaimed
+// process instance triggers session creation bound to that instance.
+func TestLazyRegistrationCallback(t *testing.T) {
+	r := newMultiRig(t, func(c *ManagerConfig) {
+		c.OnUnknownInstance = func(instanceID string, ev logging.Event) *Expectation {
+			return &Expectation{ASGName: "lazy--asg", ClusterSize: 2}
+		}
+	})
+	now := r.clk.Now()
+	r.bus.Publish(logging.Event{
+		Timestamp: now,
+		Source:    "asgard.log",
+		Type:      logging.TypeOperation,
+		Fields:    map[string]string{"taskid": "lazy-task"},
+		Message:   logging.FormatOperationLine(now, "lazy-task", "Starting rolling upgrade of group lazy--asg to image ami-x"),
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	var found *Session
+	for time.Now().Before(deadline) && found == nil {
+		for _, s := range r.mgr.Sessions() {
+			for _, id := range s.Instances() {
+				if id == "lazy-task" {
+					found = s
+				}
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if found == nil {
+		t.Fatal("unknown instance did not register a session")
+	}
+	if found.Expect().ASGName != "lazy--asg" {
+		t.Errorf("expectation = %+v", found.Expect())
+	}
+	if found.Expect().MinInService != 1 {
+		t.Errorf("MinInService = %d, want normalized 1", found.Expect().MinInService)
+	}
+}

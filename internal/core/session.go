@@ -1,0 +1,559 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/assertspec"
+	"poddiagnosis/internal/conformance"
+	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/process"
+)
+
+// SessionState is the lifecycle phase of a monitoring session.
+type SessionState string
+
+const (
+	// SessionActive means the session is routing events and evaluating.
+	SessionActive SessionState = "active"
+	// SessionEnded means the operation finished (or was ended explicitly);
+	// the session retains its detections until the manager GCs it after
+	// the retention window.
+	SessionEnded SessionState = "ended"
+)
+
+// Session monitors one sporadic operation under a Manager: it holds the
+// operation's expectation, its resolved assertion specification, a private
+// conformance context, progress/timer/dedup state and the recorded
+// detections. All event handling runs on the manager's pipeline goroutine;
+// assertion evaluations and diagnoses are handed to the manager's shared
+// worker pool.
+type Session struct {
+	id  string
+	mgr *Manager
+
+	expect  Expectation
+	spec    *assertspec.Spec
+	checker *conformance.Checker
+
+	periodicInterval time.Duration
+	stepSlack        float64
+	maxDetections    int
+	matchAny         bool
+	matchASG         bool
+
+	pending atomic.Int64 // queued + in-flight work items for this session
+
+	mu          sync.Mutex
+	state       SessionState
+	endedAt     time.Time
+	bound       map[string]bool // explicitly bound process instance ids
+	instances   map[string]bool // every instance routed to this session
+	completed   map[string]bool // instances whose process reached its end
+	detections  []Detection
+	seen        map[string]int  // diagnosis attempts per dedup key
+	identified  map[string]bool // keys whose diagnosis already identified a cause
+	progress    map[string]int  // instance -> relaunches done
+	total       map[string]int  // instance -> total relaunches
+	stepCancel  map[string]func()
+	perioCancel map[string]func()
+}
+
+// ID returns the session's operation id.
+func (s *Session) ID() string { return s.id }
+
+// Expect returns the session's (normalized) expectation.
+func (s *Session) Expect() Expectation { return s.expect }
+
+// Checker returns the session's private conformance checker, which replays
+// only this operation's log lines.
+func (s *Session) Checker() *conformance.Checker { return s.checker }
+
+// State returns the session's lifecycle phase.
+func (s *Session) State() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Pending reports this session's queued plus in-flight work items.
+func (s *Session) Pending() int { return int(s.pending.Load()) }
+
+// Instances returns the process instance ids routed to this session.
+func (s *Session) Instances() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.instances))
+	for id := range s.instances {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Detections returns a copy of the session's recorded detections.
+func (s *Session) Detections() []Detection {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Detection, len(s.detections))
+	copy(out, s.detections)
+	return out
+}
+
+// End transitions the session to the ended state: its timers are cancelled
+// and further routed events are ignored. Recorded detections stay readable
+// until the manager garbage-collects the session after the retention
+// window. End is idempotent.
+func (s *Session) End() {
+	s.mu.Lock()
+	if s.state == SessionEnded {
+		s.mu.Unlock()
+		return
+	}
+	s.state = SessionEnded
+	s.endedAt = s.mgr.clk.Now()
+	cancels := make([]func(), 0, len(s.stepCancel)+len(s.perioCancel))
+	for id, c := range s.stepCancel {
+		cancels = append(cancels, c)
+		delete(s.stepCancel, id)
+	}
+	for id, c := range s.perioCancel {
+		cancels = append(cancels, c)
+		delete(s.perioCancel, id)
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	s.mgr.sessionEnded()
+}
+
+// ended reports whether the session stopped accepting events.
+func (s *Session) ended() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == SessionEnded
+}
+
+// adopt records that an instance id has been routed to this session.
+func (s *Session) adopt(instanceID string, explicit bool) {
+	s.mu.Lock()
+	s.instances[instanceID] = true
+	if explicit {
+		s.bound[instanceID] = true
+	}
+	s.mu.Unlock()
+}
+
+// submit hands work to the manager's shared pool, attributing the backlog
+// to this session and the instance's shard.
+func (s *Session) submit(instanceID string, f func()) {
+	s.pending.Add(1)
+	s.mgr.submit(instanceID, func() {
+		defer s.pending.Add(-1)
+		f()
+	}, func() { s.pending.Add(-1) })
+}
+
+// baseParams assembles the expectation parameters plus per-event context.
+func (s *Session) baseParams(ev logging.Event) assertion.Params {
+	p := s.expect.params()
+	if id := ev.Field("instanceid"); id != "" {
+		p[assertion.ParamInstance] = id
+	}
+	return p
+}
+
+// ---- pipeline.Handler ----
+
+// OnConformance replays the line on the session's private conformance
+// context and reacts to anomalies.
+func (s *Session) OnConformance(instanceID, line string, ev logging.Event) {
+	if s.mgr.cfg.DisableConformance || s.ended() {
+		return
+	}
+	res := s.checker.Check(instanceID, line, ev.Timestamp)
+	s.mgr.publishConformance(instanceID, res, ev)
+	if !res.Verdict.IsAnomalous() {
+		return
+	}
+	stepID := res.StepID
+	if stepID == "" && res.Context != nil {
+		stepID = res.Context.LastValidStep
+	}
+	key := "conf|" + instanceID + "|" + string(res.Verdict) + "|" + stepID
+	if !s.shouldDiagnose(key) {
+		return
+	}
+	params := s.baseParams(ev)
+	detail := fmt.Sprintf("conformance %s on line %q", res.Verdict, line)
+	s.submit(instanceID, func() {
+		d := s.mgr.diag.Diagnose(context.Background(), diagnosis.Request{
+			Source:            diagnosis.SourceConformance,
+			ProcessInstanceID: instanceID,
+			StepID:            stepID,
+			Params:            params,
+			Detail:            detail,
+		})
+		s.record(Detection{
+			At:         ev.Timestamp,
+			Source:     diagnosis.SourceConformance,
+			TriggerID:  res.Verdict.Tag(),
+			StepID:     stepID,
+			InstanceID: instanceID,
+			Message:    detail,
+			Diagnosis:  d,
+		}, key)
+	})
+}
+
+// OnStepEvent updates progress, resets the one-off step timer and
+// evaluates post-step assertions.
+func (s *Session) OnStepEvent(instanceID string, node *process.Node, ev logging.Event) {
+	if s.ended() {
+		return
+	}
+	// Track operation progress from any line the annotator extracted
+	// "k of n" counters from (relaunches done, instances in service, ...).
+	if n, err := strconv.Atoi(ev.Field("num")); err == nil {
+		s.mu.Lock()
+		s.progress[instanceID] = n
+		s.mu.Unlock()
+	}
+	if n, err := strconv.Atoi(ev.Field("total")); err == nil {
+		s.mu.Lock()
+		s.total[instanceID] = n
+		s.mu.Unlock()
+	}
+
+	s.resetStepTimer(instanceID, node)
+
+	if s.mgr.cfg.DisableAssertions {
+		return
+	}
+	trig := assertion.Trigger{
+		Source:            assertion.TriggerLog,
+		ProcessInstanceID: instanceID,
+		StepID:            node.StepID,
+	}
+	for _, b := range s.stepBindings(instanceID, node, ev) {
+		b := b
+		s.submit(instanceID, func() { s.evaluateAndMaybeDiagnose(b.checkID, b.params, trig) })
+	}
+}
+
+// OnErrorLine is part of pipeline.Handler; known-error lines already
+// surface through conformance and assertions, so it only forwards context.
+func (s *Session) OnErrorLine(instanceID, line string, ev logging.Event) {}
+
+// OnProcessStart arms the periodic capacity assertion (§III.B.1: "the
+// timer setter uses the log line indicating the start of the operation
+// process to start the periodic timer").
+func (s *Session) OnProcessStart(instanceID string, ev logging.Event) {
+	if s.mgr.cfg.DisableAssertions || s.ended() {
+		return
+	}
+	base := s.expect.params()
+	vars := s.vars(instanceID, ev)
+	trig := assertion.Trigger{
+		Source:            assertion.TriggerTimer,
+		ProcessInstanceID: instanceID,
+	}
+	cancels := make([]func(), 0, 1)
+	for _, pb := range s.spec.Periodic() {
+		params, ok := pb.Resolve(base, vars)
+		if !ok {
+			continue
+		}
+		interval := pb.Every
+		if s.periodicInterval > 0 {
+			// The session-level interval overrides the spec's default, so
+			// experiments can tune the cadence without editing the spec.
+			interval = s.periodicInterval
+		}
+		checkID := pb.CheckID
+		cancels = append(cancels, s.mgr.timers.Every(interval, func() {
+			mTimerFires.With("periodic").Inc()
+			s.submit(instanceID, func() {
+				s.evaluateAndMaybeDiagnose(checkID, params, trig)
+			})
+		}))
+	}
+	if len(cancels) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if old, ok := s.perioCancel[instanceID]; ok {
+		old()
+	}
+	s.perioCancel[instanceID] = func() {
+		for _, c := range cancels {
+			c()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// OnProcessEnd stops the instance's timers; when every explicitly bound
+// instance of a bind-only session has completed, the session auto-ends.
+func (s *Session) OnProcessEnd(instanceID string, ev logging.Event) {
+	s.mu.Lock()
+	if cancel, ok := s.perioCancel[instanceID]; ok {
+		cancel()
+		delete(s.perioCancel, instanceID)
+	}
+	if cancel, ok := s.stepCancel[instanceID]; ok {
+		cancel()
+		delete(s.stepCancel, instanceID)
+	}
+	s.completed[instanceID] = true
+	autoEnd := !s.matchAny && !s.matchASG && s.state == SessionActive && len(s.bound) > 0
+	if autoEnd {
+		for id := range s.bound {
+			if !s.completed[id] {
+				autoEnd = false
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if autoEnd {
+		s.End()
+	}
+}
+
+// ---- assertions and diagnosis ----
+
+// binding is one resolved assertion evaluation to run.
+type binding struct {
+	checkID string
+	params  assertion.Params
+}
+
+// vars assembles the specification variables available at this point of
+// the process: cluster-level targets plus the event's extracted context.
+func (s *Session) vars(instanceID string, ev logging.Event) map[string]string {
+	s.mu.Lock()
+	progress := s.progress[instanceID]
+	total, hasTotal := s.total[instanceID]
+	s.mu.Unlock()
+	next := progress + 1
+	if hasTotal && next > total {
+		next = total
+	}
+	v := map[string]string{
+		"n":        strconv.Itoa(s.expect.ClusterSize),
+		"min":      strconv.Itoa(s.expect.MinInService),
+		"progress": strconv.Itoa(progress),
+		"next":     strconv.Itoa(next),
+	}
+	if id := ev.Field("instanceid"); id != "" {
+		v["instanceid"] = id
+	}
+	return v
+}
+
+// stepBindings resolves the specification's post-step assertions for the
+// given step. Bindings whose variables cannot be resolved from the event
+// (e.g. instance-version without an instance id) are skipped.
+func (s *Session) stepBindings(instanceID string, node *process.Node, ev logging.Event) []binding {
+	specBindings := s.spec.ByStep(node.StepID)
+	if len(specBindings) == 0 {
+		return nil
+	}
+	base := s.baseParams(ev)
+	vars := s.vars(instanceID, ev)
+	out := make([]binding, 0, len(specBindings))
+	for _, sb := range specBindings {
+		params, ok := sb.Resolve(base, vars)
+		if !ok {
+			continue
+		}
+		out = append(out, binding{sb.CheckID, params})
+	}
+	return out
+}
+
+// evaluateAndMaybeDiagnose runs one assertion; a non-pass result is a
+// detection and triggers diagnosis.
+func (s *Session) evaluateAndMaybeDiagnose(checkID string, p assertion.Params, trig assertion.Trigger) {
+	res := s.mgr.evaluator.Evaluate(context.Background(), checkID, p, trig)
+	if res.Passed() {
+		return
+	}
+	key := "assert|" + trig.ProcessInstanceID + "|" + checkID + "|" + trig.StepID
+	if !s.shouldDiagnose(key) {
+		return
+	}
+	src := diagnosis.SourceAssertion
+	if trig.Source == assertion.TriggerTimer {
+		src = diagnosis.SourceTimer
+	}
+	d := s.mgr.diag.Diagnose(context.Background(), diagnosis.Request{
+		AssertionID:       checkID,
+		Source:            src,
+		ProcessInstanceID: trig.ProcessInstanceID,
+		StepID:            trig.StepID,
+		Params:            p,
+		Detail:            res.Message,
+	})
+	s.record(Detection{
+		At:         res.EvaluatedAt,
+		Source:     src,
+		TriggerID:  checkID,
+		StepID:     trig.StepID,
+		InstanceID: trig.ProcessInstanceID,
+		Message:    res.Message,
+		Diagnosis:  d,
+	}, key)
+}
+
+// resetStepTimer cancels the previous one-off timer for the instance and
+// arms a new one sized from the step's historical duration: if the next
+// step's log line does not arrive in time, the high-level version-count
+// assertion is evaluated with the next expected progress (a purely
+// timer-based trigger, which carries no instance id — §VI.A).
+func (s *Session) resetStepTimer(instanceID string, node *process.Node) {
+	s.mu.Lock()
+	if cancel, ok := s.stepCancel[instanceID]; ok {
+		cancel()
+		delete(s.stepCancel, instanceID)
+	}
+	if node.ID == process.NodeCompleted {
+		s.mu.Unlock()
+		return
+	}
+	mean := node.MeanDuration
+	if mean <= 0 {
+		mean = 30 * time.Second
+	}
+	deadline := time.Duration(float64(mean) * s.stepSlack)
+	s.mu.Unlock()
+
+	if s.mgr.cfg.DisableAssertions {
+		return
+	}
+	timeouts := s.spec.TimeoutsFor(node.StepID)
+	if len(timeouts) == 0 {
+		return
+	}
+	base := s.expect.params()
+	vars := s.vars(instanceID, logging.Event{})
+	trig := assertion.Trigger{
+		Source:            assertion.TriggerTimer,
+		ProcessInstanceID: instanceID,
+		// No step id: the timer fires between steps (weak context).
+	}
+	cancels := make([]func(), 0, len(timeouts))
+	for _, tb := range timeouts {
+		params, ok := tb.Resolve(base, vars)
+		if !ok {
+			continue
+		}
+		checkID := tb.CheckID
+		cancels = append(cancels, s.mgr.timers.After(deadline, func() {
+			mTimerFires.With("step").Inc()
+			s.submit(instanceID, func() {
+				s.evaluateAndMaybeDiagnose(checkID, params, trig)
+			})
+		}))
+	}
+	if len(cancels) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.state == SessionEnded {
+		// Lost the race with End: don't leave orphaned timers behind.
+		s.mu.Unlock()
+		for _, c := range cancels {
+			c()
+		}
+		return
+	}
+	s.stepCancel[instanceID] = func() {
+		for _, c := range cancels {
+			c()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// ---- bookkeeping ----
+
+func (s *Session) progressOf(instanceID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.progress[instanceID]
+}
+
+// shouldDiagnose dedups diagnosis triggers and enforces the detection cap.
+// A trigger key is retried up to three times while its diagnoses remain
+// inconclusive — matching the paper's observation that repeated failures
+// re-enter diagnosis — but once a root cause is identified the key is
+// settled.
+func (s *Session) shouldDiagnose(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.identified[key] || s.seen[key] >= 3 {
+		return false
+	}
+	if len(s.detections) >= s.maxDetections {
+		return false
+	}
+	s.seen[key]++
+	return true
+}
+
+// record appends a detection and settles its originating dedup key when
+// the diagnosis identified a root cause. The key is the exact string that
+// shouldDiagnose admitted, so conformance and assertion triggers settle
+// independently and precisely.
+func (s *Session) record(d Detection, dedupKey string) {
+	d.Operation = s.id
+	mDetections.With(string(d.Source)).Inc()
+	mOpDetections.With(s.id).Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d.Diagnosis != nil && d.Diagnosis.Conclusion == diagnosis.ConclusionIdentified && dedupKey != "" {
+		s.identified[dedupKey] = true
+	}
+	if len(s.detections) >= s.maxDetections {
+		return
+	}
+	s.detections = append(s.detections, d)
+}
+
+// SessionSummary is the serializable view of a session (GET /operations).
+type SessionSummary struct {
+	ID         string       `json:"id"`
+	State      SessionState `json:"state"`
+	Expect     Expectation  `json:"expect"`
+	Instances  []string     `json:"instances,omitempty"`
+	Detections int          `json:"detections"`
+	Pending    int          `json:"pending"`
+}
+
+// Summary snapshots the session for serving surfaces.
+func (s *Session) Summary() SessionSummary {
+	s.mu.Lock()
+	instances := make([]string, 0, len(s.instances))
+	for id := range s.instances {
+		instances = append(instances, id)
+	}
+	n := len(s.detections)
+	state := s.state
+	s.mu.Unlock()
+	return SessionSummary{
+		ID:         s.id,
+		State:      state,
+		Expect:     s.expect,
+		Instances:  instances,
+		Detections: n,
+		Pending:    s.Pending(),
+	}
+}

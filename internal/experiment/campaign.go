@@ -134,24 +134,48 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 }
 
 // RunSpecs executes the given runs with bounded parallelism and
-// aggregates the report.
+// aggregates the report. Each parallel lane owns one simulated cloud and
+// one POD Manager that is reused across the lane's sequential runs; every
+// run deploys a uniquely named cluster and registers its own monitoring
+// session, so the campaign exercises the shared-services deployment
+// instead of rebuilding the engine stack per run.
 func RunSpecs(ctx context.Context, specs []RunSpec, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	started := time.Now()
 	results := make([]*RunResult, len(specs))
 	errs := make([]error, len(specs))
-	sem := make(chan struct{}, cfg.Parallelism)
+	lanes := cfg.Parallelism
+	if lanes > len(specs) {
+		lanes = len(specs)
+	}
+	type job struct {
+		i    int
+		spec RunSpec
+	}
+	jobs := make(chan job)
 	var wg sync.WaitGroup
-	for i, spec := range specs {
-		i, spec := i, spec
+	for w := 0; w < lanes; w++ {
+		w := w
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = RunOne(ctx, spec, cfg)
+			l, err := newLane(cfg, cfg.Seed+int64(w+1)*104729)
+			if err != nil {
+				for j := range jobs {
+					errs[j.i] = err
+				}
+				return
+			}
+			defer l.close()
+			for j := range jobs {
+				results[j.i], errs[j.i] = l.runOne(ctx, j.spec, fmt.Sprintf("pm%d", j.spec.ID))
+			}
 		}()
 	}
+	for i, spec := range specs {
+		jobs <- job{i, spec}
+	}
+	close(jobs)
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {

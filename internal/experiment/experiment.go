@@ -159,42 +159,31 @@ type RunResult struct {
 	SimDuration time.Duration `json:"simDuration"`
 }
 
-// RunOne executes a single evaluation run: deploy, upgrade, inject, watch,
-// classify.
-func RunOne(ctx context.Context, spec RunSpec, cfg Config) (*RunResult, error) {
+// lane is one execution slot of a campaign: a simulated cloud with a
+// single POD Manager that is reused across the lane's sequential runs —
+// each run registers its own monitoring session instead of rebuilding the
+// whole engine stack (the paper's shared-services deployment, §IV).
+type lane struct {
+	cfg   Config
+	clk   *clock.Scaled
+	bus   *logging.Bus
+	cloud *simaws.Cloud
+	mgr   *core.Manager
+}
+
+// newLane builds the lane's cloud and Manager. seed drives the cloud's
+// randomness.
+func newLane(cfg Config, seed int64) (*lane, error) {
 	cfg = cfg.withDefaults()
 	clk := clock.NewScaled(cfg.Scale, time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC))
-	runStart := clk.Now()
 	bus := logging.NewBus()
-	defer bus.Close()
 	profile := calibratedProfile()
 	if cfg.Profile != nil {
 		profile = *cfg.Profile
 	}
-	cloud := simaws.New(clk, profile, simaws.WithSeed(spec.Seed), simaws.WithBus(bus))
+	cloud := simaws.New(clk, profile, simaws.WithSeed(seed), simaws.WithBus(bus))
 	cloud.Start()
-	defer cloud.Stop()
-	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
-
-	cluster, err := upgrade.Deploy(ctx, cloud, "pm", spec.ClusterSize, "v1")
-	if err != nil {
-		return nil, fmt.Errorf("experiment: run %d: %w", spec.ID, err)
-	}
-	if err := cluster.WaitReady(ctx, cloud, 10*time.Minute); err != nil {
-		return nil, fmt.Errorf("experiment: run %d: %w", spec.ID, err)
-	}
-	newAMI, err := cloud.RegisterImage(ctx, "pm-v2", "v2", upgrade.AppServices)
-	if err != nil {
-		return nil, fmt.Errorf("experiment: run %d: %w", spec.ID, err)
-	}
-
-	taskID := fmt.Sprintf("pushing pm--asg run-%d", spec.ID)
-	upSpec := cluster.UpgradeSpec(taskID, newAMI)
-	upSpec.NewLCName = fmt.Sprintf("%s-lc-%s", cluster.ASGName, newAMI)
-	upSpec.WaitTimeout = 5 * time.Minute
-	upSpec.PollInterval = 5 * time.Second
-
-	engine, err := core.NewEngine(core.Config{
+	mgr, err := core.NewManager(core.ManagerConfig{
 		Cloud: cloud,
 		Bus:   bus,
 		API: consistentapi.Config{
@@ -207,32 +196,71 @@ func RunOne(ctx context.Context, spec RunSpec, cfg Config) (*RunResult, error) {
 			MaxBackoff:     time.Second,
 			CallTimeout:    20 * time.Second,
 		},
-		Expect: core.Expectation{
-			ASGName:      cluster.ASGName,
-			ELBName:      cluster.ELBName,
-			NewImageID:   newAMI,
-			NewVersion:   "v2",
-			NewLCName:    upSpec.NewLCName,
-			KeyName:      cluster.KeyName,
-			SGName:       cluster.SGName,
-			InstanceType: "m1.small",
-			ClusterSize:  spec.ClusterSize,
-		},
 		PeriodicInterval:   cfg.PeriodicInterval,
 		StepTimeoutSlack:   cfg.StepTimeoutSlack,
 		DisableConformance: cfg.DisableConformance,
 		DisableAssertions:  cfg.DisableAssertions,
 	})
 	if err != nil {
+		cloud.Stop()
+		bus.Close()
+		return nil, err
+	}
+	mgr.Start()
+	return &lane{cfg: cfg, clk: clk, bus: bus, cloud: cloud, mgr: mgr}, nil
+}
+
+// close tears the lane down.
+func (l *lane) close() {
+	l.mgr.Stop()
+	l.cloud.Stop()
+	l.bus.Close()
+}
+
+// runOne executes one evaluation run on the lane: deploy a cluster named
+// appName, register a session, upgrade, inject, drain, classify, then
+// tear the cluster down so the account limit is free for the next run.
+func (l *lane) runOne(ctx context.Context, spec RunSpec, appName string) (*RunResult, error) {
+	runStart := l.clk.Now()
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
+
+	cluster, err := upgrade.Deploy(ctx, l.cloud, appName, spec.ClusterSize, "v1")
+	if err != nil {
 		return nil, fmt.Errorf("experiment: run %d: %w", spec.ID, err)
 	}
-	engine.Start()
+	if err := cluster.WaitReady(ctx, l.cloud, 10*time.Minute); err != nil {
+		return nil, fmt.Errorf("experiment: run %d: %w", spec.ID, err)
+	}
+	newAMI, err := l.cloud.RegisterImage(ctx, appName+"-v2", "v2", upgrade.AppServices)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: run %d: %w", spec.ID, err)
+	}
+
+	taskID := fmt.Sprintf("pushing %s run-%d", cluster.ASGName, spec.ID)
+	upSpec := cluster.UpgradeSpec(taskID, newAMI)
+	upSpec.NewLCName = fmt.Sprintf("%s-lc-%s", cluster.ASGName, newAMI)
+	upSpec.WaitTimeout = 5 * time.Minute
+	upSpec.PollInterval = 5 * time.Second
+
+	sess, err := l.mgr.Watch(core.Expectation{
+		ASGName:      cluster.ASGName,
+		ELBName:      cluster.ELBName,
+		NewImageID:   newAMI,
+		NewVersion:   "v2",
+		NewLCName:    upSpec.NewLCName,
+		KeyName:      cluster.KeyName,
+		SGName:       cluster.SGName,
+		InstanceType: "m1.small",
+		ClusterSize:  spec.ClusterSize,
+	}, core.BindInstance(taskID), core.WithSessionID(fmt.Sprintf("run-%d", spec.ID)))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: run %d: %w", spec.ID, err)
+	}
 
 	// Inject the fault at a random point during the upgrade (anchored to
 	// the creation of the new launch configuration) and the interferences
 	// at independent random times.
-	injector := faultinject.NewInjector(cloud, cluster, spec.Seed^0xfa17)
-	defer injector.Heal()
+	injector := faultinject.NewInjector(l.cloud, cluster, spec.Seed^0xfa17)
 	injectDone := make(chan struct{})
 	go func() {
 		defer close(injectDone)
@@ -253,24 +281,60 @@ func RunOne(ctx context.Context, spec RunSpec, cfg Config) (*RunResult, error) {
 		}
 	}()
 
-	up := upgrade.NewUpgrader(cloud, bus)
+	up := upgrade.NewUpgrader(l.cloud, l.bus)
 	rep := up.Run(ctx, upSpec)
 	<-injectDone
 	<-interfDone
 
 	// Grace period: let timer-driven evaluations and in-flight diagnoses
-	// finish.
-	_ = clk.Sleep(ctx, 30*time.Second)
-	engine.Drain(5 * time.Second)
-	time.Sleep(20 * time.Millisecond)
-	engine.Stop()
+	// finish, then wait (in simulated time) for the manager to go quiet.
+	_ = l.clk.Sleep(ctx, 30*time.Second)
+	l.mgr.Drain(ctx, 10*time.Minute)
 
-	res := &RunResult{Spec: spec, SimDuration: clk.Since(runStart)}
+	res := &RunResult{Spec: spec, SimDuration: l.clk.Since(runStart)}
 	if rep.Err != nil {
 		res.UpgradeErr = rep.Err.Error()
 	}
-	classify(res, engine.Detections())
+	classify(res, sess.Detections())
+
+	// Retire the session and the cluster: heal injected faults, delete the
+	// ASG and wait for its instances to die so the account-wide instance
+	// limit is available to the lane's next run.
+	l.mgr.Remove(sess.ID())
+	injector.Heal()
+	_ = l.cloud.DeleteAutoScalingGroup(ctx, cluster.ASGName)
+	teardownDeadline := l.clk.Now().Add(5 * time.Minute)
+	for l.clk.Now().Before(teardownDeadline) {
+		insts, err := l.cloud.DescribeInstances(ctx)
+		if err != nil {
+			break
+		}
+		live := 0
+		for i := range insts {
+			if insts[i].Live() {
+				live++
+			}
+		}
+		if live == 0 {
+			break
+		}
+		if l.clk.Sleep(ctx, 5*time.Second) != nil {
+			break
+		}
+	}
 	return res, nil
+}
+
+// RunOne executes a single evaluation run on a fresh, seeded lane: deploy,
+// upgrade, inject, watch, classify. Campaigns use RunSpecs, which reuses
+// one Manager per lane across runs.
+func RunOne(ctx context.Context, spec RunSpec, cfg Config) (*RunResult, error) {
+	l, err := newLane(cfg, spec.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: run %d: %w", spec.ID, err)
+	}
+	defer l.close()
+	return l.runOne(ctx, spec, "pm")
 }
 
 // classify attributes each detection to the run's ground truth and fills

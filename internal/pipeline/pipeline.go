@@ -43,11 +43,71 @@ type Triggers struct {
 	ProcessEnd func(instanceID string, ev logging.Event)
 }
 
+// Handler receives the annotated events of one process instance. It is the
+// per-operation counterpart of Triggers: a routed Processor resolves the
+// handler per event, so one processor can feed many concurrently monitored
+// operations. Methods run on the processor goroutine; keep them fast and
+// non-blocking (hand heavy work to other goroutines).
+type Handler interface {
+	// OnConformance receives every relevant line for token replay.
+	OnConformance(instanceID, line string, ev logging.Event)
+	// OnStepEvent fires for every line classified to an activity.
+	OnStepEvent(instanceID string, node *process.Node, ev logging.Event)
+	// OnErrorLine fires for lines matching known-error patterns.
+	OnErrorLine(instanceID, line string, ev logging.Event)
+	// OnProcessStart fires on the first activity of an instance.
+	OnProcessStart(instanceID string, ev logging.Event)
+	// OnProcessEnd fires on the final activity. It is delivered after the
+	// final event's OnConformance/OnStepEvent so post-completion
+	// assertions still run before the handler tears its timers down.
+	OnProcessEnd(instanceID string, ev logging.Event)
+}
+
+// Router resolves the handler for a process instance. It is consulted once
+// per annotated event (the event carries extracted fields such as "asgid",
+// which routers may use to adopt unknown instances). Returning nil drops
+// the event's triggers; the event is still forwarded to central storage.
+type Router func(instanceID string, ev logging.Event) Handler
+
+// triggersHandler adapts the legacy Triggers callback set to Handler.
+type triggersHandler struct{ t Triggers }
+
+func (h triggersHandler) OnConformance(id, line string, ev logging.Event) {
+	if h.t.Conformance != nil {
+		h.t.Conformance(id, line, ev)
+	}
+}
+
+func (h triggersHandler) OnStepEvent(id string, node *process.Node, ev logging.Event) {
+	if h.t.StepEvent != nil {
+		h.t.StepEvent(id, node, ev)
+	}
+}
+
+func (h triggersHandler) OnErrorLine(id, line string, ev logging.Event) {
+	if h.t.ErrorLine != nil {
+		h.t.ErrorLine(id, line, ev)
+	}
+}
+
+func (h triggersHandler) OnProcessStart(id string, ev logging.Event) {
+	if h.t.ProcessStart != nil {
+		h.t.ProcessStart(id, ev)
+	}
+}
+
+func (h triggersHandler) OnProcessEnd(id string, ev logging.Event) {
+	if h.t.ProcessEnd != nil {
+		h.t.ProcessEnd(id, ev)
+	}
+}
+
 // Processor is the local log processor agent.
 type Processor struct {
-	model    *process.Model
-	store    logging.Sink // central log storage; may be nil
-	triggers Triggers
+	model  *process.Model
+	store  logging.Sink // central log storage; may be nil
+	route  Router       // nil means the static handler below
+	static Handler      // legacy Triggers adapter; may be nil
 
 	mu      sync.Mutex
 	started map[string]bool
@@ -75,11 +135,25 @@ type Stats struct {
 // to store and invoking triggers.
 func New(model *process.Model, store logging.Sink, triggers Triggers) *Processor {
 	return &Processor{
-		model:    model,
-		store:    store,
-		triggers: triggers,
-		started:  make(map[string]bool),
-		stop:     make(chan struct{}),
+		model:   model,
+		store:   store,
+		static:  triggersHandler{triggers},
+		started: make(map[string]bool),
+		stop:    make(chan struct{}),
+	}
+}
+
+// NewRouted returns a Processor that resolves the handler for each event
+// through router instead of a fixed callback set. Events whose instance is
+// not claimed by any handler still count in Stats and flow to central
+// storage, so an unmonitored operation's logs remain queryable.
+func NewRouted(model *process.Model, store logging.Sink, router Router) *Processor {
+	return &Processor{
+		model:   model,
+		store:   store,
+		route:   router,
+		started: make(map[string]bool),
+		stop:    make(chan struct{}),
 	}
 }
 
@@ -192,40 +266,58 @@ func (p *Processor) Process(ev logging.Event) (logging.Event, bool) {
 		out = out.WithField("total", m[1])
 	}
 
-	// Timer setter hooks: first/last activity of the process.
+	// Resolve the handler: the static Triggers adapter, or the router
+	// consulted after annotation so it can see extracted fields (asgid,
+	// amiid, ...) when deciding whether to adopt an unknown instance.
+	var h Handler
+	if p.route != nil {
+		if instanceID != "" {
+			h = p.route(instanceID, out)
+		}
+	} else {
+		h = p.static
+	}
+
+	// Timer setter hook: first activity of the process.
+	isEnd := false
 	if classified && instanceID != "" {
+		isEnd = node.Final || node.ID == process.NodeCompleted
 		p.mu.Lock()
 		first := !p.started[instanceID]
 		if first {
 			p.started[instanceID] = true
 		}
 		p.mu.Unlock()
-		if first && p.triggers.ProcessStart != nil {
-			p.triggers.ProcessStart(instanceID, out)
-		}
-		if (node.Final || node.ID == process.NodeCompleted) && p.triggers.ProcessEnd != nil {
-			p.triggers.ProcessEnd(instanceID, out)
+		if first && h != nil {
+			h.OnProcessStart(instanceID, out)
 		}
 	}
 
 	// Triggers: conformance for every relevant line; step events and
 	// error lines for the engine.
-	if p.triggers.Conformance != nil && instanceID != "" {
-		p.triggers.Conformance(instanceID, body, out)
+	if h != nil && instanceID != "" {
+		h.OnConformance(instanceID, body, out)
 	}
 	if classified {
 		p.count(func(s *Stats) { s.Annotated++ })
 		mEvents.With("annotated").Inc()
-		if p.triggers.StepEvent != nil && instanceID != "" {
-			p.triggers.StepEvent(instanceID, node, out)
+		if h != nil && instanceID != "" {
+			h.OnStepEvent(instanceID, node, out)
 		}
 	}
 	if isError {
 		p.count(func(s *Stats) { s.Errors++ })
 		mEvents.With("error").Inc()
-		if p.triggers.ErrorLine != nil {
-			p.triggers.ErrorLine(instanceID, body, out)
+		if h != nil {
+			h.OnErrorLine(instanceID, body, out)
 		}
+	}
+
+	// The process-end hook fires after the final event's own triggers so
+	// post-completion assertions are scheduled before the handler tears
+	// its timers down.
+	if isEnd && h != nil {
+		h.OnProcessEnd(instanceID, out)
 	}
 
 	// Forward "important" lines — classified activities and errors — to

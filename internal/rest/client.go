@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"time"
 
 	"poddiagnosis/internal/assertion"
 	"poddiagnosis/internal/conformance"
+	"poddiagnosis/internal/core"
 	"poddiagnosis/internal/diagnosis"
 )
 
@@ -86,6 +88,53 @@ func (c *Client) Healthy(ctx context.Context) bool {
 	return c.get(ctx, "/healthz", &out) == nil
 }
 
+// Ready fetches the readiness status, including the per-operation backlog
+// breakdown when the server has a manager attached.
+func (c *Client) Ready(ctx context.Context) (ReadyStatus, error) {
+	var out ReadyStatus
+	err := c.get(ctx, "/readyz", &out)
+	return out, err
+}
+
+// CreateOperation registers a new monitoring session with the server's
+// manager and returns its summary.
+func (c *Client) CreateOperation(ctx context.Context, req OperationRequest) (core.SessionSummary, error) {
+	var out core.SessionSummary
+	err := c.post(ctx, "/operations", req, &out)
+	return out, err
+}
+
+// Operations lists the manager's monitoring sessions.
+func (c *Client) Operations(ctx context.Context) ([]core.SessionSummary, error) {
+	var out []core.SessionSummary
+	err := c.get(ctx, "/operations", &out)
+	return out, err
+}
+
+// Operation fetches one monitoring session's summary.
+func (c *Client) Operation(ctx context.Context, id string) (core.SessionSummary, error) {
+	var out core.SessionSummary
+	err := c.get(ctx, "/operations/"+url.PathEscape(id), &out)
+	return out, err
+}
+
+// OperationDetections fetches the detections recorded by one session.
+func (c *Client) OperationDetections(ctx context.Context, id string) ([]core.Detection, error) {
+	var out []core.Detection
+	err := c.get(ctx, "/operations/"+url.PathEscape(id)+"/detections", &out)
+	return out, err
+}
+
+// RemoveOperation ends and deletes one monitoring session.
+func (c *Client) RemoveOperation(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.base+"/operations/"+url.PathEscape(id), nil)
+	if err != nil {
+		return fmt.Errorf("rest client: %w", err)
+	}
+	return c.do(req, nil)
+}
+
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	data, err := json.Marshal(body)
 	if err != nil {
@@ -113,7 +162,7 @@ func (c *Client) do(req *http.Request, out any) error {
 		return fmt.Errorf("rest client: %w", err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode >= 300 {
 		var eb ErrorBody
 		_ = json.NewDecoder(resp.Body).Decode(&eb)
 		return fmt.Errorf("rest client: %s %s: status %d: %s", req.Method, req.URL.Path, resp.StatusCode, eb.Error)

@@ -1,0 +1,147 @@
+package rest
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"poddiagnosis/internal/core"
+)
+
+// OperationRequest is the body of POST /operations: it registers a new
+// monitoring session with the manager, mirroring core.Manager.Watch.
+type OperationRequest struct {
+	// ID names the session; empty means a generated op-N id.
+	ID string `json:"id,omitempty"`
+	// Expect declares the operation's desired end state.
+	Expect core.Expectation `json:"expect"`
+	// InstanceIDs pre-binds process instance ids (e.g. upgrade task ids)
+	// to the session. A bind-only session auto-ends when every bound
+	// instance's process completes.
+	InstanceIDs []string `json:"instanceIds,omitempty"`
+	// MatchASG adopts unknown process instances that reference the
+	// expectation's ASG.
+	MatchASG bool `json:"matchAsg,omitempty"`
+	// MatchAny adopts every unclaimed process instance (single-operation
+	// compatibility mode).
+	MatchAny bool `json:"matchAny,omitempty"`
+	// AssertionSpec overrides the manager's default assertion
+	// specification for this session.
+	AssertionSpec string `json:"assertionSpec,omitempty"`
+	// MaxDetections overrides the per-session detection cap.
+	MaxDetections int `json:"maxDetections,omitempty"`
+}
+
+// errNoManager is returned by the operation endpoints when the server was
+// built without WithManager.
+var errNoManager = errors.New("operation management not configured")
+
+func (s *Server) handleOperationCreate(w http.ResponseWriter, r *http.Request) {
+	if s.mgr == nil {
+		writeErr(w, http.StatusServiceUnavailable, errNoManager)
+		return
+	}
+	var req OperationRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var opts []core.WatchOption
+	if req.ID != "" {
+		opts = append(opts, core.WithSessionID(req.ID))
+	}
+	if len(req.InstanceIDs) > 0 {
+		opts = append(opts, core.BindInstance(req.InstanceIDs...))
+	}
+	if req.MatchASG {
+		opts = append(opts, core.MatchASGInstances())
+	}
+	if req.MatchAny {
+		opts = append(opts, core.MatchAnyInstance())
+	}
+	if req.AssertionSpec != "" {
+		opts = append(opts, core.WithAssertionSpec(req.AssertionSpec))
+	}
+	if req.MaxDetections > 0 {
+		opts = append(opts, core.WithMaxDetections(req.MaxDetections))
+	}
+	sess, err := s.mgr.Watch(req.Expect, opts...)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.Summary())
+}
+
+func (s *Server) handleOperationList(w http.ResponseWriter, r *http.Request) {
+	if s.mgr == nil {
+		writeErr(w, http.StatusServiceUnavailable, errNoManager)
+		return
+	}
+	sessions := s.mgr.Sessions()
+	out := make([]core.SessionSummary, 0, len(sessions))
+	for _, sess := range sessions {
+		out = append(out, sess.Summary())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// operation resolves the {id} path value to a session, writing the error
+// response itself when the manager is absent or the id is unknown.
+func (s *Server) operation(w http.ResponseWriter, r *http.Request) *core.Session {
+	if s.mgr == nil {
+		writeErr(w, http.StatusServiceUnavailable, errNoManager)
+		return nil
+	}
+	id := r.PathValue("id")
+	sess := s.mgr.Session(id)
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such operation: %s", id))
+	}
+	return sess
+}
+
+func (s *Server) handleOperationGet(w http.ResponseWriter, r *http.Request) {
+	if sess := s.operation(w, r); sess != nil {
+		writeJSON(w, http.StatusOK, sess.Summary())
+	}
+}
+
+func (s *Server) handleOperationDetections(w http.ResponseWriter, r *http.Request) {
+	sess := s.operation(w, r)
+	if sess == nil {
+		return
+	}
+	ds := sess.Detections()
+	if ds == nil {
+		ds = []core.Detection{}
+	}
+	writeJSON(w, http.StatusOK, ds)
+}
+
+func (s *Server) handleOperationDelete(w http.ResponseWriter, r *http.Request) {
+	if s.mgr == nil {
+		writeErr(w, http.StatusServiceUnavailable, errNoManager)
+		return
+	}
+	id := r.PathValue("id")
+	if !s.mgr.Remove(id) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such operation: %s", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"removed": id})
+}
+
+// managerReady is the default readiness probe installed by WithManager: it
+// aggregates the shared backlog plus every session's queued and in-flight
+// work into the per-operation breakdown.
+func managerReady(m *core.Manager) func() ReadyStatus {
+	return func() ReadyStatus {
+		q := m.QueueDepth()
+		return ReadyStatus{
+			Ready:        true,
+			QueueDepth:   q.Depth(),
+			PerOperation: q.Sessions,
+		}
+	}
+}

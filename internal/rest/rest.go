@@ -15,6 +15,7 @@ import (
 
 	"poddiagnosis/internal/assertion"
 	"poddiagnosis/internal/conformance"
+	"poddiagnosis/internal/core"
 	"poddiagnosis/internal/diagnosis"
 	"poddiagnosis/internal/obs"
 )
@@ -64,6 +65,9 @@ type ReadyStatus struct {
 	// QueueDepth is the monitoring engine's backlog (queued evaluations,
 	// diagnoses and undrained log events); zero means drained.
 	QueueDepth int `json:"queueDepth"`
+	// PerOperation breaks the backlog down by monitoring session (queued
+	// plus in-flight work per operation) when a manager is attached.
+	PerOperation map[string]int `json:"perOperation,omitempty"`
 	// Detail is free-form context, e.g. per-queue depths.
 	Detail string `json:"detail,omitempty"`
 }
@@ -84,11 +88,20 @@ func WithObservability(reg *obs.Registry, tracer *obs.Tracer) Option {
 	return func(s *Server) { s.reg, s.tracer = reg, tracer }
 }
 
+// WithManager attaches a core.Manager, enabling the /operations endpoints
+// (register, list, inspect, fetch detections, remove). Unless WithReady
+// overrides it, GET /readyz then aggregates the manager's backlog with a
+// per-operation breakdown.
+func WithManager(m *core.Manager) Option {
+	return func(s *Server) { s.mgr = m }
+}
+
 // Server hosts the three POD services over one model.
 type Server struct {
 	checker *conformance.Checker
 	eval    *assertion.Evaluator
 	diag    *diagnosis.Engine
+	mgr     *core.Manager
 	mux     *http.ServeMux
 	reg     *obs.Registry
 	tracer  *obs.Tracer
@@ -109,7 +122,15 @@ func NewServer(checker *conformance.Checker, eval *assertion.Evaluator, diag *di
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.ready == nil && s.mgr != nil {
+		s.ready = managerReady(s.mgr)
+	}
 	s.route("POST /conformance/check", "conformance_check", s.handleConformance)
+	s.route("POST /operations", "operations_create", s.handleOperationCreate)
+	s.route("GET /operations", "operations_list", s.handleOperationList)
+	s.route("GET /operations/{id}", "operations_get", s.handleOperationGet)
+	s.route("GET /operations/{id}/detections", "operations_detections", s.handleOperationDetections)
+	s.route("DELETE /operations/{id}", "operations_delete", s.handleOperationDelete)
 	s.route("GET /conformance/instances", "conformance_instances", s.handleInstances)
 	s.route("GET /conformance/stats", "conformance_stats", s.handleStats)
 	s.route("POST /assertions/evaluate", "assertions_evaluate", s.handleEvaluate)

@@ -81,7 +81,7 @@ func TestObservabilityEndToEnd(t *testing.T) {
 
 	rep := NewUpgrader(cloud, bus).Run(ctx, spec)
 	<-injectDone
-	mon.Drain(5 * time.Second)
+	mon.Drain(ctx, 2*time.Minute)
 	mon.Stop()
 	_ = rep // the upgrade may fail or limp home mixed-version; either is fine
 

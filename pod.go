@@ -62,7 +62,7 @@ const Version = "1.0.0"
 // Core engine types.
 type (
 	// Monitor is a running POD-Diagnosis deployment watching one
-	// operation.
+	// operation (a Manager with a single Session).
 	Monitor = core.Engine
 	// Config assembles a Monitor.
 	Config = core.Config
@@ -70,6 +70,57 @@ type (
 	Expectation = core.Expectation
 	// Detection is one detected anomaly with its diagnosis.
 	Detection = core.Detection
+)
+
+// Multi-tenant monitoring types: one Manager watches many concurrent
+// operations, each through its own Session.
+type (
+	// Manager owns the shared monitoring substrate — bus subscriptions,
+	// log storage, the consistent API client, assertion evaluator,
+	// diagnosis engine and worker pool — and routes annotated events to
+	// per-operation Sessions sharded by process-instance id.
+	Manager = core.Manager
+	// ManagerConfig assembles a Manager.
+	ManagerConfig = core.ManagerConfig
+	// Session is one operation's monitoring context inside a Manager.
+	Session = core.Session
+	// SessionState is a session's lifecycle phase (active, ended).
+	SessionState = core.SessionState
+	// SessionSummary is the JSON-friendly view of one session.
+	SessionSummary = core.SessionSummary
+	// WatchOption customizes a session at Manager.Watch time.
+	WatchOption = core.WatchOption
+)
+
+// Session lifecycle states.
+const (
+	SessionActive = core.SessionActive
+	SessionEnded  = core.SessionEnded
+)
+
+// NewManager validates the config and builds the shared monitoring
+// substrate. Call Start, register operations with Watch, Stop when done.
+func NewManager(cfg ManagerConfig) (*Manager, error) { return core.NewManager(cfg) }
+
+// Watch options, re-exported.
+var (
+	// WithSessionID names the session (default ids are op-1, op-2, ...).
+	WithSessionID = core.WithSessionID
+	// BindInstance pre-binds process instance ids to the session.
+	BindInstance = core.BindInstance
+	// MatchASGInstances adopts unknown instances referencing the
+	// session's ASG.
+	MatchASGInstances = core.MatchASGInstances
+	// MatchAnyInstance adopts every unclaimed instance.
+	MatchAnyInstance = core.MatchAnyInstance
+	// WithAssertionSpec overrides the assertion specification per session.
+	WithAssertionSpec = core.WithAssertionSpec
+	// WithPeriodicInterval overrides the periodic assertion cadence.
+	WithPeriodicInterval = core.WithPeriodicInterval
+	// WithStepTimeoutSlack overrides the step-timer slack.
+	WithStepTimeoutSlack = core.WithStepTimeoutSlack
+	// WithMaxDetections overrides the per-session detection cap.
+	WithMaxDetections = core.WithMaxDetections
 )
 
 // Log and cloud substrate types.

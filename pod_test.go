@@ -58,7 +58,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	mon.Start()
 	rep := NewUpgrader(cloud, bus).Run(ctx, spec)
-	mon.Drain(5 * time.Second)
+	mon.Drain(ctx, 2*time.Minute)
 	mon.Stop()
 
 	if rep.Err != nil {
