@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	podserve [-addr :8077] [-clusters N] [-size N] [-scale X] [-pprof addr]
+//	podserve [-addr :8077] [-clusters N] [-size N] [-scale X] [-diag-workers N] [-pprof addr]
 //
 // Endpoints:
 //
@@ -17,6 +17,7 @@
 //	POST /assertions/evaluate    {"checkId": "...", "params": {...}}
 //	GET  /assertions/checks
 //	POST /diagnosis              {"assertionId": "...", "stepId": "...", "params": {...}}
+//	GET  /diagnosis/config       parallelism knob, budget, shared-cache stats
 //	POST /operations             register a monitoring session
 //	GET  /operations             list sessions
 //	GET  /operations/{id}        one session's summary
@@ -43,6 +44,7 @@ import (
 
 	"poddiagnosis/internal/clock"
 	"poddiagnosis/internal/core"
+	"poddiagnosis/internal/diagnosis"
 	"poddiagnosis/internal/logging"
 	"poddiagnosis/internal/rest"
 	"poddiagnosis/internal/simaws"
@@ -55,11 +57,12 @@ func main() {
 
 func run() int {
 	var (
-		addr      = flag.String("addr", ":8077", "listen address")
-		clusters  = flag.Int("clusters", 3, "number of demo clusters upgrading under the shared manager")
-		size      = flag.Int("size", 4, "size of each backing demo cluster")
-		scale     = flag.Float64("scale", 60, "clock speed-up factor")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+		addr        = flag.String("addr", ":8077", "listen address")
+		clusters    = flag.Int("clusters", 3, "number of demo clusters upgrading under the shared manager")
+		size        = flag.Int("size", 4, "size of each backing demo cluster")
+		scale       = flag.Float64("scale", 60, "clock speed-up factor")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+		diagWorkers = flag.Int("diag-workers", 0, "parallel fault-tree walk width per diagnosis (0 = worker-pool size, 1 = sequential)")
 	)
 	flag.Parse()
 	if *clusters < 1 {
@@ -79,7 +82,10 @@ func run() int {
 	// each cluster gets its own Session.
 	// Generous retention: ended demo sessions stay queryable over
 	// /operations long after their upgrade finishes.
-	mgr, err := core.NewManager(core.ManagerConfig{Cloud: cloud, Bus: bus, Retention: 24 * time.Hour})
+	mgr, err := core.NewManager(core.ManagerConfig{
+		Cloud: cloud, Bus: bus, Retention: 24 * time.Hour,
+		Diagnosis: diagnosis.Options{Workers: *diagWorkers},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"poddiagnosis/internal/consistentapi"
@@ -126,6 +127,9 @@ type Result struct {
 	Duration time.Duration `json:"duration"`
 	// Err carries the error text for StatusError results.
 	Err string `json:"err,omitempty"`
+	// Cached reports that the result was reused from a shared cache
+	// rather than evaluated for this consumer.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Passed reports whether the assertion held.
@@ -166,8 +170,11 @@ func evalErr(checkID string, p Params, err error) Result {
 	}
 }
 
-// Registry maps check ids to checks.
+// Registry maps check ids to checks. It is safe for concurrent use:
+// parallel diagnosis walks look checks up while late registrations (e.g.
+// test fixtures) may still be adding them.
 type Registry struct {
+	mu     sync.RWMutex
 	checks map[string]Check
 }
 
@@ -176,17 +183,23 @@ func NewRegistry() *Registry { return &Registry{checks: make(map[string]Check)} 
 
 // Register adds a check, replacing any previous one with the same id.
 func (r *Registry) Register(c Check) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.checks[c.ID] = c
 }
 
 // Lookup returns the check with the given id.
 func (r *Registry) Lookup(id string) (Check, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	c, ok := r.checks[id]
 	return c, ok
 }
 
 // IDs returns all registered check ids.
 func (r *Registry) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]string, 0, len(r.checks))
 	for id := range r.checks {
 		out = append(out, id)

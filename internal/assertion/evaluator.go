@@ -45,7 +45,9 @@ type Trigger struct {
 
 // Evaluator runs checks from a registry through the consistent API layer,
 // publishing each result as an assertion log event and retaining history.
-// It is safe for concurrent use.
+// It is safe for concurrent use — parallel fault-tree walks evaluate
+// diagnosis tests on it simultaneously: the registry locks internally,
+// history is guarded by mu, and the client and bus are concurrency-safe.
 type Evaluator struct {
 	client   *consistentapi.Client
 	registry *Registry

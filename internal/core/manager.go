@@ -181,6 +181,13 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.Retention <= 0 {
 		cfg.Retention = 10 * time.Minute
 	}
+	if cfg.Diagnosis.Workers <= 0 {
+		// Fault-tree walks fan out to the same width as the manager pool
+		// unless explicitly tuned. The diagnosis engine bounds its own
+		// goroutines separately, so walks running ON pool workers cannot
+		// deadlock against pool capacity.
+		cfg.Diagnosis.Workers = cfg.Workers
+	}
 	if err := cfg.Trees.Validate(cfg.Registry); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/consistentapi"
+	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/process"
+	"poddiagnosis/internal/simaws"
+	"poddiagnosis/internal/upgrade"
+)
+
+// Race-detector coverage for the tentpole: many concurrent Diagnose calls
+// through one Manager's engine, with parallel walks fanning out inside
+// each call and the shared cross-run cache deduplicating identical tests.
+// The cloud profile permits stale reads, so the cache TTL (bounded by the
+// consistency window) is non-zero and cross-run reuse actually happens.
+func TestConcurrentDiagnosesShareTestCache(t *testing.T) {
+	clk := clock.NewScaled(1200, time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC))
+	bus := logging.NewBus()
+	profile := simaws.FastProfile()
+	profile.TickInterval = time.Second
+	profile.StaleProb = 0.05
+	profile.StaleLag = clock.Fixed(5 * time.Second)
+	cloud := simaws.New(clk, profile, simaws.WithSeed(44), simaws.WithBus(bus))
+	cloud.Start()
+	mgr, err := NewManager(ManagerConfig{
+		Cloud: cloud,
+		Bus:   bus,
+		API: consistentapi.Config{
+			MaxAttempts:    3,
+			InitialBackoff: 500 * time.Millisecond,
+			MaxBackoff:     4 * time.Second,
+			CallTimeout:    30 * time.Second,
+		},
+		Workers:   8,
+		Diagnosis: diagnosis.Options{Workers: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Start()
+	t.Cleanup(func() { mgr.Stop(); cloud.Stop(); bus.Close() })
+
+	ctx := context.Background()
+	cluster, err := upgrade.Deploy(ctx, cloud, "cc", 2, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.WaitReady(ctx, cloud, 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := mgr.Diagnoser()
+	if got := eng.Options().Workers; got != 8 {
+		t.Fatalf("diagnosis workers = %d, want 8", got)
+	}
+	cache := eng.Cache()
+	if cache == nil {
+		t.Fatal("shared cache disabled by default")
+	}
+	if cache.TTL() <= 0 {
+		t.Fatalf("cache TTL = %v, want > 0 under a stale-read profile", cache.TTL())
+	}
+
+	req := diagnosis.Request{
+		AssertionID:       assertion.CheckASGVersionCount,
+		Source:            diagnosis.SourceAssertion,
+		ProcessInstanceID: "pushing " + cluster.ASGName,
+		StepID:            process.StepNewReady,
+		Params: assertion.Params{
+			assertion.ParamASG:          cluster.ASGName,
+			assertion.ParamELB:          cluster.ELBName,
+			assertion.ParamAMI:          cluster.ImageID,
+			assertion.ParamKeyPair:      cluster.KeyName,
+			assertion.ParamSG:           cluster.SGName,
+			assertion.ParamInstanceType: "m1.small",
+			assertion.ParamVersion:      cluster.Version,
+			assertion.ParamWant:         "2",
+			assertion.ParamLC:           cluster.LCName,
+		},
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]*diagnosis.Diagnosis, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = eng.Diagnose(ctx, req)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, d := range results {
+		if d == nil {
+			t.Fatalf("diagnosis %d missing", i)
+		}
+		// Healthy cluster: every run must agree nothing is wrong.
+		if d.Conclusion == diagnosis.ConclusionIdentified {
+			t.Errorf("diagnosis %d fabricated a cause: %+v", i, d.RootCauses)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits+st.Coalesced == 0 {
+		t.Errorf("identical concurrent runs shared nothing: stats %+v", st)
+	}
+	if st.Evaluations == 0 {
+		t.Errorf("no evaluations flowed through the shared cache: stats %+v", st)
+	}
+}

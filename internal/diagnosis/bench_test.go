@@ -1,0 +1,99 @@
+package diagnosis
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/consistentapi"
+	"poddiagnosis/internal/faulttree"
+	"poddiagnosis/internal/simaws"
+)
+
+// benchScale compresses the simulated diagnosis-test latency; at 100x the
+// 200ms-sim slow check costs 2ms of wall clock, so sequential vs parallel
+// walk time differences dominate the measurement.
+const benchScale = 100
+
+// benchWorkload builds a wide multi-tree workload: trees× leaves
+// root-cause candidates, each guarded by a slow passing check with
+// distinct params (so no two tests share a cache key).
+func benchWorkload(trees, leaves int) []*faulttree.Tree {
+	out := make([]*faulttree.Tree, trees)
+	for ti := 0; ti < trees; ti++ {
+		children := make([]*faulttree.Node, leaves)
+		for li := 0; li < leaves; li++ {
+			children[li] = &faulttree.Node{
+				ID:          fmt.Sprintf("t%d-leaf-%d", ti, li),
+				Description: fmt.Sprintf("candidate fault %d of tree %d", li, ti),
+				CheckID:     "slow-pass",
+				CheckParams: assertion.Params{"which": fmt.Sprintf("t%d-l%d", ti, li)},
+				RootCause:   true,
+				Prob:        float64(leaves - li),
+			}
+		}
+		out[ti] = &faulttree.Tree{
+			ID: fmt.Sprintf("bench-%d", ti), AssertionID: "bench-assert",
+			Root: &faulttree.Node{ID: fmt.Sprintf("bench-%d-top", ti), Description: "top", Children: children},
+		}
+	}
+	return out
+}
+
+func newBenchEngine(b *testing.B, opts Options, profile simaws.Profile, trees []*faulttree.Tree) *Engine {
+	b.Helper()
+	clk := clock.NewScaled(benchScale, time.Date(2013, 11, 19, 11, 48, 0, 0, time.UTC))
+	cloud := simaws.New(clk, profile, simaws.WithSeed(7))
+	client := consistentapi.New(cloud, consistentapi.Config{MaxAttempts: 1, CallTimeout: time.Minute})
+	reg := assertion.NewRegistry()
+	reg.Register(assertion.Check{
+		ID: "slow-pass", Description: "slow diagnostic check",
+		Eval: func(ctx context.Context, c *consistentapi.Client, p assertion.Params) assertion.Result {
+			_ = c.Clock().Sleep(ctx, 200*time.Millisecond)
+			return assertion.Result{CheckID: "slow-pass", Status: assertion.StatusPass, Params: p, Message: "ok"}
+		},
+	})
+	repo := faulttree.NewRepository()
+	for _, t := range trees {
+		repo.Register(t)
+	}
+	return NewEngine(repo, assertion.NewEvaluator(client, reg, nil), nil, opts)
+}
+
+func runDiagnoseBench(b *testing.B, opts Options, profile simaws.Profile) {
+	e := newBenchEngine(b, opts, profile, benchWorkload(3, 8))
+	req := Request{AssertionID: "bench-assert", Source: SourceAssertion, Params: assertion.Params{}}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := e.Diagnose(ctx, req)
+		if d.Conclusion != ConclusionNone {
+			b.Fatalf("unexpected conclusion %s", d.Conclusion)
+		}
+	}
+}
+
+// BenchmarkDiagnoseSequential is the paper's one-test-at-a-time walk over
+// the wide workload; every one of the 24 slow tests runs back to back.
+func BenchmarkDiagnoseSequential(b *testing.B) {
+	runDiagnoseBench(b, Options{Workers: 1, DisableSharedCache: true}, simaws.FastProfile())
+}
+
+// BenchmarkDiagnoseParallel fans the same workload out across 8 walk
+// goroutines; acceptance asks for >= 2x lower wall time than sequential.
+func BenchmarkDiagnoseParallel(b *testing.B) {
+	runDiagnoseBench(b, Options{Workers: 8, DisableSharedCache: true}, simaws.FastProfile())
+}
+
+// BenchmarkDiagnoseParallelSharedCache adds the cross-run shared cache
+// under a profile whose consistency window is non-zero, so back-to-back
+// runs answer most tests from cache.
+func BenchmarkDiagnoseParallelSharedCache(b *testing.B) {
+	profile := simaws.FastProfile()
+	profile.StaleProb = 0.05
+	profile.StaleLag = clock.Fixed(10 * time.Second)
+	runDiagnoseBench(b, Options{Workers: 8}, profile)
+}

@@ -5,15 +5,22 @@
 // from the runtime request, prunes sub-trees that do not match the process
 // context, and visits the remaining nodes top-down, running on-demand
 // diagnosis tests (assertion evaluations) to confirm or exclude potential
-// faults. Test results are cached and reused across nodes; sibling visits
-// are ordered by prior fault probability.
+// faults. Test results are cached and reused across nodes — and, through
+// a shared single-flight cache bounded by the simulated cloud's
+// eventual-consistency window, across concurrent runs; sibling visits are
+// ordered by prior fault probability and may proceed in parallel on a
+// bounded worker pool while committing results in that same order.
 package diagnosis
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"poddiagnosis/internal/assertion"
@@ -36,7 +43,33 @@ var (
 		"Diagnosis tests answered from the per-run result cache.")
 	mCausesFound = obs.Default.Counter("pod_diagnosis_causes_found_total",
 		"Confirmed root causes across all diagnosis runs.")
+	mInflight = obs.Default.Gauge("pod_diagnosis_inflight",
+		"Diagnosis walks currently in flight.")
+	mBudgetExhausted = obs.Default.Counter("pod_diagnosis_budget_exhausted_total",
+		"Diagnosis tests refused because the per-run MaxTests budget was spent.")
 )
+
+// ErrBudgetExhausted is the sentinel carried (as text, in Result.Err) by
+// the StatusError results the engine synthesizes when a run's MaxTests
+// budget is spent. Use IsBudgetExhausted to distinguish these from
+// genuine test errors.
+var ErrBudgetExhausted = errors.New("diagnosis: test budget exhausted")
+
+// IsBudgetExhausted reports whether res is a synthetic budget-exhausted
+// result rather than a genuine test error.
+func IsBudgetExhausted(res assertion.Result) bool {
+	return res.Status == assertion.StatusError && res.Err == ErrBudgetExhausted.Error()
+}
+
+// budgetExhaustedResult synthesizes the StatusError result returned for
+// tests refused by the budget.
+func budgetExhaustedResult(checkID string, params assertion.Params) assertion.Result {
+	return assertion.Result{
+		CheckID: checkID, Status: assertion.StatusError,
+		Message: "diagnosis test budget exhausted", Params: params,
+		Err: ErrBudgetExhausted.Error(),
+	}
+}
 
 // Source identifies what triggered a diagnosis.
 type Source string
@@ -109,7 +142,8 @@ type Diagnosis struct {
 	PotentialFaults int `json:"potentialFaults"`
 	// Excluded is how many candidates were ruled out by passing tests.
 	Excluded int `json:"excluded"`
-	// TestsRun are the diagnosis test evaluations, in execution order.
+	// TestsRun are the diagnosis test evaluations. Sequential walks
+	// record them in visit order; parallel walks in execution order.
 	TestsRun []assertion.Result `json:"testsRun"`
 	// Conclusion classifies the outcome.
 	Conclusion Conclusion `json:"conclusion"`
@@ -138,16 +172,36 @@ type Options struct {
 	ContinueAfterConfirm bool
 	// MaxTests bounds the diagnosis tests per run. Zero means 64.
 	MaxTests int
+	// Workers bounds the goroutines one walk may fan out across
+	// independent sibling sub-trees. Zero or one keeps the sequential
+	// paper walk. The committed Diagnosis is identical either way (see
+	// walkInto); parallelism only trades speculative tests for latency.
+	Workers int
+	// SharedCacheTTL caps cross-run reuse of test results in the shared
+	// cache. It is clamped to the simulated cloud's eventual-consistency
+	// window (a cached answer must never be staler than one the cloud
+	// itself might serve); zero means the full window.
+	SharedCacheTTL time.Duration
+	// DisableSharedCache turns off the cross-run shared cache; the
+	// per-run cache always remains.
+	DisableSharedCache bool
 }
 
-// Engine runs diagnoses. It is safe for concurrent use; test-result
-// caching is per-run.
+// Engine runs diagnoses. It is safe for concurrent use: per-run state
+// lives on the run, and the shared cross-run cache is concurrency-safe.
 type Engine struct {
-	repo *faulttree.Repository
-	eval *assertion.Evaluator
-	bus  *logging.Bus // may be nil
-	clk  clock.Clock
-	opts Options
+	repo  *faulttree.Repository
+	eval  *assertion.Evaluator
+	bus   *logging.Bus // may be nil
+	clk   clock.Clock
+	opts  Options
+	sem   chan struct{} // bounds extra walk goroutines; nil = sequential
+	cache *SharedCache  // nil when disabled
+
+	// testHookInstantiate, when set, observes every tree instantiation
+	// (regression hook: each selected tree is instantiated exactly once
+	// per run).
+	testHookInstantiate func(treeID string)
 }
 
 // NewEngine returns an Engine over the given fault trees and evaluator.
@@ -155,21 +209,97 @@ func NewEngine(repo *faulttree.Repository, eval *assertion.Evaluator, bus *loggi
 	if opts.MaxTests <= 0 {
 		opts.MaxTests = 64
 	}
-	return &Engine{repo: repo, eval: eval, bus: bus, clk: eval.Client().Clock(), opts: opts}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	e := &Engine{repo: repo, eval: eval, bus: bus, clk: eval.Client().Clock(), opts: opts}
+	if opts.Workers > 1 {
+		// The Diagnose goroutine itself always walks; the semaphore only
+		// admits the extra fan-out goroutines. Sessions run Diagnose on
+		// manager pool workers, so the walk must never block on pool
+		// capacity — walkInto falls back to inline visits when full.
+		e.sem = make(chan struct{}, opts.Workers-1)
+	}
+	if !opts.DisableSharedCache {
+		window := eval.Client().Cloud().ConsistencyWindow()
+		ttl := window
+		if opts.SharedCacheTTL > 0 && opts.SharedCacheTTL < window {
+			ttl = opts.SharedCacheTTL
+		}
+		e.opts.SharedCacheTTL = ttl
+		e.cache = NewSharedCache(e.clk, ttl)
+	}
+	return e
 }
 
-// run carries the mutable state of one diagnosis.
+// Options returns the engine's effective configuration (defaults applied,
+// SharedCacheTTL clamped to the consistency window).
+func (e *Engine) Options() Options { return e.opts }
+
+// Cache returns the shared cross-run test cache, or nil when disabled.
+func (e *Engine) Cache() *SharedCache { return e.cache }
+
+// run carries the mutable state of one diagnosis. It is shared across the
+// walk goroutines of that one diagnosis: the budget is atomic, the
+// per-run cache and TestsRun are guarded by mu, and everything else is
+// read-only after construction.
 type run struct {
-	req       Request
-	diag      *Diagnosis
-	cache     map[string]assertion.Result
-	testsLeft int
-	done      bool // stop-at-first-confirmation latch
+	req   Request
+	diag  *Diagnosis
+	latch bool // stop at first confirmation
+
+	mu    sync.Mutex
+	local map[string]assertion.Result // per-run result cache; guards diag.TestsRun too
+
+	testsLeft atomic.Int64
+}
+
+// exclusion records a passing diagnosis test that rules out the
+// root-cause leaves under a node. Counting and logging are deferred to
+// commit so the running n/m tallies come out in deterministic merge
+// order regardless of execution interleaving.
+type exclusion struct {
+	node  *faulttree.Node
+	count int
+	res   assertion.Result
+	fresh bool
+}
+
+// branch accumulates the outcome of one sub-tree visit. Sibling branches
+// are merged back in probability order (walkInto), so the committed
+// Diagnosis is identical to the sequential walk's.
+type branch struct {
+	causes     []Cause
+	suspects   []Cause
+	exclusions []exclusion
+	// confirmed is set when a root cause was confirmed under this branch
+	// and the stop-at-first-confirmation latch is on; it prunes later
+	// siblings at merge time.
+	confirmed bool
+}
+
+func (b *branch) confirm(n *faulttree.Node) {
+	b.causes = append(b.causes, Cause{NodeID: n.ID, Description: n.Description, Confirmed: true})
+}
+
+func (b *branch) suspect(n *faulttree.Node) {
+	b.suspects = append(b.suspects, Cause{NodeID: n.ID, Description: n.Description})
+}
+
+func (b *branch) absorb(c *branch) {
+	b.causes = append(b.causes, c.causes...)
+	b.suspects = append(b.suspects, c.suspects...)
+	b.exclusions = append(b.exclusions, c.exclusions...)
+	if c.confirmed {
+		b.confirmed = true
+	}
 }
 
 // Diagnose executes one diagnosis for the request.
 func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
 	wallStart := time.Now()
+	mInflight.Inc()
+	defer mInflight.Dec()
 	ctx, span := obs.StartSpan(ctx, "diagnosis.walk")
 	span.SetAttr("source", string(req.Source))
 	span.SetAttr("instance", req.ProcessInstanceID)
@@ -179,30 +309,34 @@ func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
 	}
 	started := e.clk.Now()
 	d := &Diagnosis{Request: req, StartedAt: started}
-	r := &run{req: req, diag: d, cache: make(map[string]assertion.Result), testsLeft: e.opts.MaxTests}
+	r := &run{
+		req: req, diag: d,
+		latch: !e.opts.ContinueAfterConfirm,
+		local: make(map[string]assertion.Result),
+	}
+	r.testsLeft.Store(int64(e.opts.MaxTests))
 
-	trees := e.selectTrees(req)
-	for _, t := range trees {
+	// Instantiate and prune each selected tree exactly once; the same
+	// instance serves both the potential-fault count and the walk.
+	var roots []*faulttree.Node
+	for _, t := range e.selectTrees(req) {
+		if e.testHookInstantiate != nil {
+			e.testHookInstantiate(t.ID)
+		}
 		inst := t.Instantiate(req.Params)
 		if !e.opts.DisablePruning {
 			inst = inst.Prune(req.StepID)
 		}
 		d.PotentialFaults += len(inst.PotentialRootCauses())
+		roots = append(roots, inst.Root)
 	}
 
 	e.log(req, "Performing on demand assertion checking: %s. %d potential faults in total...",
 		req.Detail, d.PotentialFaults)
 
-	for _, t := range trees {
-		if r.done {
-			break
-		}
-		inst := t.Instantiate(req.Params)
-		if !e.opts.DisablePruning {
-			inst = inst.Prune(req.StepID)
-		}
-		e.visit(ctx, r, inst.Root)
-	}
+	top := &branch{}
+	e.walkInto(ctx, r, top, roots)
+	e.commit(r, top)
 
 	switch {
 	case len(d.RootCauses) > 0:
@@ -241,22 +375,88 @@ func (e *Engine) selectTrees(req Request) []*faulttree.Tree {
 	return trees
 }
 
-// visit walks one (instantiated, pruned) node top-down.
-func (e *Engine) visit(ctx context.Context, r *run, n *faulttree.Node) {
-	if r.done {
+// walkInto visits the preference-ordered nodes and merges the resulting
+// branches back into br IN THAT ORDER. Sequential mode (no semaphore)
+// visits in order and stops at the first confirmation, exactly the
+// paper's walk. Parallel mode fans siblings out across the semaphore —
+// falling back to inline visits when it is full, so progress never
+// depends on capacity — then discards everything merged after the first
+// confirmed branch. Probability order is thus a preference in both
+// modes, and the committed result is identical; parallel walks merely
+// spend speculative tests (visible in TestsRun) to cut latency.
+func (e *Engine) walkInto(ctx context.Context, r *run, br *branch, nodes []*faulttree.Node) {
+	if br.confirmed || len(nodes) == 0 {
 		return
 	}
+	if e.sem == nil {
+		for _, n := range nodes {
+			e.visit(ctx, r, br, n)
+			if br.confirmed {
+				return
+			}
+		}
+		return
+	}
+
+	subs := make([]*branch, len(nodes))
+	// skipAfter is the lowest index whose branch has confirmed a root
+	// cause so far; the sequential walk would never visit siblings past
+	// it, so they are not even launched.
+	var skipAfter atomic.Int64
+	skipAfter.Store(int64(len(nodes)))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		if r.latch && int64(i) > skipAfter.Load() {
+			break
+		}
+		sub := &branch{}
+		subs[i] = sub
+		visit := func(i int, n *faulttree.Node, sub *branch) {
+			e.visit(ctx, r, sub, n)
+			if sub.confirmed {
+				for {
+					cur := skipAfter.Load()
+					if int64(i) >= cur || skipAfter.CompareAndSwap(cur, int64(i)) {
+						break
+					}
+				}
+			}
+		}
+		select {
+		case e.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int, n *faulttree.Node, sub *branch) {
+				defer wg.Done()
+				defer func() { <-e.sem }()
+				visit(i, n, sub)
+			}(i, n, sub)
+		default:
+			visit(i, n, sub)
+		}
+	}
+	wg.Wait()
+	for _, sub := range subs {
+		if sub == nil {
+			break
+		}
+		br.absorb(sub)
+		if br.confirmed {
+			return
+		}
+	}
+}
+
+// visit walks one (instantiated, pruned) node top-down into br.
+func (e *Engine) visit(ctx context.Context, r *run, br *branch, n *faulttree.Node) {
 	if n.CheckID != "" {
 		res, fresh := e.test(ctx, r, n)
 		switch res.Status {
 		case assertion.StatusPass:
-			// Error not present: exclude this sub-tree.
-			excluded := countRootCauses(n)
-			r.diag.Excluded += excluded
-			if fresh {
-				e.log(r.req, "Verified %s: %s %d/%d faults are excluded",
-					n.ID, res.Message, r.diag.Excluded, r.diag.PotentialFaults)
-			}
+			// Error not present: exclude this sub-tree. Tallying and the
+			// n/m exclusion log are deferred to commit.
+			br.exclusions = append(br.exclusions, exclusion{
+				node: n, count: countRootCauses(n), res: res, fresh: fresh,
+			})
 			return
 		case assertion.StatusError:
 			// Inconclusive: this node cannot be checked. A leaf becomes a
@@ -266,7 +466,7 @@ func (e *Engine) visit(ctx context.Context, r *run, n *faulttree.Node) {
 				e.log(r.req, "Could not verify %s: %s", n.ID, res.Err)
 			}
 			if n.Leaf() {
-				r.suspect(n)
+				br.suspect(n)
 				return
 			}
 		case assertion.StatusFail:
@@ -274,77 +474,128 @@ func (e *Engine) visit(ctx context.Context, r *run, n *faulttree.Node) {
 				e.log(r.req, "Failed verification of %s: %s", n.ID, res.Message)
 			}
 			if n.RootCause {
-				r.confirm(n)
-				if !e.opts.ContinueAfterConfirm {
-					r.done = true
+				br.confirm(n)
+				if r.latch {
+					br.confirmed = true
 				}
 				return
 			}
 		}
 	} else if n.RootCause {
 		// Untestable leaf under a present error: suspected only.
-		r.suspect(n)
+		br.suspect(n)
 		return
 	}
-	for _, c := range faulttree.SortedChildren(n) {
-		if r.done {
-			return
+	e.walkInto(ctx, r, br, faulttree.SortedChildren(n))
+}
+
+// commit folds the merged top-level branch into the Diagnosis on the
+// Diagnose goroutine: exclusions are tallied and logged in merge order,
+// and causes and suspects are deduplicated — catalog sub-trees shared
+// across fault trees carry id suffixes, so identity is by node id or by
+// instantiated description.
+func (e *Engine) commit(r *run, br *branch) {
+	d := r.diag
+	for _, ex := range br.exclusions {
+		d.Excluded += ex.count
+		if ex.fresh {
+			e.log(r.req, "Verified %s: %s %d/%d faults are excluded",
+				ex.node.ID, ex.res.Message, d.Excluded, d.PotentialFaults)
 		}
-		e.visit(ctx, r, c)
+	}
+	for _, c := range br.causes {
+		if !hasCause(d.RootCauses, c) {
+			d.RootCauses = append(d.RootCauses, c)
+		}
+	}
+	for _, c := range br.suspects {
+		if !hasCause(d.Suspected, c) {
+			d.Suspected = append(d.Suspected, c)
+		}
 	}
 }
 
-// test evaluates the node's diagnosis check, reusing cached results.
-// fresh reports whether the evaluation actually ran now.
+// hasCause reports whether list already carries the cause, by node id or
+// instantiated description.
+func hasCause(list []Cause, c Cause) bool {
+	for _, x := range list {
+		if x.NodeID == c.NodeID || x.Description == c.Description {
+			return true
+		}
+	}
+	return false
+}
+
+// test evaluates the node's diagnosis check, answering from the run-local
+// cache, the shared cross-run cache, or a fresh evaluation. fresh reports
+// whether this call ran the evaluation itself (and so drives the
+// paper-format verification logging). Only fresh evaluations charge the
+// run's test budget — shared-cache hits and coalesced joins are free.
 func (e *Engine) test(ctx context.Context, r *run, n *faulttree.Node) (assertion.Result, bool) {
 	params := r.req.Params.Merge(n.CheckParams)
 	key := cacheKey(n.CheckID, params)
-	if res, ok := r.cache[key]; ok {
+	r.mu.Lock()
+	res, ok := r.local[key]
+	r.mu.Unlock()
+	if ok {
 		mCacheHits.Inc()
 		return res, false
 	}
-	if r.testsLeft <= 0 {
-		return assertion.Result{
-			CheckID: n.CheckID, Status: assertion.StatusError,
-			Message: "diagnosis test budget exhausted", Params: params,
-			Err: "diagnosis: test budget exhausted",
-		}, false
-	}
-	r.testsLeft--
-	mTests.Inc()
-	ctx, span := obs.StartSpan(ctx, "diagnosis.test")
-	span.SetAttr("node", n.ID)
-	span.SetAttr("check", n.CheckID)
-	e.log(r.req, "Verifying %s", strings.TrimSuffix(n.Description, "."))
-	res := e.eval.Evaluate(ctx, n.CheckID, params, assertion.Trigger{
-		Source:            assertion.TriggerOnDemand,
-		ProcessInstanceID: r.req.ProcessInstanceID,
-		StepID:            r.req.StepID,
-	})
-	span.SetAttr("status", res.Status.String())
-	span.End()
-	r.cache[key] = res
-	r.diag.TestsRun = append(r.diag.TestsRun, res)
-	return res, true
-}
 
-func (r *run) confirm(n *faulttree.Node) {
-	r.diag.RootCauses = append(r.diag.RootCauses, Cause{
-		NodeID: n.ID, Description: n.Description, Confirmed: true,
-	})
-}
-
-func (r *run) suspect(n *faulttree.Node) {
-	// Catalog sub-trees are shared across fault trees with id suffixes;
-	// dedup suspects by their instantiated description.
-	for _, c := range r.diag.Suspected {
-		if c.NodeID == n.ID || c.Description == n.Description {
-			return
+	reserve := func() bool {
+		for {
+			left := r.testsLeft.Load()
+			if left <= 0 {
+				return false
+			}
+			if r.testsLeft.CompareAndSwap(left, left-1) {
+				return true
+			}
 		}
 	}
-	r.diag.Suspected = append(r.diag.Suspected, Cause{
-		NodeID: n.ID, Description: n.Description,
-	})
+	evalFn := func() assertion.Result {
+		mTests.Inc()
+		ctx, span := obs.StartSpan(ctx, "diagnosis.test")
+		span.SetAttr("node", n.ID)
+		span.SetAttr("check", n.CheckID)
+		e.log(r.req, "Verifying %s", strings.TrimSuffix(n.Description, "."))
+		res := e.eval.Evaluate(ctx, n.CheckID, params, assertion.Trigger{
+			Source:            assertion.TriggerOnDemand,
+			ProcessInstanceID: r.req.ProcessInstanceID,
+			StepID:            r.req.StepID,
+		})
+		span.SetAttr("status", res.Status.String())
+		span.End()
+		return res
+	}
+
+	outcome := OutcomeEvaluated
+	if e.cache != nil {
+		res, outcome = e.cache.Do(key, reserve, evalFn)
+	} else if reserve() {
+		res = evalFn()
+	} else {
+		outcome = OutcomeRejected
+	}
+	if outcome == OutcomeRejected {
+		mBudgetExhausted.Inc()
+		// Not recorded in TestsRun and not logged: no test actually ran.
+		return budgetExhaustedResult(n.CheckID, params), false
+	}
+	if outcome == OutcomeHit || outcome == OutcomeCoalesced {
+		res.Cached = true
+	}
+
+	r.mu.Lock()
+	if prior, ok := r.local[key]; ok {
+		// Another goroutine of this run recorded the answer first.
+		r.mu.Unlock()
+		return prior, false
+	}
+	r.local[key] = res
+	r.diag.TestsRun = append(r.diag.TestsRun, res)
+	r.mu.Unlock()
+	return res, outcome == OutcomeEvaluated
 }
 
 // countRootCauses counts root-cause leaves at or below n.
@@ -359,7 +610,9 @@ func countRootCauses(n *faulttree.Node) int {
 	return count
 }
 
-// cacheKey builds a deterministic key from the check id and parameters.
+// cacheKey builds an injective key from the check id and parameters:
+// every field is length-prefixed, so no delimiter bytes inside ids, keys
+// or values can make two distinct inputs collide.
 func cacheKey(checkID string, p assertion.Params) string {
 	keys := make([]string, 0, len(p))
 	for k := range p {
@@ -367,12 +620,17 @@ func cacheKey(checkID string, p assertion.Params) string {
 	}
 	sort.Strings(keys)
 	var b strings.Builder
+	b.WriteString(strconv.Itoa(len(checkID)))
+	b.WriteByte(':')
 	b.WriteString(checkID)
 	for _, k := range keys {
-		b.WriteByte('|')
+		v := p[k]
+		b.WriteString(strconv.Itoa(len(k)))
+		b.WriteByte(':')
 		b.WriteString(k)
-		b.WriteByte('=')
-		b.WriteString(p[k])
+		b.WriteString(strconv.Itoa(len(v)))
+		b.WriteByte(':')
+		b.WriteString(v)
 	}
 	return b.String()
 }

@@ -87,7 +87,11 @@ func (s *Subscription) Cancel() {
 
 // Publish delivers the event to every matching subscriber. If a
 // subscriber's buffer is full its oldest pending event is dropped to make
-// room, so publishers are never blocked by slow consumers.
+// room, so publishers are never blocked by slow consumers. Delivery makes
+// bounded progress per subscriber — at most one eviction and two send
+// attempts — so a consumer racing Publish by draining its channel can
+// never make Publish spin while it holds the bus lock; in that rare race
+// the new event is dropped (and counted) instead.
 func (b *Bus) Publish(e Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -99,20 +103,25 @@ func (b *Bus) Publish(e Event) {
 		if sub.filter != nil && !sub.filter(e) {
 			continue
 		}
-		for {
-			select {
-			case sub.ch <- e:
-			default:
-				// Buffer full: drop the oldest and retry.
-				select {
-				case <-sub.ch:
-					b.dropped.Add(1)
-					mDropped.Inc()
-				default:
-				}
-				continue
-			}
-			break
+		select {
+		case sub.ch <- e:
+			continue
+		default:
+		}
+		// Buffer full: evict the oldest pending event and retry once. The
+		// eviction or the send can each lose a race with a concurrent
+		// consumer receive; either way exactly one event is dropped.
+		select {
+		case <-sub.ch:
+			b.dropped.Add(1)
+			mDropped.Inc()
+		default:
+		}
+		select {
+		case sub.ch <- e:
+		default:
+			b.dropped.Add(1)
+			mDropped.Inc()
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -330,5 +331,41 @@ func TestFormatParseProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression for the Publish drop-oldest retry loop: with a consumer
+// concurrently draining a buffer-1 subscription, the old unbounded
+// send/evict/retry cycle could spin while holding the bus lock. Publish
+// now makes bounded progress per subscriber, and every published event is
+// accounted for: received + still-buffered + dropped == published.
+func TestBusPublishBoundedUnderConcurrentDrain(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(1, nil)
+
+	var received atomic.Uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sub.C {
+			received.Add(1)
+		}
+	}()
+
+	const published = 5000
+	for i := 0; i < published; i++ {
+		b.Publish(Event{Message: "x"})
+	}
+	b.Close() // closes sub.C; the drainer consumes whatever is buffered first
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish or drain stalled")
+	}
+	total := received.Load() + b.Dropped()
+	if total != published {
+		t.Fatalf("received %d + dropped %d = %d, want %d",
+			received.Load(), b.Dropped(), total, published)
 	}
 }

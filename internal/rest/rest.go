@@ -136,6 +136,7 @@ func NewServer(checker *conformance.Checker, eval *assertion.Evaluator, diag *di
 	s.route("POST /assertions/evaluate", "assertions_evaluate", s.handleEvaluate)
 	s.route("GET /assertions/checks", "assertions_checks", s.handleChecks)
 	s.route("POST /diagnosis", "diagnosis", s.handleDiagnose)
+	s.route("GET /diagnosis/config", "diagnosis_config", s.handleDiagnosisConfig)
 	s.route("GET /model", "model", s.handleModel)
 	s.route("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -312,6 +313,40 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.diag.Diagnose(r.Context(), req))
+}
+
+// DiagnosisConfig is the body of GET /diagnosis/config: the engine's
+// effective tuning plus live shared-cache statistics, so operators can see
+// the parallelism knob and cache behaviour without scraping /metrics.
+type DiagnosisConfig struct {
+	// Workers is the fan-out bound for one fault-tree walk; 1 means the
+	// sequential paper walk.
+	Workers int `json:"workers"`
+	// MaxTests is the per-run diagnosis test budget.
+	MaxTests int `json:"maxTests"`
+	// SharedCacheTTL is the effective cross-run reuse window (clamped to
+	// the cloud's eventual-consistency window), as a duration string.
+	SharedCacheTTL string `json:"sharedCacheTtl"`
+	// SharedCache carries live cache counters; absent when disabled.
+	SharedCache *diagnosis.CacheStats `json:"sharedCache,omitempty"`
+}
+
+func (s *Server) handleDiagnosisConfig(w http.ResponseWriter, r *http.Request) {
+	if s.diag == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("diagnosis not configured"))
+		return
+	}
+	opts := s.diag.Options()
+	cfg := DiagnosisConfig{
+		Workers:        opts.Workers,
+		MaxTests:       opts.MaxTests,
+		SharedCacheTTL: opts.SharedCacheTTL.String(),
+	}
+	if c := s.diag.Cache(); c != nil {
+		stats := c.Stats()
+		cfg.SharedCache = &stats
+	}
+	writeJSON(w, http.StatusOK, cfg)
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {

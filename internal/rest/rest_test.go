@@ -2,6 +2,7 @@ package rest
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -244,5 +245,46 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if _, err := e.client.Stats(e.ctx, ""); err == nil {
 		t.Error("empty trace accepted")
+	}
+}
+
+func TestDiagnosisConfigEndpoint(t *testing.T) {
+	e := newRESTEnv(t)
+	resp, err := http.Get(e.srv.URL + "/diagnosis/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var cfg DiagnosisConfig
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 1 {
+		t.Errorf("workers = %d, want the sequential default 1", cfg.Workers)
+	}
+	if cfg.MaxTests != 64 {
+		t.Errorf("maxTests = %d, want the default 64", cfg.MaxTests)
+	}
+	// FastProfile permits no stale reads, so the shared cache exists but
+	// its consistency-window TTL is zero.
+	if cfg.SharedCache == nil {
+		t.Fatal("shared cache stats missing")
+	}
+	if cfg.SharedCacheTTL != "0s" {
+		t.Errorf("ttl = %s, want 0s under FastProfile", cfg.SharedCacheTTL)
+	}
+
+	srv := httptest.NewServer(NewServer(nil, nil, nil))
+	defer srv.Close()
+	resp2, err := http.Get(srv.URL + "/diagnosis/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("nil-engine status = %d", resp2.StatusCode)
 	}
 }

@@ -108,6 +108,10 @@ func (c *Cloud) Stop() {
 // Clock returns the cloud's time source.
 func (c *Cloud) Clock() clock.Clock { return c.clk }
 
+// ConsistencyWindow reports the maximum staleness a describe call may
+// observe under the cloud's profile; see Profile.ConsistencyWindow.
+func (c *Cloud) ConsistencyWindow() time.Duration { return c.profile.ConsistencyWindow() }
+
 // now returns the current simulated time.
 func (c *Cloud) now() time.Time { return c.clk.Now() }
 

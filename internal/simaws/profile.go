@@ -34,6 +34,25 @@ type Profile struct {
 	InstanceLimit int
 }
 
+// ConsistencyWindow returns the maximum staleness a describe call may
+// observe under this profile: zero when stale reads are disabled,
+// otherwise the stale-lag upper bound, capped by the snapshot retention
+// age (reads are never served from snapshots older than that). An
+// unbounded lag distribution (Max <= 0) also reduces to the retention
+// cap. This is the safe upper bound for any cache layered on top of the
+// cloud's describe results: an answer younger than the window is
+// indistinguishable from one the cloud itself might serve.
+func (p Profile) ConsistencyWindow() time.Duration {
+	if p.StaleProb <= 0 {
+		return 0
+	}
+	window := p.StaleLag.Max
+	if window <= 0 || window > maxSnapshotAge {
+		window = maxSnapshotAge
+	}
+	return window
+}
+
 // FastProfile returns a profile tuned for unit tests: sub-millisecond
 // latencies, no staleness, no throttling.
 func FastProfile() Profile {

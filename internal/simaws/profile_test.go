@@ -1,0 +1,35 @@
+package simaws
+
+import (
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/clock"
+)
+
+func TestConsistencyWindow(t *testing.T) {
+	cases := []struct {
+		name    string
+		profile Profile
+		want    time.Duration
+	}{
+		{"no staleness", FastProfile(), 0},
+		{"bounded lag", Profile{StaleProb: 0.1, StaleLag: clock.Fixed(4 * time.Second)}, 4 * time.Second},
+		{"unbounded lag capped by retention", Profile{StaleProb: 0.1, StaleLag: clock.Dist{Mean: time.Second}}, maxSnapshotAge},
+		{"lag beyond retention capped", Profile{StaleProb: 0.1, StaleLag: clock.Dist{Mean: time.Minute, Max: 5 * time.Minute}}, maxSnapshotAge},
+		{"paper profile uses its lag bound", PaperProfile(), 10 * time.Second},
+	}
+	for _, tc := range cases {
+		if got := tc.profile.ConsistencyWindow(); got != tc.want {
+			t.Errorf("%s: ConsistencyWindow() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCloudConsistencyWindowDelegates(t *testing.T) {
+	clk := clock.NewScaled(1000, time.Unix(0, 0))
+	c := New(clk, PaperProfile(), WithSeed(1))
+	if got, want := c.ConsistencyWindow(), PaperProfile().ConsistencyWindow(); got != want {
+		t.Fatalf("cloud window = %v, profile window = %v", got, want)
+	}
+}
