@@ -1,0 +1,194 @@
+// Command podlint is the static-analysis gate for POD-Diagnosis. It lints
+// on two fronts: the registered diagnosis artifacts (process models,
+// assertion specifications, the fault-tree catalog, and the trigger chain
+// connecting them) and the Go source tree (wall-clock reads, metric
+// naming, mutexes held across blocking sends, context.Background on
+// request paths).
+//
+// Usage:
+//
+//	podlint [flags] [target ...]
+//
+// Targets are directories of Go source to analyze ("./..." is accepted and
+// means the directory tree, matching go-tool convention) and/or process
+// model JSON documents (*.json), which are linted structurally. With no
+// targets the module root is analyzed. The built-in artifact bundles are
+// always linted unless -source-only is given.
+//
+// Flags:
+//
+//	-json         emit findings as a JSON array instead of text
+//	-rules        print the rule registry and exit
+//	-fix          EXPERIMENTAL: rewrite time.Now/time.Since to use an
+//	              in-scope clock.Clock parameter, then re-lint
+//	-source-only  skip the built-in model/spec/tree bundles
+//	-models-only  skip the Go source analyzers
+//
+// Exit status is 0 when no findings of severity error remain (warnings do
+// not fail the build), 1 when at least one error finding is reported, and
+// 2 on usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"poddiagnosis/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("podlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut    = fs.Bool("json", false, "emit findings as JSON")
+		rulesOut   = fs.Bool("rules", false, "print the rule registry and exit")
+		fix        = fs.Bool("fix", false, "experimental: rewrite wall-clock reads onto an in-scope clock.Clock")
+		sourceOnly = fs.Bool("source-only", false, "lint only Go source, skip the built-in bundles")
+		modelsOnly = fs.Bool("models-only", false, "lint only models/specs/trees, skip Go source")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *rulesOut {
+		return printRules(stdout, *jsonOut)
+	}
+	if *sourceOnly && *modelsOnly {
+		fmt.Fprintln(stderr, "podlint: -source-only and -models-only are mutually exclusive")
+		return 2
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "podlint:", err)
+		return 2
+	}
+	dirs, docs := splitTargets(fs.Args(), root)
+
+	var findings []lint.Finding
+
+	if !*sourceOnly {
+		bundles, err := lint.Builtins()
+		if err != nil {
+			fmt.Fprintln(stderr, "podlint:", err)
+			return 2
+		}
+		findings = append(findings, lint.LintBundles(bundles...)...)
+		for _, doc := range docs {
+			data, err := os.ReadFile(doc)
+			if err != nil {
+				fmt.Fprintln(stderr, "podlint:", err)
+				return 2
+			}
+			findings = append(findings, lint.LintModelDoc(filepath.Base(doc), data)...)
+		}
+	}
+
+	if !*modelsOnly {
+		if *fix {
+			fixed, err := lint.FixWallClock(root, dirs)
+			if err != nil {
+				fmt.Fprintln(stderr, "podlint:", err)
+				return 2
+			}
+			for _, f := range fixed {
+				fmt.Fprintf(stderr, "podlint: fixed wall-clock reads in %s\n", f)
+			}
+		}
+		srcFindings, err := lint.LintSource(root, dirs)
+		if err != nil {
+			fmt.Fprintln(stderr, "podlint:", err)
+			return 2
+		}
+		findings = append(findings, srcFindings...)
+	}
+
+	lint.Sort(findings)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "podlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if n := lint.CountErrors(findings); n > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "podlint: %d error(s), %d finding(s)\n", n, len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+// printRules writes the rule registry.
+func printRules(stdout *os.File, asJSON bool) int {
+	rules := lint.Rules()
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rules); err != nil {
+			return 2
+		}
+		return 0
+	}
+	for _, r := range rules {
+		fmt.Fprintf(stdout, "%s  %-7s  %-6s  %s\n", r.ID, r.Severity, r.Front, r.Summary)
+	}
+	return 0
+}
+
+// splitTargets separates Go source directories from model JSON documents.
+// The go-tool "/..." suffix is accepted and stripped: podlint always walks
+// directory trees. Empty args default to the module root.
+func splitTargets(args []string, root string) (dirs, docs []string) {
+	for _, a := range args {
+		if strings.HasSuffix(a, ".json") {
+			docs = append(docs, a)
+			continue
+		}
+		a = strings.TrimSuffix(a, "/...")
+		if a == "" || a == "." {
+			a = root
+		}
+		dirs = append(dirs, a)
+	}
+	if len(dirs) == 0 {
+		dirs = []string{root}
+	}
+	return dirs, docs
+}
+
+// moduleRoot finds the enclosing module root (the directory holding go.mod)
+// so findings are positioned relative to it regardless of the invocation
+// directory. Falls back to the working directory outside a module.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir, nil
+		}
+		d = parent
+	}
+}

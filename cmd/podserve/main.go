@@ -70,7 +70,7 @@ func run() int {
 	}
 
 	ctx := context.Background()
-	clk := clock.NewScaled(*scale, time.Now())
+	clk := clock.NewScaled(*scale, clock.Wall.Now())
 	bus := logging.NewBus()
 	defer bus.Close()
 	cloud := simaws.New(clk, simaws.PaperProfile(), simaws.WithSeed(1), simaws.WithBus(bus))

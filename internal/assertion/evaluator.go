@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"time"
 
+	"poddiagnosis/internal/clock"
 	"poddiagnosis/internal/consistentapi"
 	"poddiagnosis/internal/logging"
 	"poddiagnosis/internal/obs"
@@ -72,7 +72,7 @@ func (e *Evaluator) Client() *consistentapi.Client { return e.client }
 // Evaluate runs the check with the given id and parameters, stamping,
 // logging and recording the result. Unknown check ids yield StatusError.
 func (e *Evaluator) Evaluate(ctx context.Context, checkID string, p Params, trig Trigger) Result {
-	wallStart := time.Now()
+	wallStart := clock.Wall.Now()
 	ctx, span := obs.StartSpan(ctx, "assertion.evaluate")
 	span.SetAttr("check", checkID)
 	span.SetAttr("trigger", string(trig.Source))
@@ -91,7 +91,7 @@ func (e *Evaluator) Evaluate(ctx context.Context, checkID string, p Params, trig
 	res.EvaluatedAt = started
 	res.Duration = clk.Since(started)
 	mEvaluations.With(res.CheckID, res.Status.String()).Inc()
-	mEvalLatency.Observe(time.Since(wallStart).Seconds())
+	mEvalLatency.Observe(clock.Wall.Since(wallStart).Seconds())
 	span.SetAttr("status", res.Status.String())
 	span.SetAttr("simDuration", res.Duration.String())
 	span.End()

@@ -1,0 +1,11 @@
+package clock
+
+// Wall is the process-wide wall clock used for real-cost measurements that
+// must not follow a scaled simulation clock: latency histograms, span
+// durations, and campaign wall times. Routing these reads through the clock
+// package (instead of calling time.Now directly) keeps every time source in
+// the repository swappable and lets podlint's wall-clock analyzer (rule
+// GO001) enforce the discipline mechanically. Tests may swap it to a Scaled
+// clock to make wall measurements deterministic; production code must treat
+// it as read-only.
+var Wall Clock = Real{}

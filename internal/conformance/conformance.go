@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"poddiagnosis/internal/clock"
 	"poddiagnosis/internal/obs"
 	"poddiagnosis/internal/process"
 )
@@ -156,7 +157,7 @@ func (c *Checker) Completed(instanceID string) bool {
 // Check replays one log line for the given process instance, creating the
 // instance on first sight.
 func (c *Checker) Check(instanceID, line string, at time.Time) Result {
-	started := time.Now()
+	started := clock.Wall.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st, ok := c.instances[instanceID]
@@ -180,7 +181,7 @@ func (c *Checker) Check(instanceID, line string, at time.Time) Result {
 		if res.Verdict.IsAnomalous() {
 			mNonConforming.Inc()
 		}
-		mCheckLatency.Observe(time.Since(started).Seconds())
+		mCheckLatency.Observe(clock.Wall.Since(started).Seconds())
 	}()
 
 	// Known-error lines trump classification.

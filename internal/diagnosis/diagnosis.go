@@ -297,7 +297,7 @@ func (b *branch) absorb(c *branch) {
 
 // Diagnose executes one diagnosis for the request.
 func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
-	wallStart := time.Now()
+	wallStart := clock.Wall.Now()
 	mInflight.Inc()
 	defer mInflight.Dec()
 	ctx, span := obs.StartSpan(ctx, "diagnosis.walk")
@@ -355,7 +355,7 @@ func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
 	}
 	d.Duration = e.clk.Since(started)
 	mWalks.With(string(d.Conclusion)).Inc()
-	mWalkDuration.Observe(time.Since(wallStart).Seconds())
+	mWalkDuration.Observe(clock.Wall.Since(wallStart).Seconds())
 	mCausesFound.Add(float64(len(d.RootCauses)))
 	span.SetAttr("conclusion", string(d.Conclusion))
 	span.SetAttr("tests", fmt.Sprintf("%d", len(d.TestsRun)))

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"poddiagnosis/internal/clock"
 	"poddiagnosis/internal/faultinject"
 )
 
@@ -141,7 +142,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 // instead of rebuilding the engine stack per run.
 func RunSpecs(ctx context.Context, specs []RunSpec, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	started := time.Now()
+	started := clock.Wall.Now()
 	results := make([]*RunResult, len(specs))
 	errs := make([]error, len(specs))
 	lanes := cfg.Parallelism
@@ -182,7 +183,7 @@ func RunSpecs(ctx context.Context, specs []RunSpec, cfg Config) (*Report, error)
 			return nil, fmt.Errorf("experiment: run %d failed: %w", specs[i].ID, err)
 		}
 	}
-	return Aggregate(results, time.Since(started)), nil
+	return Aggregate(results, clock.Wall.Since(started)), nil
 }
 
 // Aggregate folds run results into a Report.

@@ -34,6 +34,17 @@ func DefaultRepository() *Repository {
 	return r
 }
 
+// withProb assigns a prior probability to a shared sub-tree root at its
+// attachment point. The sub-tree helpers below are reused across several
+// trees whose sibling orderings differ, so the sibling-ordering probability
+// lives at the call site; every multi-child sibling group carries distinct,
+// non-zero priors so the probability-ordered visit is fully determined
+// (podlint rules FT003/FT004).
+func withProb(n *Node, p float64) *Node {
+	n.Prob = p
+	return n
+}
+
 // configAssertionTree diagnoses a failing low-level configuration check
 // (the §III.B.3 scenario-(ii) assertions): any of the four configuration
 // dimensions may have been changed by a concurrent operation, so the whole
@@ -125,14 +136,14 @@ func launchFailedSubtree(idSuffix string) *Node {
 				ID:          "launch-keypair-unavailable" + idSuffix,
 				Description: "The key pair {keyname} is unavailable",
 				CheckID:     assertion.CheckKeyPairExists,
-				Prob:        0.20,
+				Prob:        0.22,
 				RootCause:   true,
 			},
 			{
 				ID:          "launch-sg-unavailable" + idSuffix,
 				Description: "The security group {sgname} is unavailable",
 				CheckID:     assertion.CheckSGExists,
-				Prob:        0.20,
+				Prob:        0.18,
 				RootCause:   true,
 			},
 			{
@@ -232,14 +243,14 @@ func lcCreateSubtree() *Node {
 				ID:          "lc-keypair-unavailable",
 				Description: "The key pair {keyname} is unavailable",
 				CheckID:     assertion.CheckKeyPairExists,
-				Prob:        0.25,
+				Prob:        0.28,
 				RootCause:   true,
 			},
 			{
 				ID:          "lc-sg-unavailable",
 				Description: "The security group {sgname} is unavailable",
 				CheckID:     assertion.CheckSGExists,
-				Prob:        0.25,
+				Prob:        0.22,
 				RootCause:   true,
 			},
 		},
@@ -256,11 +267,11 @@ func versionCountTree() *Tree {
 			ID:          "version-count-violated",
 			Description: "The system does not have {want} instances with version {version}",
 			Children: []*Node{
-				lcCreateSubtree(),
-				wrongConfigSubtree(),
-				launchFailedSubtree(""),
-				countDroppedSubtree(""),
-				elbSubtree(),
+				withProb(lcCreateSubtree(), 0.30),
+				withProb(wrongConfigSubtree(), 0.25),
+				withProb(launchFailedSubtree(""), 0.20),
+				withProb(countDroppedSubtree(""), 0.15),
+				withProb(elbSubtree(), 0.10),
 			},
 		},
 	}
@@ -275,8 +286,8 @@ func instanceCountTree() *Tree {
 			ID:          "instance-count-violated",
 			Description: "The ASG {asgid} does not have {want} live instances",
 			Children: []*Node{
-				launchFailedSubtree("-ic"),
-				countDroppedSubtree("-ic"),
+				withProb(launchFailedSubtree("-ic"), 0.60),
+				withProb(countDroppedSubtree("-ic"), 0.40),
 			},
 		},
 	}
@@ -291,9 +302,9 @@ func elbCountTree() *Tree {
 			ID:          "elb-count-violated",
 			Description: "The ELB {elbname} does not have {want} registered instances",
 			Children: []*Node{
-				elbSubtree(),
-				launchFailedSubtree("-elb"),
-				countDroppedSubtree("-elb"),
+				withProb(elbSubtree(), 0.45),
+				withProb(launchFailedSubtree("-elb"), 0.35),
+				withProb(countDroppedSubtree("-elb"), 0.20),
 			},
 		},
 	}
@@ -309,7 +320,7 @@ func lcExistsTree() *Tree {
 			ID:          "lc-missing",
 			Description: "The launch configuration {lcname} is missing or incorrect",
 			Children: []*Node{
-				lcCreateSubtree(),
+				withProb(lcCreateSubtree(), 0.70),
 				{
 					ID:          "lc-changed",
 					Description: "The launch configuration of ASG {asgid} was changed by a simultaneous operation",

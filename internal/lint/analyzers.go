@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricMethods are the obs.Registry constructors whose first argument is
+// a metric name.
+var metricMethods = []string{"Counter", "CounterVec", "Gauge", "GaugeVec", "Histogram", "HistogramVec"}
+
+// metricNameRE is the project's metric naming convention: one flat
+// pod_-prefixed snake_case identifier, so every series lands in one
+// namespace on the /metrics exposition.
+var metricNameRE = regexp.MustCompile(`^pod_[a-z_]+$`)
+
+// analyzeFile runs the four GO analyzers over one parsed file.
+func analyzeFile(f *srcFile) []Finding {
+	var fs []Finding
+	f.lintWallClock(&fs)
+	f.lintMetricNames(&fs)
+	f.lintMutexSends(&fs)
+	f.lintRestContext(&fs)
+	return fs
+}
+
+// lintWallClock implements GO001: no time.Now or time.Since outside
+// internal/clock. Drain retention, TTL clamping and step timers all run on
+// injected clocks; a stray wall-clock read silently diverges from the
+// scaled simulation clock and breaks deterministic replays. Wall-clock
+// measurements that are genuinely wanted go through clock.Wall.
+func (f *srcFile) lintWallClock(fs *[]Finding) {
+	if f.rel == "internal/clock" || strings.HasPrefix(f.rel, "internal/clock/") {
+		return
+	}
+	timeName := f.importName("time")
+	if timeName == "" {
+		return
+	}
+	ast.Inspect(f.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := pkgCall(call, timeName, "Now", "Since"); fn != "" {
+			f.report(fs, RuleSrcWallClock, call,
+				"time.%s outside internal/clock — use clock.Wall or an injected clock.Clock", fn)
+		}
+		return true
+	})
+}
+
+// lintMetricNames implements GO002: the first argument of every metric
+// constructor must be a literal matching ^pod_[a-z_]+$. Non-literal names
+// are not checked (none exist in this codebase; dynamic names would break
+// grep-ability anyway).
+func (f *srcFile) lintMetricNames(fs *[]Finding) {
+	ast.Inspect(f.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		matched := false
+		for _, m := range metricMethods {
+			if sel.Sel.Name == m {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind.String() != "STRING" {
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if !metricNameRE.MatchString(name) {
+			f.report(fs, RuleSrcMetricName, lit, "metric name %q does not match ^pod_[a-z_]+$", name)
+		}
+		return true
+	})
+}
+
+// lintRestContext implements GO004: handlers and clients under
+// internal/rest must propagate the request's context; minting a fresh
+// context.Background (or TODO) there detaches the work from cancellation,
+// deadlines and the request's trace span.
+func (f *srcFile) lintRestContext(fs *[]Finding) {
+	if !strings.HasPrefix(f.rel, "internal/rest/") {
+		return
+	}
+	ctxName := f.importName("context")
+	if ctxName == "" {
+		return
+	}
+	ast.Inspect(f.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := pkgCall(call, ctxName, "Background", "TODO"); fn != "" {
+			f.report(fs, RuleSrcContextBackground, call,
+				"context.%s on a request path — propagate the caller's context", fn)
+		}
+		return true
+	})
+}
+
+// lintMutexSends implements GO003: no blocking channel send while a mutex
+// is held. A consumer that needs the same lock to drain the channel
+// deadlocks the publisher (the Bus.Publish spin bug class); the accepted
+// pattern is a select with a default clause, which makes bounded progress
+// and can never block under the lock. The analysis is syntactic and
+// lexical: Lock/RLock on a receiver expression marks it held until the
+// matching Unlock/RUnlock in the same statement sequence (a deferred
+// Unlock holds it for the remainder of the function), branches fork a copy
+// of the held set, and function literals start a fresh scope.
+func (f *srcFile) lintMutexSends(fs *[]Finding) {
+	w := &lockWalker{f: f, fs: fs}
+	for _, decl := range f.file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		w.walkFuncBody(fd.Body)
+	}
+}
+
+type lockWalker struct {
+	f  *srcFile
+	fs *[]Finding
+}
+
+// walkFuncBody analyzes one function body with an empty held set, then
+// recurses into the function literals defined directly inside it — each a
+// fresh scope, since a literal generally runs outside the locked region.
+func (w *lockWalker) walkFuncBody(body *ast.BlockStmt) {
+	w.stmts(body.List, map[string]bool{})
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, fl)
+			return false // nested literals are found by the recursive call
+		}
+		return true
+	})
+	for _, fl := range lits {
+		w.walkFuncBody(fl.Body)
+	}
+}
+
+// stmts walks a statement sequence, threading the held-lock set through.
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) map[string]bool {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+// stmt processes one statement and returns the held set after it.
+// Branching statements analyze their bodies on a copy: a lock acquired on
+// one conditional path is not assumed held afterwards (approximation).
+// Function literals are NOT descended into here — walkFuncBody owns them.
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) map[string]bool {
+	switch v := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := v.X.(*ast.CallExpr); ok {
+			if recv, op := lockOp(call); op != "" {
+				held = cloneSet(held)
+				if op == "lock" {
+					held[recv] = true
+				} else {
+					delete(held, recv)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.flagSend(v, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases only at return: the lock stays held
+		// for the analysis of the remaining statements, which is the
+		// common pattern the rule exists for.
+	case *ast.LabeledStmt:
+		return w.stmt(v.Stmt, held)
+	case *ast.BlockStmt:
+		return w.stmts(v.List, held)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			held = w.stmt(v.Init, held)
+		}
+		w.stmts(v.Body.List, cloneSet(held))
+		if v.Else != nil {
+			w.stmt(v.Else, cloneSet(held))
+		}
+	case *ast.ForStmt:
+		h := cloneSet(held)
+		if v.Init != nil {
+			h = w.stmt(v.Init, h)
+		}
+		w.stmts(v.Body.List, h)
+	case *ast.RangeStmt:
+		w.stmts(v.Body.List, cloneSet(held))
+	case *ast.SwitchStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, cloneSet(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, cloneSet(held))
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range v.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			// A send as a comm case of a select WITH default is
+			// non-blocking — the sanctioned pattern under a lock.
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault {
+				w.flagSend(send, held)
+			}
+			w.stmts(cc.Body, cloneSet(held))
+		}
+	}
+	return held
+}
+
+// flagSend reports a blocking send performed while any lock is held.
+func (w *lockWalker) flagSend(s *ast.SendStmt, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	names := make([]string, 0, len(held))
+	for n := range held {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.f.report(w.fs, RuleSrcMutexChannelSend, s,
+		"blocking send on %s while %s is locked — release the lock or use a select with default",
+		exprString(s.Chan), strings.Join(names, ", "))
+}
+
+// lockOp classifies a call as a lock acquisition or release and returns
+// the receiver expression's rendering.
+func lockOp(call *ast.CallExpr) (recv, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return exprString(sel.X), "lock"
+	case "Unlock", "RUnlock":
+		return exprString(sel.X), "unlock"
+	}
+	return "", ""
+}
+
+func cloneSet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"os"
+	"sort"
+	"strings"
+)
+
+// clockImportPath is the repo's clock abstraction; FixWallClock rewrites
+// wall-clock reads onto it.
+const clockImportPath = "poddiagnosis/internal/clock"
+
+// edit is one byte-range replacement in a source file.
+type edit struct {
+	start, end int // byte offsets into the original file
+	text       string
+}
+
+// FixWallClock is the experimental auto-fix behind podlint -fix: inside any
+// function that already has a clock.Clock in scope — a parameter or method
+// receiver field is not inferred; only parameters named in the signature
+// count — it rewrites time.Now() to <param>.Now() and time.Since(x) to
+// <param>.Since(x). The rewrite is textual and deliberately conservative:
+// functions without an injectable clock are untouched (those findings still
+// need a human), and the fix may leave an unused "time" import behind for
+// gofmt/goimports or the developer to clean up. It returns the
+// module-relative paths of the files it rewrote.
+func FixWallClock(root string, targets []string) ([]string, error) {
+	files, err := loadSources(root, targets)
+	if err != nil {
+		return nil, err
+	}
+	var fixed []string
+	for _, f := range files {
+		if f.rel == "internal/clock" || strings.HasPrefix(f.rel, "internal/clock/") {
+			continue
+		}
+		edits := f.wallClockEdits()
+		if len(edits) == 0 {
+			continue
+		}
+		src, err := os.ReadFile(f.path)
+		if err != nil {
+			return fixed, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(src) || e.start > e.end {
+				continue
+			}
+			src = append(src[:e.start], append([]byte(e.text), src[e.end:]...)...)
+		}
+		if err := writeFile(f.path, src); err != nil {
+			return fixed, err
+		}
+		fixed = append(fixed, f.rel)
+	}
+	sort.Strings(fixed)
+	return fixed, nil
+}
+
+// wallClockEdits computes the time.Now/time.Since rewrites for one file.
+func (f *srcFile) wallClockEdits() []edit {
+	timeName := f.importName("time")
+	clockName := f.importName(clockImportPath)
+	if timeName == "" || clockName == "" {
+		return nil
+	}
+	var edits []edit
+	for _, decl := range f.file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		clk := clockParam(fd, clockName)
+		if clk == "" {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgCall(call, timeName, "Now", "Since")
+			if fn == "" {
+				return true
+			}
+			if f.suppressed(RuleSrcWallClock, f.line(call)) {
+				return true
+			}
+			sel := call.Fun.(*ast.SelectorExpr)
+			edits = append(edits, edit{
+				start: f.fset.Position(sel.Pos()).Offset,
+				end:   f.fset.Position(sel.End()).Offset,
+				text:  clk + "." + fn,
+			})
+			return true
+		})
+	}
+	return edits
+}
+
+// clockParam returns the name of the first parameter whose declared type is
+// clock.Clock ("" when the function has none).
+func clockParam(fd *ast.FuncDecl, clockName string) string {
+	if fd.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fd.Type.Params.List {
+		typ := field.Type
+		if star, ok := typ.(*ast.StarExpr); ok {
+			typ = star.X
+		}
+		sel, ok := typ.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Clock" {
+			continue
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != clockName {
+			continue
+		}
+		if len(field.Names) == 0 || field.Names[0].Name == "_" {
+			continue
+		}
+		return field.Names[0].Name
+	}
+	return ""
+}

@@ -1,0 +1,566 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/assertspec"
+	"poddiagnosis/internal/faulttree"
+	"poddiagnosis/internal/process"
+)
+
+// --- helpers -------------------------------------------------------------
+
+func hasRule(fs []Finding, rule string) bool {
+	for _, f := range fs {
+		if f.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func findingsFor(fs []Finding, rule string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fixtureRegistry() *assertion.Registry {
+	reg := assertion.NewRegistry()
+	reg.Register(assertion.Check{ID: "known", Description: "fixture check"})
+	return reg
+}
+
+// --- model rules ---------------------------------------------------------
+
+// brokenModelDoc seeds one violation for every PM rule.
+const brokenModelDoc = `{
+  "id": "broken",
+  "nodes": [
+    {"id": "s", "kind": 1},
+    {"id": "a1", "name": "A1", "kind": 2, "stepId": "step1", "patterns": ["^A1"]},
+    {"id": "a2", "name": "A2", "kind": 2, "stepId": "step1", "patterns": ["^A1", "("]},
+    {"id": "a3", "name": "A3", "kind": 2},
+    {"id": "a4", "name": "A4", "kind": 2, "patterns": ["^A4"]},
+    {"id": "a4", "name": "dup", "kind": 2},
+    {"id": "e", "kind": 4}
+  ],
+  "edges": [
+    {"from": "s", "to": "a1"},
+    {"from": "a1", "to": "a2"},
+    {"from": "a2", "to": "e"},
+    {"from": "a1", "to": "a4"},
+    {"from": "a3", "to": "e"},
+    {"from": "x", "to": "e"}
+  ]
+}`
+
+func TestLintModelDocSeedsEveryPMRule(t *testing.T) {
+	fs := LintModelDoc("broken", []byte(brokenModelDoc))
+	for _, rule := range []string{
+		RuleModelUnreachable,   // a3
+		RuleModelDeadEnd,       // a4
+		RuleModelBadPattern,    // "(" on a2
+		RuleModelDuplicateStep, // step1 on a1 and a2
+		RuleModelNoPatterns,    // a3
+		RuleModelShadowed,      // "^A1" on a1 and a2
+		RuleModelStructure,     // duplicate id a4, edge from unknown x
+	} {
+		if !hasRule(fs, rule) {
+			t.Errorf("expected %s in:\n%s", rule, render(fs))
+		}
+	}
+	if got := findingsFor(fs, RuleModelStructure); len(got) != 2 {
+		t.Errorf("want 2 PM007 findings (dup id + unknown edge), got %d", len(got))
+	}
+}
+
+func TestLintModelDocRejectsGarbage(t *testing.T) {
+	fs := LintModelDoc("junk", []byte("{nope"))
+	if len(fs) != 1 || fs[0].Rule != RuleModelStructure {
+		t.Fatalf("want one PM007, got %s", render(fs))
+	}
+}
+
+func TestBuiltinModelsLintClean(t *testing.T) {
+	for _, m := range []*process.Model{process.RollingUpgradeModel(), process.ScaleOutModel()} {
+		if fs := LintModel(m); len(fs) != 0 {
+			t.Errorf("model %s: unexpected findings:\n%s", m.ID(), render(fs))
+		}
+	}
+}
+
+// --- spec rules ----------------------------------------------------------
+
+func TestLintSpecSeedsEveryASRule(t *testing.T) {
+	// Parsed with a nil registry so the unknown check survives to lint.
+	spec, err := assertspec.Parse(`
+on step1 assert known
+on step1 assert known
+on step99 assert known
+on step1 assert missing
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := LintSpec("fixture", spec, process.RollingUpgradeModel(), fixtureRegistry())
+	for _, rule := range []string{RuleSpecUnknownCheck, RuleSpecUnknownStep, RuleSpecDuplicateBinding} {
+		if !hasRule(fs, rule) {
+			t.Errorf("expected %s in:\n%s", rule, render(fs))
+		}
+	}
+	// The duplicate finding points back at the first occurrence's line.
+	dups := findingsFor(fs, RuleSpecDuplicateBinding)
+	if len(dups) != 1 || !strings.Contains(dups[0].Message, "line 2") {
+		t.Errorf("AS003 should reference line 2, got %s", render(dups))
+	}
+}
+
+// --- fault-tree rules ----------------------------------------------------
+
+func TestLintTreeSeedsEveryFTRule(t *testing.T) {
+	reg := fixtureRegistry()
+
+	cyclic := &faulttree.Node{ID: "loop"}
+	cyclic.Children = []*faulttree.Node{cyclic}
+
+	tree := &faulttree.Tree{
+		ID:          "broken",
+		AssertionID: "known",
+		Root: &faulttree.Node{
+			ID:    "top",
+			Steps: []string{"step1"},
+			Children: []*faulttree.Node{
+				{ID: "dangling", CheckID: "missing", Prob: 0.4, RootCause: true},                          // FT001
+				{ID: "untestable", Prob: 0.3, RootCause: true},                                            // FT007
+				{ID: "zero", CheckID: "known", RootCause: true},                                           // FT004 (Prob 0)
+				{ID: "tie-a", CheckID: "known", Prob: 0.1, RootCause: true},                               // FT003 with tie-b
+				{ID: "tie-b", CheckID: "known", Prob: 0.1, RootCause: true},                               //
+				{ID: "gate", Prob: 0.05, Children: []*faulttree.Node{cyclic}},                             // FT005, then FT002 below
+				{ID: "top", Prob: 0.02, CheckID: "known", RootCause: true},                                // FT008 (dup of root id)
+				{ID: "off-step", Steps: []string{"step9"}, Prob: 0.01, CheckID: "known", RootCause: true}, // FT006
+			},
+		},
+	}
+	fs := LintTree(tree, reg)
+	for _, rule := range []string{
+		RuleTreeDanglingCheck, RuleTreeCycle, RuleTreeDupSiblingProb, RuleTreeZeroSiblingProb,
+		RuleTreeDegenerateGate, RuleTreeStepDisjoint, RuleTreeUntestableCause, RuleTreeDuplicateNodeID,
+	} {
+		if !hasRule(fs, rule) {
+			t.Errorf("expected %s in:\n%s", rule, render(fs))
+		}
+	}
+}
+
+func TestLintTreeTerminatesOnCycle(t *testing.T) {
+	a := &faulttree.Node{ID: "a"}
+	b := &faulttree.Node{ID: "b", Children: []*faulttree.Node{a}}
+	a.Children = []*faulttree.Node{b}
+	fs := LintTree(&faulttree.Tree{ID: "cyc", AssertionID: "known", Root: a}, nil)
+	if !hasRule(fs, RuleTreeCycle) {
+		t.Fatalf("want FT002, got %s", render(fs))
+	}
+}
+
+// --- cross-artifact rules ------------------------------------------------
+
+func TestLintBundlesSeedsEveryXCRule(t *testing.T) {
+	reg := fixtureRegistry()
+	spec, err := assertspec.Parse("on step1 assert known", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := faulttree.NewRepository()
+	repo.Register(&faulttree.Tree{
+		ID:          "never-fires",
+		AssertionID: "unbound",
+		Root: &faulttree.Node{ID: "top", Children: []*faulttree.Node{
+			{ID: "c1", Prob: 0.6, CheckID: "known", RootCause: true},
+			{ID: "c2", Prob: 0.4, CheckID: "known", RootCause: true},
+		}},
+	})
+	fs := LintBundles(Bundle{
+		Name:     "fixture",
+		Model:    process.RollingUpgradeModel(),
+		Specs:    []NamedSpec{{Name: "fixture-spec", Spec: spec}},
+		Trees:    repo,
+		Registry: reg,
+	})
+	if !hasRule(fs, RuleCoverageStepNoAssertion) { // steps beyond step1 are bare
+		t.Errorf("expected XC001 in:\n%s", render(fs))
+	}
+	if !hasRule(fs, RuleCoverageAssertionNoTree) { // "known" is bound, no tree
+		t.Errorf("expected XC002 in:\n%s", render(fs))
+	}
+	if !hasRule(fs, RuleCoverageTreeNeverTrigger) { // "unbound" has a tree, no binding
+		t.Errorf("expected XC003 in:\n%s", render(fs))
+	}
+}
+
+// TestBuiltinsLintClean is the shipped-artifact regression gate: the
+// built-in models, specifications and the full fault-tree catalog must
+// produce zero error-severity findings. Warnings are tolerated but pinned,
+// so a new coverage gap shows up as a diff here.
+func TestBuiltinsLintClean(t *testing.T) {
+	bundles, err := Builtins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := LintBundles(bundles...)
+	if n := CountErrors(fs); n != 0 {
+		t.Fatalf("builtin artifacts have %d lint error(s):\n%s", n, render(fs))
+	}
+	for _, f := range fs {
+		if f.Rule != RuleCoverageStepNoAssertion {
+			t.Errorf("unexpected builtin warning: %s", f)
+		}
+	}
+}
+
+// --- source analyzers ----------------------------------------------------
+
+// writeTree materializes a fixture source tree and returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLintSourceSeedsEveryGORule(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"pkg/clockuse.go": `package pkg
+
+import "time"
+
+func now() time.Time { return time.Now() }
+
+func since(t0 time.Time) time.Duration {
+	//podlint:ignore GO001 fixture: suppressed on purpose
+	_ = time.Now()
+	return time.Since(t0)
+}
+`,
+		"internal/clock/real.go": `package clock
+
+import "time"
+
+func now() time.Time { return time.Now() }
+`,
+		"pkg/metrics.go": `package pkg
+
+type registry struct{}
+
+func (registry) Counter(name, help string) int { return 0 }
+
+func metrics(r registry) {
+	r.Counter("pod_good_total", "ok")
+	r.Counter("Bad-Name", "flagged")
+}
+`,
+		"pkg/send.go": `package pkg
+
+import "sync"
+
+func direct(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+	ch <- 2
+}
+
+func selects(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+	select {
+	case ch <- 2:
+	}
+}
+
+func fresh(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	go func() {
+		ch <- 3
+	}()
+}
+`,
+		"internal/rest/handler.go": `package rest
+
+import "context"
+
+func handle() context.Context { return context.Background() }
+`,
+	})
+	fs, err := LintSource(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, rule := range []string{RuleSrcWallClock, RuleSrcMetricName, RuleSrcMutexChannelSend, RuleSrcContextBackground} {
+		if !hasRule(fs, rule) {
+			t.Errorf("expected %s in:\n%s", rule, render(fs))
+		}
+	}
+
+	// GO001: the suppressed call is dropped; internal/clock is exempt;
+	// time.Now in now() and time.Since in since() remain.
+	go001 := findingsFor(fs, RuleSrcWallClock)
+	if len(go001) != 2 {
+		t.Errorf("want 2 GO001 findings, got %s", render(go001))
+	}
+	for _, f := range go001 {
+		if strings.HasPrefix(f.Pos, "internal/clock/") {
+			t.Errorf("internal/clock must be exempt from GO001: %s", f)
+		}
+	}
+
+	// GO002: only the non-conforming literal.
+	go002 := findingsFor(fs, RuleSrcMetricName)
+	if len(go002) != 1 || !strings.Contains(go002[0].Message, "Bad-Name") {
+		t.Errorf("want 1 GO002 for Bad-Name, got %s", render(go002))
+	}
+
+	// GO003: the bare send under the lock and the default-less select; the
+	// post-unlock send, the select-with-default and the goroutine body are
+	// all clean.
+	go003 := findingsFor(fs, RuleSrcMutexChannelSend)
+	if len(go003) != 2 {
+		t.Errorf("want 2 GO003 findings, got %s", render(go003))
+	}
+	for _, f := range go003 {
+		if f.Pos != "pkg/send.go:7" && f.Pos != "pkg/send.go:20" {
+			t.Errorf("unexpected GO003 position %s", f.Pos)
+		}
+	}
+
+	// GO004 only fires under internal/rest.
+	go004 := findingsFor(fs, RuleSrcContextBackground)
+	if len(go004) != 1 || !strings.HasPrefix(go004[0].Pos, "internal/rest/") {
+		t.Errorf("want 1 GO004 under internal/rest, got %s", render(go004))
+	}
+}
+
+func TestSuppressionBlanketAndTrailing(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/a.go": `package p
+
+import "time"
+
+func a() time.Time { return time.Now() } //podlint:ignore
+
+func b() time.Time { return time.Now() } //podlint:ignore GO002 wrong rule, still fires
+`,
+	})
+	fs, err := LintSource(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go001 := findingsFor(fs, RuleSrcWallClock)
+	if len(go001) != 1 || go001[0].Pos != "p/a.go:7" {
+		t.Fatalf("blanket ignore must drop line 5 only, got %s", render(go001))
+	}
+}
+
+// TestRepositoryLintsClean pins the acceptance criterion: running the full
+// suite over this repository reports no error-severity findings.
+func TestRepositoryLintsClean(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skip("module root not found")
+	}
+	fs, err := LintSource(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CountErrors(fs); n != 0 {
+		t.Fatalf("repository has %d source lint error(s):\n%s", n, render(fs))
+	}
+}
+
+// TestEveryRuleHasCoverage cross-checks the registry against the fixtures
+// above: every registered rule must fire somewhere in this test file's
+// fixtures, so a rule added to the table without a seeded violation fails
+// here (see the comment on ruleTable).
+func TestEveryRuleHasCoverage(t *testing.T) {
+	var all []Finding
+	all = append(all, LintModelDoc("broken", []byte(brokenModelDoc))...)
+
+	spec, err := assertspec.Parse("on step1 assert known\non step1 assert known\non step99 assert known\non step1 assert missing", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all = append(all, LintSpec("fixture", spec, process.RollingUpgradeModel(), fixtureRegistry())...)
+
+	cyclic := &faulttree.Node{ID: "loop"}
+	cyclic.Children = []*faulttree.Node{cyclic}
+	all = append(all, LintTree(&faulttree.Tree{ID: "broken", AssertionID: "known", Root: &faulttree.Node{
+		ID:    "top",
+		Steps: []string{"step1"},
+		Children: []*faulttree.Node{
+			{ID: "dangling", CheckID: "missing", Prob: 0.4, RootCause: true},
+			{ID: "untestable", Prob: 0.3, RootCause: true},
+			{ID: "zero", CheckID: "known", RootCause: true},
+			{ID: "tie-a", CheckID: "known", Prob: 0.1, RootCause: true},
+			{ID: "tie-b", CheckID: "known", Prob: 0.1, RootCause: true},
+			{ID: "gate", Prob: 0.05, Children: []*faulttree.Node{cyclic}},
+			{ID: "top", Prob: 0.02, CheckID: "known", RootCause: true},
+			{ID: "off-step", Steps: []string{"step9"}, Prob: 0.01, CheckID: "known", RootCause: true},
+		},
+	}}, fixtureRegistry())...)
+
+	boundSpec, err := assertspec.Parse("on step1 assert known", fixtureRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := faulttree.NewRepository()
+	repo.Register(&faulttree.Tree{ID: "never-fires", AssertionID: "unbound", Root: &faulttree.Node{ID: "t", Children: []*faulttree.Node{
+		{ID: "c1", Prob: 0.6, CheckID: "known", RootCause: true},
+		{ID: "c2", Prob: 0.4, CheckID: "known", RootCause: true},
+	}}})
+	all = append(all, LintBundles(Bundle{
+		Name:     "fixture",
+		Model:    process.RollingUpgradeModel(),
+		Specs:    []NamedSpec{{Name: "s", Spec: boundSpec}},
+		Trees:    repo,
+		Registry: fixtureRegistry(),
+	})...)
+
+	root := writeTree(t, map[string]string{
+		"pkg/all.go": `package pkg
+
+import "time"
+
+func now() time.Time { return time.Now() }
+`,
+		"pkg/metrics.go": `package pkg
+
+type registry struct{}
+
+func (registry) Gauge(name, help string) int { return 0 }
+
+func metrics(r registry) { r.Gauge("Nope", "x") }
+`,
+		"pkg/send.go": `package pkg
+
+import "sync"
+
+func f(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}
+`,
+		"internal/rest/h.go": `package rest
+
+import "context"
+
+func h() context.Context { return context.TODO() }
+`,
+	})
+	srcFindings, err := LintSource(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all = append(all, srcFindings...)
+
+	fired := make(map[string]bool)
+	for _, f := range all {
+		fired[f.Rule] = true
+	}
+	for _, r := range Rules() {
+		if !fired[r.ID] {
+			t.Errorf("rule %s (%s) has no seeded violation in the fixtures", r.ID, r.Summary)
+		}
+	}
+}
+
+// --- fix -----------------------------------------------------------------
+
+func TestFixWallClock(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/fix.go": `package p
+
+import (
+	"time"
+
+	"poddiagnosis/internal/clock"
+)
+
+func run(clk clock.Clock) time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func keep() time.Time { return time.Now() }
+`,
+	})
+	fixed, err := FixWallClock(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 1 || fixed[0] != "p/fix.go" {
+		t.Fatalf("want [p/fix.go], got %v", fixed)
+	}
+	got, err := os.ReadFile(filepath.Join(root, "p", "fix.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(got)
+	if !strings.Contains(s, "start := clk.Now()") || !strings.Contains(s, "return clk.Since(start)") {
+		t.Errorf("wall-clock reads not rewritten:\n%s", s)
+	}
+	// keep() has no clock in scope and must stay untouched.
+	if !strings.Contains(s, "func keep() time.Time { return time.Now() }") {
+		t.Errorf("function without an injectable clock was modified:\n%s", s)
+	}
+}
+
+func TestFixWallClockIdempotentWhenNothingToDo(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/clean.go": "package p\n\nfunc ok() {}\n",
+	})
+	fixed, err := FixWallClock(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 0 {
+		t.Fatalf("nothing to fix, got %v", fixed)
+	}
+}
+
+// render formats findings for failure messages.
+func render(fs []Finding) string {
+	if len(fs) == 0 {
+		return "  (none)"
+	}
+	var sb strings.Builder
+	for _, f := range fs {
+		sb.WriteString("  " + f.String() + "\n")
+	}
+	return sb.String()
+}

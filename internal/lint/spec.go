@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/assertspec"
+	"poddiagnosis/internal/process"
+)
+
+// specPos renders the locus of a spec finding: the spec's name plus the
+// binding's 1-based source line.
+func specPos(name string, line int) string {
+	if line <= 0 {
+		return "spec:" + name
+	}
+	return fmt.Sprintf("spec:%s:%d", name, line)
+}
+
+// LintSpec validates one assertion specification against the process model
+// it triggers from and the check registry it binds into. Either context may
+// be nil, disabling the rules that need it: AS001 requires the registry,
+// AS002 the model. AS003 (duplicate bindings) is purely intra-spec.
+func LintSpec(name string, spec *assertspec.Spec, model *process.Model, reg *assertion.Registry) []Finding {
+	var fs []Finding
+	seen := make(map[string]int)
+	for _, b := range spec.Bindings() {
+		// AS001: the binding's check must exist; assertspec.Parse only
+		// enforces this when handed a registry, and specs parsed early
+		// (before fixture checks register) legitimately defer it.
+		if reg != nil {
+			if _, ok := reg.Lookup(b.CheckID); !ok {
+				fs = append(fs, finding(RuleSpecUnknownCheck, specPos(name, b.Line), "unknown check %q", b.CheckID))
+			}
+		}
+		// AS002: a binding on a step the model does not define never
+		// fires — the paper's trigger chain is broken at its first link.
+		if model != nil && b.StepID != "" && model.ActivityByStep(b.StepID) == nil {
+			fs = append(fs, finding(RuleSpecUnknownStep, specPos(name, b.Line), "model %q defines no step %q", model.ID(), b.StepID))
+		}
+		// AS003: identical bindings double-evaluate the same check with
+		// the same parameters on the same trigger.
+		key := bindingKey(b)
+		if prev, ok := seen[key]; ok {
+			fs = append(fs, finding(RuleSpecDuplicateBinding, specPos(name, b.Line), "duplicate of the binding on line %d", prev))
+			continue
+		}
+		seen[key] = b.Line
+	}
+	return fs
+}
+
+// bindingKey canonicalizes a binding for duplicate detection.
+func bindingKey(b assertspec.Binding) string {
+	keys := make([]string, 0, len(b.Params))
+	for k := range b.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%s|%s|%s", b.Kind, b.StepID, b.Every, b.CheckID)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "|%s=%s", k, b.Params[k])
+	}
+	return sb.String()
+}

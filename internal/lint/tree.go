@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/faulttree"
+)
+
+// treePos renders the locus of a fault-tree finding.
+func treePos(treeID, nodeID string) string {
+	if nodeID == "" {
+		return "faulttree:" + treeID
+	}
+	return fmt.Sprintf("faulttree:%s/node:%s", treeID, nodeID)
+}
+
+// LintTree validates one fault tree. The registry may be nil, disabling
+// FT001 (dangling diagnosis-test references). The walk is cycle-safe: a
+// node reachable from itself is reported once (FT002) and not descended
+// into again, so linting malformed trees terminates where Clone or
+// Validate would loop forever.
+func LintTree(t *faulttree.Tree, reg *assertion.Registry) []Finding {
+	if t.Root == nil {
+		return []Finding{finding(RuleTreeCycle, treePos(t.ID, ""), "tree has a nil root")}
+	}
+	l := &treeLinter{tree: t, reg: reg, onPath: make(map[*faulttree.Node]bool), ids: make(map[string]bool)}
+	l.walk(t.Root, nil, nil)
+	return l.fs
+}
+
+type treeLinter struct {
+	tree   *faulttree.Tree
+	reg    *assertion.Registry
+	onPath map[*faulttree.Node]bool
+	ids    map[string]bool
+	fs     []Finding
+}
+
+// walk visits n with its parent and the step scope of the nearest scoped
+// ancestor (nil when every ancestor is unscoped).
+func (l *treeLinter) walk(n *faulttree.Node, parent *faulttree.Node, ancestorSteps []string) {
+	if l.onPath[n] {
+		// FT002: the node is its own ancestor; the diagnosis walk (and
+		// Clone, and Validate) would recurse forever.
+		l.report(RuleTreeCycle, n.ID, "node %q is reachable from itself", n.ID)
+		return
+	}
+	l.onPath[n] = true
+	defer delete(l.onPath, n)
+
+	// FT008: node ids must be unique within the tree — diagnosis results
+	// (Cause.NodeID), exclusion lists and operators' eyes all key on them.
+	if l.ids[n.ID] {
+		l.report(RuleTreeDuplicateNodeID, n.ID, "duplicate node id %q", n.ID)
+	}
+	l.ids[n.ID] = true
+
+	// FT001: a dangling diagnosis-test reference is silently untestable —
+	// the evaluator returns StatusError for unknown checks, so the fault
+	// can be suspected but never confirmed or excluded.
+	if n.CheckID != "" && l.reg != nil {
+		if _, ok := l.reg.Lookup(n.CheckID); !ok {
+			l.report(RuleTreeDanglingCheck, n.ID, "diagnosis test %q is not in the assertion registry", n.CheckID)
+		}
+	}
+
+	// FT007: a root cause with no diagnosis test can only ever be
+	// suspected (the paper's "diagnosis cannot determine why" case);
+	// legal, but worth surfacing.
+	if n.RootCause && n.Leaf() && n.CheckID == "" {
+		l.report(RuleTreeUntestableCause, n.ID, "root cause %q has no diagnosis test and can never be confirmed", n.ID)
+	}
+
+	// FT005: an interior gate with a single child adds a level without
+	// adding structure; the root is exempt (it names the negated
+	// assertion and conventionally wraps one causal sub-tree).
+	if parent != nil && len(n.Children) == 1 {
+		l.report(RuleTreeDegenerateGate, n.ID, "interior node %q gates a single child", n.ID)
+	}
+
+	// FT006: pruning keeps a node only when it matches the step context,
+	// independently per level. A node whose scope is disjoint from an
+	// ancestor's is unreachable for every non-empty step: one of the two
+	// is always pruned first.
+	if len(n.Steps) > 0 && len(ancestorSteps) > 0 && !intersects(n.Steps, ancestorSteps) {
+		l.report(RuleTreeStepDisjoint, n.ID,
+			"step scope [%s] is disjoint from ancestor scope [%s]; the node survives pruning only with an empty step context",
+			strings.Join(n.Steps, " "), strings.Join(ancestorSteps, " "))
+	}
+
+	// FT003 / FT004: §III.B.4 orders sibling visits by fault probability.
+	// Ties and zero priors in a multi-child group leave the order to the
+	// accident of declaration, which the paper's semantics do not define.
+	if len(n.Children) >= 2 {
+		byProb := make(map[float64]string, len(n.Children))
+		for _, c := range n.Children {
+			if c.Prob == 0 {
+				l.report(RuleTreeZeroSiblingProb, c.ID, "sibling %q of %q has no prior probability", c.ID, n.ID)
+			}
+			if prev, ok := byProb[c.Prob]; ok && c.Prob != 0 {
+				l.report(RuleTreeDupSiblingProb, c.ID, "siblings %q and %q tie at probability %g", prev, c.ID, c.Prob)
+				continue
+			}
+			byProb[c.Prob] = c.ID
+		}
+	}
+
+	steps := ancestorSteps
+	if len(n.Steps) > 0 {
+		steps = n.Steps
+	}
+	for _, c := range n.Children {
+		l.walk(c, n, steps)
+	}
+}
+
+func (l *treeLinter) report(rule, nodeID, format string, args ...any) {
+	l.fs = append(l.fs, finding(rule, treePos(l.tree.ID, nodeID), format, args...))
+}
+
+func intersects(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}

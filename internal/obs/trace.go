@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"poddiagnosis/internal/clock"
 )
 
 // SpanData is one completed (or in-flight, when snapshotted) span.
@@ -68,7 +70,7 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 		return ctx, nil
 	}
 	id := t.ids.Add(1)
-	data := SpanData{SpanID: id, TraceID: id, Name: name, Start: time.Now()}
+	data := SpanData{SpanID: id, TraceID: id, Name: name, Start: clock.Wall.Now()}
 	if parent, ok := ctx.Value(ctxKey{}).(*Span); ok && parent != nil {
 		// SpanID and TraceID are immutable after creation; no lock needed.
 		data.ParentID = parent.data.SpanID
@@ -112,7 +114,7 @@ func (s *Span) End() {
 		return
 	}
 	s.ended = true
-	s.data.DurationUS = time.Since(s.data.Start).Microseconds()
+	s.data.DurationUS = clock.Wall.Since(s.data.Start).Microseconds()
 	data := s.data
 	s.mu.Unlock()
 	s.t.record(data)

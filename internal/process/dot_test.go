@@ -1,0 +1,114 @@
+package process
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the DOT golden files")
+
+// dotEdgeRE matches one rendered edge line: "from" -> "to";
+var dotEdgeRE = regexp.MustCompile(`^\s*"([^"]+)" -> "([^"]+)";$`)
+
+// dotNodeRE matches one rendered node line: "id" [attrs];
+var dotNodeRE = regexp.MustCompile(`^\s*"([^"]+)" \[`)
+
+// TestDOTGolden pins the exact DOT rendering of both built-in models. The
+// export is deliberately deterministic (nodes and edges sorted by id), so
+// any drift — reordering, quoting, label format — shows up as a diff
+// against testdata/<model-id>.dot. Regenerate with: go test ./internal/process -run TestDOTGolden -update
+func TestDOTGolden(t *testing.T) {
+	for _, m := range []*Model{RollingUpgradeModel(), ScaleOutModel()} {
+		t.Run(m.ID(), func(t *testing.T) {
+			got := m.DOT()
+			golden := filepath.Join("testdata", m.ID()+".dot")
+			if *updateGolden {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("DOT output drifted from %s:\n%s", golden, diffLines(string(want), got))
+			}
+		})
+	}
+}
+
+// TestDOTWellFormed checks the structural invariants a renderer relies on:
+// balanced braces, every node declared exactly once, and every edge
+// referencing declared nodes.
+func TestDOTWellFormed(t *testing.T) {
+	for _, m := range []*Model{RollingUpgradeModel(), ScaleOutModel()} {
+		t.Run(m.ID(), func(t *testing.T) {
+			dot := m.DOT()
+			if open, close := strings.Count(dot, "{"), strings.Count(dot, "}"); open != close {
+				t.Errorf("unbalanced braces: %d open, %d close", open, close)
+			}
+			if !strings.HasPrefix(dot, fmt.Sprintf("digraph %q {", m.ID())) {
+				t.Errorf("missing digraph header in:\n%s", dot)
+			}
+
+			declared := make(map[string]bool)
+			var edges [][2]string
+			for _, line := range strings.Split(dot, "\n") {
+				if mm := dotEdgeRE.FindStringSubmatch(line); mm != nil {
+					edges = append(edges, [2]string{mm[1], mm[2]})
+					continue
+				}
+				if mm := dotNodeRE.FindStringSubmatch(line); mm != nil {
+					if declared[mm[1]] {
+						t.Errorf("node %q declared twice", mm[1])
+					}
+					declared[mm[1]] = true
+				}
+			}
+			if len(declared) != len(m.Nodes()) {
+				t.Errorf("declared %d nodes, model has %d", len(declared), len(m.Nodes()))
+			}
+			if len(edges) == 0 {
+				t.Fatal("no edges rendered")
+			}
+			for _, e := range edges {
+				if !declared[e[0]] || !declared[e[1]] {
+					t.Errorf("edge %q -> %q references an undeclared node", e[0], e[1])
+				}
+			}
+			// Every model edge must be rendered, and nothing else.
+			want := 0
+			for _, n := range m.Nodes() {
+				want += len(m.Outgoing(n.ID))
+			}
+			if len(edges) != want {
+				t.Errorf("rendered %d edges, model has %d", len(edges), want)
+			}
+		})
+	}
+}
+
+// diffLines renders a minimal line diff for golden mismatches.
+func diffLines(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var sb strings.Builder
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			fmt.Fprintf(&sb, "line %d:\n  want: %s\n  got:  %s\n", i+1, w, g)
+		}
+	}
+	return sb.String()
+}

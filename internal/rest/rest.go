@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/clock"
 	"poddiagnosis/internal/conformance"
 	"poddiagnosis/internal/core"
 	"poddiagnosis/internal/diagnosis"
@@ -157,7 +158,7 @@ func NewServer(checker *conformance.Checker, eval *assertion.Evaluator, diag *di
 // with the logical route name.
 func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := clock.Wall.Now()
 		ctx, span := s.tracer.StartSpan(r.Context(), "http."+name)
 		span.SetAttr("method", r.Method)
 		span.SetAttr("path", r.URL.Path)
@@ -166,7 +167,7 @@ func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 		span.SetAttr("status", fmt.Sprintf("%d", sw.status))
 		span.End()
 		mRequests.With(name, statusClass(sw.status)).Inc()
-		mRequestLatency.With(name).Observe(time.Since(start).Seconds())
+		mRequestLatency.With(name).Observe(clock.Wall.Since(start).Seconds())
 	})
 }
 
@@ -237,7 +238,7 @@ func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
 	}
 	ts := req.Timestamp
 	if ts.IsZero() {
-		ts = time.Now()
+		ts = clock.Wall.Now()
 	}
 	writeJSON(w, http.StatusOK, s.checker.Check(req.TraceID, req.Line, ts))
 }

@@ -39,8 +39,6 @@
 package poddiagnosis
 
 import (
-	"time"
-
 	"poddiagnosis/internal/assertion"
 	"poddiagnosis/internal/assertspec"
 	"poddiagnosis/internal/clock"
@@ -167,7 +165,7 @@ func NewLogBus() *LogBus { return logging.NewBus() }
 // NewScaledClock returns a clock running scale times faster than real
 // time, starting from the current time.
 func NewScaledClock(scale float64) Clock {
-	return clock.NewScaled(scale, time.Now())
+	return clock.NewScaled(scale, clock.Wall.Now())
 }
 
 // NewRealClock returns the wall clock.
