@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	podserve [-addr :8077] [-clusters N] [-size N] [-scale X] [-diag-workers N] [-pprof addr]
+//	podserve [-addr :8077] [-clusters N] [-size N] [-scale X] [-diag-workers N] [-chaos-profile NAME] [-pprof addr]
 //
 // Endpoints:
 //
@@ -31,6 +31,14 @@
 //
 // With -pprof ADDR, net/http/pprof is served on a second listener at
 // ADDR (e.g. -pprof localhost:6060).
+//
+// With -chaos-profile NAME (light, lossy, storm, full), the server runs
+// its own chaos harness: the demo clusters' log streams are dropped,
+// duplicated, reordered and delayed before they reach the monitoring
+// pipeline, and the simulated cloud injects RequestLimitExceeded storms
+// and latency spikes into API calls. Watch the effect live on
+// /diagnosis/resilience and /metrics (pod_chaos_*, pod_resilience_*,
+// pod_reorder_*).
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"os"
 	"time"
 
+	"poddiagnosis/internal/chaos"
 	"poddiagnosis/internal/clock"
 	"poddiagnosis/internal/core"
 	"poddiagnosis/internal/diagnosis"
@@ -63,17 +72,33 @@ func run() int {
 		scale       = flag.Float64("scale", 60, "clock speed-up factor")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 		diagWorkers = flag.Int("diag-workers", 0, "parallel fault-tree walk width per diagnosis (0 = worker-pool size, 1 = sequential)")
+		chaosName   = flag.String("chaos-profile", "", "self-chaos profile (off, light, lossy, storm, full)")
 	)
 	flag.Parse()
 	if *clusters < 1 {
 		*clusters = 1
 	}
 
+	cp, ok := chaos.ByName(*chaosName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown chaos profile %q (known: %v)\n", *chaosName, chaos.Names())
+		return 1
+	}
+
 	ctx := context.Background()
 	clk := clock.NewScaled(*scale, clock.Wall.Now())
 	bus := logging.NewBus()
 	defer bus.Close()
-	cloud := simaws.New(clk, simaws.PaperProfile(), simaws.WithSeed(1), simaws.WithBus(bus))
+	cloudOpts := []simaws.Option{simaws.WithSeed(1), simaws.WithBus(bus)}
+	var logTap func(<-chan logging.Event) <-chan logging.Event
+	if cp.Enabled() {
+		fmt.Fprintf(os.Stderr, "chaos profile %q active: log stream and cloud API under injected faults\n", cp.Name)
+		if inj := cp.FaultInjector(clk); inj != nil {
+			cloudOpts = append(cloudOpts, simaws.WithFaultInjector(inj))
+		}
+		logTap = cp.LogTap(clk)
+	}
+	cloud := simaws.New(clk, simaws.PaperProfile(), cloudOpts...)
 	cloud.Start()
 	defer cloud.Stop()
 
@@ -85,6 +110,7 @@ func run() int {
 	mgr, err := core.NewManager(core.ManagerConfig{
 		Cloud: cloud, Bus: bus, Retention: 24 * time.Hour,
 		Diagnosis: diagnosis.Options{Workers: *diagWorkers},
+		LogTap:    logTap,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,270 @@
+// Package chaos is the self-chaos harness: it attacks POD-Diagnosis's own
+// monitoring plane with the failure modes the paper's threat model implies
+// but never injects — a lossy log shipping fabric (dropped, duplicated,
+// reordered and delayed events between the agents and the local log
+// processor) and a hostile cloud API plane (RequestLimitExceeded storms
+// and latency spikes against the diagnoser's on-demand tests). A profile
+// is wired in at two boundaries: LogTap decorates the pipeline
+// subscription channel, FaultInjector decorates simaws API calls.
+//
+// All randomness is seeded, so a chaotic run is exactly reproducible.
+package chaos
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/obs"
+	"poddiagnosis/internal/simaws"
+)
+
+// Chaos metrics: what the harness actually did to the plane.
+var (
+	mLogEvents = obs.Default.CounterVec("pod_chaos_log_events_total",
+		"Log events manipulated by the chaos tap, by action.", "action")
+	mAPIFaults = obs.Default.CounterVec("pod_chaos_api_faults_total",
+		"API faults injected by the chaos harness, by kind.", "kind")
+)
+
+// Profile describes one chaos regime. The zero value injects nothing.
+type Profile struct {
+	// Name identifies the profile in flags and experiment configs.
+	Name string `json:"name"`
+
+	// DropProb / DupProb / ReorderProb are per-event probabilities on the
+	// log tap: drop the event, deliver it twice, or hold it for a random
+	// delay up to MaxDelay (letting later events overtake it).
+	DropProb    float64 `json:"dropProb"`
+	DupProb     float64 `json:"dupProb"`
+	ReorderProb float64 `json:"reorderProb"`
+	// MaxDelay bounds the reorder hold, in clock time. Defaults to 2s
+	// when ReorderProb is set.
+	MaxDelay time.Duration `json:"maxDelay,omitempty"`
+
+	// StormInterval / StormDuration shape periodic API error bursts: for
+	// StormDuration out of every StormInterval, every API call fails with
+	// RequestLimitExceeded.
+	StormInterval time.Duration `json:"stormInterval,omitempty"`
+	StormDuration time.Duration `json:"stormDuration,omitempty"`
+	// LatencyProb injects a LatencySpike sleep into that fraction of API
+	// calls outside storms.
+	LatencyProb  float64       `json:"latencyProb,omitempty"`
+	LatencySpike time.Duration `json:"latencySpike,omitempty"`
+	// FaultScope limits the API-plane attacks (storms and latency spikes)
+	// by calling plane. The default "" storms only calls tagged
+	// simaws.PlaneMonitoring — the harness attacks POD's own consistent-API
+	// reads, not the operation under diagnosis. "all" storms every call.
+	FaultScope string `json:"faultScope,omitempty"`
+
+	// Seed fixes the harness's randomness. Zero means 1.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Enabled reports whether the profile injects anything at all.
+func (p Profile) Enabled() bool {
+	return p.DropProb > 0 || p.DupProb > 0 || p.ReorderProb > 0 ||
+		(p.StormInterval > 0 && p.StormDuration > 0) || p.LatencyProb > 0
+}
+
+// TapsLogs reports whether the profile manipulates the log stream.
+func (p Profile) TapsLogs() bool {
+	return p.DropProb > 0 || p.DupProb > 0 || p.ReorderProb > 0
+}
+
+// FaultsAPI reports whether the profile attacks the API plane.
+func (p Profile) FaultsAPI() bool {
+	return (p.StormInterval > 0 && p.StormDuration > 0) || p.LatencyProb > 0
+}
+
+// Named chaos profiles, selectable with podserve -chaos-profile and
+// experiment configs. "full" is the acceptance regime: drop 10%,
+// duplicate 5%, reorder 10%, plus periodic RequestLimitExceeded storms.
+var profiles = []Profile{
+	{
+		Name:     "light",
+		DropProb: 0.02, DupProb: 0.01, ReorderProb: 0.05,
+		MaxDelay: time.Second,
+	},
+	{
+		Name:     "lossy",
+		DropProb: 0.10, DupProb: 0.05, ReorderProb: 0.10,
+		MaxDelay: 2 * time.Second,
+	},
+	{
+		Name:          "storm",
+		StormInterval: 30 * time.Second, StormDuration: 5 * time.Second,
+		LatencyProb: 0.10, LatencySpike: 2 * time.Second,
+	},
+	{
+		Name:     "full",
+		DropProb: 0.10, DupProb: 0.05, ReorderProb: 0.10,
+		MaxDelay:      2 * time.Second,
+		StormInterval: 30 * time.Second, StormDuration: 5 * time.Second,
+		LatencyProb: 0.05, LatencySpike: 2 * time.Second,
+	},
+}
+
+// ByName returns the named profile. Empty and "off" yield a disabled
+// profile; unknown names report ok == false.
+func ByName(name string) (Profile, bool) {
+	if name == "" || name == "off" || name == "none" {
+		return Profile{Name: "off"}, true
+	}
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names lists the selectable profile names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(profiles)+1)
+	out = append(out, "off")
+	for _, p := range profiles {
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.ReorderProb > 0 && p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.LatencyProb > 0 && p.LatencySpike <= 0 {
+		p.LatencySpike = 2 * time.Second
+	}
+	return p
+}
+
+// LogTap returns a channel decorator imposing the profile's drop,
+// duplicate and reorder behaviour on a log event stream. Reordered events
+// are held and flushed in delay order by a goroutine ticking on the
+// clock; when the input channel closes, held events are flushed and the
+// output closes. A profile that does not tap logs returns nil.
+func (p Profile) LogTap(clk clock.Clock) func(<-chan logging.Event) <-chan logging.Event {
+	p = p.withDefaults()
+	if !p.TapsLogs() {
+		return nil
+	}
+	return func(in <-chan logging.Event) <-chan logging.Event {
+		out := make(chan logging.Event, cap(in)+16)
+		go runTap(clk, p, in, out)
+		return out
+	}
+}
+
+// held is one delayed (reordered) event.
+type held struct {
+	ev  logging.Event
+	due time.Time
+}
+
+// runTap drains in, applying chaos, until it closes; then flushes and
+// closes out. Held events are released when their due time passes —
+// checked on every arrival and on a clock tick so delivery does not
+// depend on traffic.
+func runTap(clk clock.Clock, p Profile, in <-chan logging.Event, out chan<- logging.Event) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	var pending []held
+	flushDue := func(now time.Time) {
+		kept := pending[:0]
+		for _, h := range pending {
+			if !h.due.After(now) {
+				mLogEvents.With("released").Inc()
+				out <- h.ev
+			} else {
+				kept = append(kept, h)
+			}
+		}
+		pending = kept
+	}
+	tick := clock.NewTicker(clk, 100*time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case ev, ok := <-in:
+			if !ok {
+				// Input closed: release everything still held, in due order.
+				sort.Slice(pending, func(i, j int) bool { return pending[i].due.Before(pending[j].due) })
+				for _, h := range pending {
+					mLogEvents.With("released").Inc()
+					out <- h.ev
+				}
+				close(out)
+				return
+			}
+			switch {
+			case rng.Float64() < p.DropProb:
+				mLogEvents.With("dropped").Inc()
+			case rng.Float64() < p.DupProb:
+				mLogEvents.With("duplicated").Inc()
+				out <- ev
+				out <- ev
+			case rng.Float64() < p.ReorderProb:
+				mLogEvents.With("delayed").Inc()
+				delay := time.Duration(rng.Float64() * float64(p.MaxDelay))
+				pending = append(pending, held{ev: ev, due: clk.Now().Add(delay)})
+			default:
+				mLogEvents.With("passed").Inc()
+				out <- ev
+			}
+			flushDue(clk.Now())
+		case <-tick.C:
+			flushDue(clk.Now())
+		}
+	}
+}
+
+// FaultInjector returns a simaws.FaultInjector imposing the profile's API
+// storms and latency spikes, or nil when the profile does not attack the
+// API plane. Storm phase is measured from the first call, on the clock.
+func (p Profile) FaultInjector(clk clock.Clock) simaws.FaultInjector {
+	p = p.withDefaults()
+	if !p.FaultsAPI() {
+		return nil
+	}
+	var (
+		mu    sync.Mutex
+		rng   = rand.New(rand.NewSource(p.Seed + 1))
+		epoch time.Time
+	)
+	return func(ctx context.Context, op string) error {
+		if p.FaultScope != "all" && simaws.PlaneFrom(ctx) != simaws.PlaneMonitoring {
+			return nil
+		}
+		now := clk.Now()
+		mu.Lock()
+		if epoch.IsZero() {
+			epoch = now
+		}
+		inStorm := p.StormInterval > 0 && p.StormDuration > 0 &&
+			now.Sub(epoch)%p.StormInterval < p.StormDuration
+		spike := !inStorm && p.LatencyProb > 0 && rng.Float64() < p.LatencyProb
+		mu.Unlock()
+		if inStorm {
+			mAPIFaults.With("throttle").Inc()
+			return &simaws.APIError{
+				Op: op, Code: simaws.ErrCodeRequestLimitExceeded,
+				Message: "request limit exceeded for account (chaos storm)",
+			}
+		}
+		if spike {
+			mAPIFaults.With("latency").Inc()
+			if err := clk.Sleep(ctx, p.LatencySpike); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -39,6 +39,8 @@ var (
 		"Replayed lines with an anomalous verdict (unfit, error, unclassified).")
 	mCheckLatency = obs.Default.Histogram("pod_conformance_check_seconds",
 		"Wall-clock token-replay latency per log line.", nil)
+	mResyncs = obs.Default.Counter("pod_conformance_resyncs_total",
+		"Degraded-mode resynchronizations: forward deviations absorbed by fast-forwarding the marking after a detected log gap.")
 )
 
 // Verdict classifies one replayed log line.
@@ -103,6 +105,10 @@ type Result struct {
 	InstanceID string `json:"instanceId"`
 	// Completed reports whether the instance has reached an end state.
 	Completed bool `json:"completed"`
+	// Resynced reports that the line replayed fit only because the replay
+	// fast-forwarded over activities presumed lost in the log stream
+	// (degraded-mode resynchronization; see CheckLossy).
+	Resynced bool `json:"resynced,omitempty"`
 	// Context is set for anomalous verdicts.
 	Context *ErrorContext `json:"context,omitempty"`
 }
@@ -157,6 +163,22 @@ func (c *Checker) Completed(instanceID string) bool {
 // Check replays one log line for the given process instance, creating the
 // instance on first sight.
 func (c *Checker) Check(instanceID, line string, at time.Time) Result {
+	return c.check(instanceID, line, at, false)
+}
+
+// CheckLossy is Check for streams known to be lossy: when resyncOK is
+// true and the line would replay unfit with a forward deviation — exactly
+// the signature of activities whose log lines were lost in shipping — the
+// replay resynchronizes by fast-forwarding the marking over the skipped
+// activities instead of flagging a spurious non-conformance. The result
+// carries Resynced so callers can discount it. Backward deviations,
+// error lines and unclassified lines keep their normal verdicts: event
+// loss cannot explain them.
+func (c *Checker) CheckLossy(instanceID, line string, at time.Time, resyncOK bool) Result {
+	return c.check(instanceID, line, at, resyncOK)
+}
+
+func (c *Checker) check(instanceID, line string, at time.Time, resyncOK bool) Result {
 	started := clock.Wall.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -228,9 +250,59 @@ func (c *Checker) Check(instanceID, line string, at time.Time) Result {
 		return res
 	}
 
+	if resyncOK {
+		if next, skipped, ok := c.fastForward(rp, st, node); ok {
+			st.m = next
+			st.lastValid = node
+			for _, id := range skipped {
+				st.fired[id]++
+			}
+			st.fired[node.ID]++
+			st.completed = rp.canComplete(st.m)
+			res.Verdict = VerdictFit
+			res.Resynced = true
+			res.Completed = st.completed
+			mResyncs.Inc()
+			return res
+		}
+	}
+
 	res.Verdict = VerdictUnfit
 	res.Context = c.errorContext(st, node)
 	return res
+}
+
+// fastForward attempts to replay the activities on a path from the
+// current marking to the unfit node — the ones whose log lines were
+// presumably lost — and then the node itself. It returns the advanced
+// marking and the skipped activity ids, or ok=false when no forward path
+// explains the deviation (leaving the unfit verdict to stand).
+func (c *Checker) fastForward(rp *replayer, st *instanceState, node *process.Node) (marking, []string, bool) {
+	for _, anchor := range c.markingAnchors(st) {
+		skipped, ok := c.activitiesOnPath(anchor, node.ID)
+		if !ok {
+			continue
+		}
+		m := st.m
+		replayable := true
+		for _, act := range skipped {
+			next, fired := rp.fireActivity(m, act)
+			if !fired {
+				replayable = false
+				break
+			}
+			m = next
+		}
+		if !replayable {
+			continue
+		}
+		next, fired := rp.fireActivity(m, node.ID)
+		if !fired {
+			continue
+		}
+		return next, skipped, true
+	}
+	return nil, nil, false
 }
 
 // errorContext snapshots the instance state and, when an unfit activity is

@@ -78,6 +78,10 @@ func (c *Client) Clock() clock.Clock { return c.clk }
 // may itself be stale, so one retry is allowed for not-found conditions.
 func eventually[T any](ctx context.Context, c *Client, fetch func(context.Context) (T, error), pred func(T) bool) (T, bool, error) {
 	var last T
+	// Every read through this layer belongs to POD's own monitoring plane;
+	// the tag lets chaos fault injectors storm these calls without touching
+	// the operation under diagnosis.
+	ctx = simaws.WithPlane(ctx, simaws.PlaneMonitoring)
 	cfg := c.cfg
 	deadline := c.clk.Now().Add(cfg.CallTimeout)
 	backoff := cfg.InitialBackoff

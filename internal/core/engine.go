@@ -142,6 +142,13 @@ type Detection struct {
 	Message string `json:"message"`
 	// Diagnosis is the root-cause analysis result.
 	Diagnosis *diagnosis.Diagnosis `json:"diagnosis,omitempty"`
+	// Degraded marks a detection made while the session's log stream was
+	// known lossy (a sequence gap within the degraded hold window):
+	// the anomaly may be an artifact of the loss, not the operation.
+	Degraded bool `json:"degraded,omitempty"`
+	// Confidence is 1.0 for detections on an intact stream, discounted to
+	// 0.5 while degraded.
+	Confidence float64 `json:"confidence"`
 }
 
 // Engine is the single-operation compatibility wrapper: one Manager with

@@ -91,6 +91,21 @@ type ManagerConfig struct {
 	// a session bound to that instance; returning nil drops the event's
 	// triggers (it still reaches central storage).
 	OnUnknownInstance func(instanceID string, ev logging.Event) *Expectation
+	// ReorderWindow is how long the lossy-pipeline reorder buffer holds an
+	// out-of-order operation event for its predecessors before declaring
+	// them lost. Defaults to 3s.
+	ReorderWindow time.Duration
+	// ReorderMaxPending bounds held events per source stream. Defaults to
+	// 256.
+	ReorderMaxPending int
+	// DegradedHold is how long (simulated time) sessions stay in degraded
+	// mode after a sequence gap is declared. Defaults to 30s.
+	DegradedHold time.Duration
+	// LogTap, when set, decorates the operation-log subscription channel
+	// before the reorder buffer — the chaos harness's injection point
+	// (chaos.Profile.LogTap). The decorator must close its output after
+	// the input closes.
+	LogTap func(<-chan logging.Event) <-chan logging.Event
 }
 
 // Manager owns the shared POD-Diagnosis substrate — bus subscriptions, the
@@ -115,6 +130,8 @@ type Manager struct {
 
 	opSub      *logging.Subscription
 	centralSub *logging.Subscription
+	reorder    *pipeline.ReorderBuffer
+	pipeWG     sync.WaitGroup // the reorder consume goroutine
 
 	shards [numShards]shard
 
@@ -181,6 +198,15 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.Retention <= 0 {
 		cfg.Retention = 10 * time.Minute
 	}
+	if cfg.ReorderWindow <= 0 {
+		cfg.ReorderWindow = 3 * time.Second
+	}
+	if cfg.ReorderMaxPending <= 0 {
+		cfg.ReorderMaxPending = 256
+	}
+	if cfg.DegradedHold <= 0 {
+		cfg.DegradedHold = 30 * time.Second
+	}
 	if cfg.Diagnosis.Workers <= 0 {
 		// Fault-tree walks fan out to the same width as the manager pool
 		// unless explicitly tuned. The diagnosis engine bounds its own
@@ -225,16 +251,63 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	m.diag = diagnosis.NewEngine(cfg.Trees, m.evaluator, cfg.Bus, cfg.Diagnosis)
 	m.processor = pipeline.NewRouted(cfg.Model, m.store, m.route)
 	m.central = logstore.NewCentralProcessor(m.store, nil)
+	// The reorder/dedup buffer repairs the lossy shipping fabric in front
+	// of the local log processor: duplicates are discarded, out-of-order
+	// events wait for their predecessors, and declared gaps push every
+	// active session into degraded mode before processing resumes.
+	m.reorder = pipeline.NewReorderBuffer(m.clk, pipeline.ReorderOptions{
+		Window:     cfg.ReorderWindow,
+		MaxPending: cfg.ReorderMaxPending,
+		Schedule:   func(d time.Duration, f func()) func() { return m.timers.After(d, f) },
+	}, func(d pipeline.Delivery) {
+		if d.GapBefore {
+			m.notifyGap()
+		}
+		m.processor.Process(d.Event)
+	})
 	return m, nil
+}
+
+// notifyGap pushes every active session into degraded mode: a declared
+// sequence gap on the shared shipping fabric may have swallowed any
+// session's events, so none can trust the absence of a log line until the
+// hold expires.
+func (m *Manager) notifyGap() {
+	now := m.clk.Now()
+	m.mu.Lock()
+	sessions := make([]*Session, len(m.order))
+	copy(sessions, m.order)
+	m.mu.Unlock()
+	for _, s := range sessions {
+		if !s.ended() {
+			s.noteGap(now)
+		}
+	}
 }
 
 // Start begins consuming log events, routing them to sessions, and runs
 // the worker pool plus the session garbage collector.
 func (m *Manager) Start() {
-	m.opSub = m.cfg.Bus.Subscribe(4096, logging.TypeFilter(logging.TypeOperation))
-	m.centralSub = m.cfg.Bus.Subscribe(4096, logging.TypeFilter(
+	m.opSub = m.cfg.Bus.SubscribeNamed("pipeline", 4096, logging.TypeFilter(logging.TypeOperation))
+	m.centralSub = m.cfg.Bus.SubscribeNamed("central", 4096, logging.TypeFilter(
 		logging.TypeCloud, logging.TypeAssertion, logging.TypeConformance, logging.TypeDiagnosis))
-	m.processor.Start(m.opSub)
+	// Operation events reach the processor through the reorder buffer
+	// (optionally behind the chaos tap), not a direct pipeline loop: the
+	// consume goroutine ends when the subscription channel closes.
+	ch := (<-chan logging.Event)(m.opSub.C)
+	if m.cfg.LogTap != nil {
+		ch = m.cfg.LogTap(ch)
+	}
+	m.pipeWG.Add(1)
+	go func() {
+		defer m.pipeWG.Done()
+		for ev := range ch {
+			m.reorder.Offer(ev)
+		}
+		// Stream over: release anything still held so late conformance
+		// verdicts are not silently lost.
+		m.reorder.Close()
+	}()
 	m.central.Start(m.centralSub)
 	mWorkers.Set(float64(m.workers))
 	// Shared worker pool for assertion evaluations and diagnoses so
@@ -276,9 +349,13 @@ func (m *Manager) Start() {
 // queued work is discarded; in-flight work completes.
 func (m *Manager) Stop() {
 	m.timers.StopAll()
+	// Close the operation stream first and wait for the reorder consume
+	// goroutine to drain it into the processor before stopping anything
+	// downstream.
+	m.opSub.Cancel()
+	m.pipeWG.Wait()
 	m.processor.Stop()
 	m.central.Stop()
-	m.opSub.Cancel()
 	m.centralSub.Cancel()
 	close(m.stop)
 	m.work.Wait()
@@ -613,6 +690,7 @@ func (m *Manager) Drain(ctx context.Context, timeout time.Duration) bool {
 	quiet := 0
 	for m.clk.Now().Before(deadline) {
 		if len(m.opSub.C) == 0 && len(m.centralSub.C) == 0 &&
+			m.reorder.Pending() == 0 &&
 			len(m.workCh) == 0 && m.pending.Load() == 0 {
 			quiet++
 			if quiet >= 3 {
@@ -641,6 +719,9 @@ func (m *Manager) Checker() *conformance.Checker { return m.checker }
 
 // Diagnoser returns the shared diagnosis engine.
 func (m *Manager) Diagnoser() *diagnosis.Engine { return m.diag }
+
+// ReorderStats snapshots the lossy-pipeline repair counters.
+func (m *Manager) ReorderStats() pipeline.ReorderStats { return m.reorder.Stats() }
 
 // Clock returns the manager's (simulated) clock.
 func (m *Manager) Clock() clock.Clock { return m.clk }

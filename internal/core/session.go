@@ -10,6 +10,7 @@ import (
 
 	"poddiagnosis/internal/assertion"
 	"poddiagnosis/internal/assertspec"
+	"poddiagnosis/internal/clock"
 	"poddiagnosis/internal/conformance"
 	"poddiagnosis/internal/diagnosis"
 	"poddiagnosis/internal/logging"
@@ -63,6 +64,11 @@ type Session struct {
 	total       map[string]int  // instance -> total relaunches
 	stepCancel  map[string]func()
 	perioCancel map[string]func()
+	// degradedUntil marks the end of the degraded hold: after a sequence
+	// gap on the shipping fabric, the session cannot trust the absence of
+	// a log line until this (simulated) time passes. Conformance switches
+	// to lossy mode and detections carry a confidence discount.
+	degradedUntil time.Time
 }
 
 // ID returns the session's operation id.
@@ -133,6 +139,27 @@ func (s *Session) End() {
 	s.mgr.sessionEnded()
 }
 
+// noteGap enters (or extends) degraded mode after a declared sequence gap.
+func (s *Session) noteGap(now time.Time) {
+	until := now.Add(s.mgr.cfg.DegradedHold)
+	s.mu.Lock()
+	if until.After(s.degradedUntil) {
+		s.degradedUntil = until
+	}
+	s.mu.Unlock()
+}
+
+// degradedNow reports whether the session is inside a degraded hold.
+func (s *Session) degradedNow() bool {
+	now := s.mgr.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return now.Before(s.degradedUntil)
+}
+
+// Degraded reports whether the session currently distrusts its log stream.
+func (s *Session) Degraded() bool { return s.degradedNow() }
+
 // ended reports whether the session stopped accepting events.
 func (s *Session) ended() bool {
 	s.mu.Lock()
@@ -177,7 +204,11 @@ func (s *Session) OnConformance(instanceID, line string, ev logging.Event) {
 	if s.mgr.cfg.DisableConformance || s.ended() {
 		return
 	}
-	res := s.checker.Check(instanceID, line, ev.Timestamp)
+	// In degraded mode the checker absorbs forward deviations by
+	// resynchronizing the token replay at the next recognized step — a
+	// missing line must not masquerade as a wrong-path operation.
+	degraded := s.degradedNow()
+	res := s.checker.CheckLossy(instanceID, line, ev.Timestamp, degraded)
 	s.mgr.publishConformance(instanceID, res, ev)
 	if !res.Verdict.IsAnomalous() {
 		return
@@ -199,6 +230,7 @@ func (s *Session) OnConformance(instanceID, line string, ev logging.Event) {
 			StepID:            stepID,
 			Params:            params,
 			Detail:            detail,
+			Degraded:          degraded,
 		})
 		s.record(Detection{
 			At:         ev.Timestamp,
@@ -208,8 +240,18 @@ func (s *Session) OnConformance(instanceID, line string, ev logging.Event) {
 			InstanceID: instanceID,
 			Message:    detail,
 			Diagnosis:  d,
+			Degraded:   degraded,
+			Confidence: confidence(degraded),
 		}, key)
 	})
+}
+
+// confidence maps the degraded flag onto the detection confidence score.
+func confidence(degraded bool) float64 {
+	if degraded {
+		return 0.5
+	}
+	return 1
 }
 
 // OnStepEvent updates progress, resets the one-off step timer and
@@ -382,7 +424,11 @@ func (s *Session) stepBindings(instanceID string, node *process.Node, ev logging
 // evaluateAndMaybeDiagnose runs one assertion; a non-pass result is a
 // detection and triggers diagnosis.
 func (s *Session) evaluateAndMaybeDiagnose(checkID string, p assertion.Params, trig assertion.Trigger) {
-	res := s.mgr.evaluator.Evaluate(context.Background(), checkID, p, trig)
+	// Standalone evaluations get the same per-test clock deadline the
+	// diagnosis engine applies to its on-demand tests.
+	ctx, cancel := clock.ContextWithTimeout(context.Background(), s.mgr.clk, s.mgr.diag.Options().TestTimeout)
+	res := s.mgr.evaluator.Evaluate(ctx, checkID, p, trig)
+	cancel()
 	if res.Passed() {
 		return
 	}
@@ -394,6 +440,7 @@ func (s *Session) evaluateAndMaybeDiagnose(checkID string, p assertion.Params, t
 	if trig.Source == assertion.TriggerTimer {
 		src = diagnosis.SourceTimer
 	}
+	degraded := s.degradedNow()
 	d := s.mgr.diag.Diagnose(context.Background(), diagnosis.Request{
 		AssertionID:       checkID,
 		Source:            src,
@@ -401,6 +448,7 @@ func (s *Session) evaluateAndMaybeDiagnose(checkID string, p assertion.Params, t
 		StepID:            trig.StepID,
 		Params:            p,
 		Detail:            res.Message,
+		Degraded:          degraded,
 	})
 	s.record(Detection{
 		At:         res.EvaluatedAt,
@@ -410,6 +458,8 @@ func (s *Session) evaluateAndMaybeDiagnose(checkID string, p assertion.Params, t
 		InstanceID: trig.ProcessInstanceID,
 		Message:    res.Message,
 		Diagnosis:  d,
+		Degraded:   degraded,
+		Confidence: confidence(degraded),
 	}, key)
 }
 
@@ -536,6 +586,7 @@ type SessionSummary struct {
 	Instances  []string     `json:"instances,omitempty"`
 	Detections int          `json:"detections"`
 	Pending    int          `json:"pending"`
+	Degraded   bool         `json:"degraded,omitempty"`
 }
 
 // Summary snapshots the session for serving surfaces.
@@ -555,5 +606,6 @@ func (s *Session) Summary() SessionSummary {
 		Instances:  instances,
 		Detections: n,
 		Pending:    s.Pending(),
+		Degraded:   s.degradedNow(),
 	}
 }

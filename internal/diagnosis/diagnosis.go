@@ -28,6 +28,7 @@ import (
 	"poddiagnosis/internal/faulttree"
 	"poddiagnosis/internal/logging"
 	"poddiagnosis/internal/obs"
+	"poddiagnosis/internal/resilience"
 )
 
 // Diagnosis metrics. Walk duration is wall-clock (the Diagnosis result
@@ -71,6 +72,29 @@ func budgetExhaustedResult(checkID string, params assertion.Params) assertion.Re
 	}
 }
 
+// ErrResultUnknown is the sentinel carried (as text, in Result.Err) by the
+// StatusError results synthesized when a diagnosis test's circuit breaker
+// is open: the test was not attempted, its answer is unknown, and the
+// fault-tree walk continues past it (leaf → suspected, interior →
+// descended) exactly like any other inconclusive test.
+var ErrResultUnknown = errors.New("diagnosis: test result unknown (circuit open)")
+
+// IsUnknown reports whether res is a synthetic breaker-open "result
+// unknown" rather than a genuine test error.
+func IsUnknown(res assertion.Result) bool {
+	return res.Status == assertion.StatusError && res.Err == ErrResultUnknown.Error()
+}
+
+// unknownResult synthesizes the StatusError result for a short-circuited
+// test.
+func unknownResult(checkID string, params assertion.Params) assertion.Result {
+	return assertion.Result{
+		CheckID: checkID, Status: assertion.StatusError,
+		Message: "diagnosis test skipped: circuit breaker open", Params: params,
+		Err: ErrResultUnknown.Error(),
+	}
+}
+
 // Source identifies what triggered a diagnosis.
 type Source string
 
@@ -101,6 +125,10 @@ type Request struct {
 	Params assertion.Params `json:"params"`
 	// Detail is free-form context (e.g. the failing assertion message).
 	Detail string `json:"detail,omitempty"`
+	// Degraded marks a trigger raised while the session's log stream was
+	// known lossy (a sequence gap within the degraded hold window). The
+	// resulting Diagnosis echoes the flag and discounts its confidence.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Cause is one diagnosed root cause.
@@ -150,6 +178,12 @@ type Diagnosis struct {
 	// StartedAt and Duration bound the diagnosis in simulated time.
 	StartedAt time.Time     `json:"startedAt"`
 	Duration  time.Duration `json:"duration"`
+	// Degraded echoes Request.Degraded: the triggering detection was made
+	// on a known-lossy log stream.
+	Degraded bool `json:"degraded,omitempty"`
+	// Confidence discounts degraded diagnoses (0.5 vs the usual 1.0): a
+	// gap in the stream means the trigger itself may be an artifact.
+	Confidence float64 `json:"confidence"`
 }
 
 // HasCause reports whether nodeID (ignoring catalog id suffixes after the
@@ -185,6 +219,15 @@ type Options struct {
 	// DisableSharedCache turns off the cross-run shared cache; the
 	// per-run cache always remains.
 	DisableSharedCache bool
+	// TestTimeout bounds each diagnosis-test attempt in clock time (the
+	// deadline scales with a simulated clock). Zero means 30s.
+	TestTimeout time.Duration
+	// RunTimeout bounds a whole diagnosis walk in clock time. Zero means
+	// unbounded.
+	RunTimeout time.Duration
+	// Resilience tunes the retry/breaker executor guarding every
+	// diagnosis test (see package resilience).
+	Resilience resilience.Options
 }
 
 // Engine runs diagnoses. It is safe for concurrent use: per-run state
@@ -197,6 +240,7 @@ type Engine struct {
 	opts  Options
 	sem   chan struct{} // bounds extra walk goroutines; nil = sequential
 	cache *SharedCache  // nil when disabled
+	resil *resilience.Executor
 
 	// testHookInstantiate, when set, observes every tree instantiation
 	// (regression hook: each selected tree is instantiated exactly once
@@ -212,7 +256,12 @@ func NewEngine(repo *faulttree.Repository, eval *assertion.Evaluator, bus *loggi
 	if opts.Workers <= 0 {
 		opts.Workers = 1
 	}
+	if opts.TestTimeout <= 0 {
+		opts.TestTimeout = 30 * time.Second
+	}
 	e := &Engine{repo: repo, eval: eval, bus: bus, clk: eval.Client().Clock(), opts: opts}
+	e.resil = resilience.NewExecutor(e.clk, opts.Resilience)
+	e.opts.Resilience = e.resil.Options()
 	if opts.Workers > 1 {
 		// The Diagnose goroutine itself always walks; the semaphore only
 		// admits the extra fan-out goroutines. Sessions run Diagnose on
@@ -238,6 +287,9 @@ func (e *Engine) Options() Options { return e.opts }
 
 // Cache returns the shared cross-run test cache, or nil when disabled.
 func (e *Engine) Cache() *SharedCache { return e.cache }
+
+// Resilience returns the retry/breaker executor guarding diagnosis tests.
+func (e *Engine) Resilience() *resilience.Executor { return e.resil }
 
 // run carries the mutable state of one diagnosis. It is shared across the
 // walk goroutines of that one diagnosis: the budget is atomic, the
@@ -307,8 +359,16 @@ func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
 	if req.AssertionID != "" {
 		span.SetAttr("assertion", req.AssertionID)
 	}
+	if e.opts.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = clock.ContextWithTimeout(ctx, e.clk, e.opts.RunTimeout)
+		defer cancel()
+	}
 	started := e.clk.Now()
-	d := &Diagnosis{Request: req, StartedAt: started}
+	d := &Diagnosis{Request: req, StartedAt: started, Degraded: req.Degraded, Confidence: 1}
+	if req.Degraded {
+		d.Confidence = 0.5
+	}
 	r := &run{
 		req: req, diag: d,
 		latch: !e.opts.ContinueAfterConfirm,
@@ -541,6 +601,11 @@ func (e *Engine) test(ctx context.Context, r *run, n *faulttree.Node) (assertion
 		mCacheHits.Inc()
 		return res, false
 	}
+	if e.resil.Open(n.CheckID) {
+		// Breaker open: skip before touching the budget or the shared
+		// cache, so an unknown never displaces or poisons a real answer.
+		return unknownResult(n.CheckID, params), false
+	}
 
 	reserve := func() bool {
 		for {
@@ -559,11 +624,31 @@ func (e *Engine) test(ctx context.Context, r *run, n *faulttree.Node) (assertion
 		span.SetAttr("node", n.ID)
 		span.SetAttr("check", n.CheckID)
 		e.log(r.req, "Verifying %s", strings.TrimSuffix(n.Description, "."))
-		res := e.eval.Evaluate(ctx, n.CheckID, params, assertion.Trigger{
-			Source:            assertion.TriggerOnDemand,
-			ProcessInstanceID: r.req.ProcessInstanceID,
-			StepID:            r.req.StepID,
+		var res assertion.Result
+		out := e.resil.Do(ctx, n.CheckID, func(ctx context.Context) resilience.Verdict {
+			tctx, cancel := clock.ContextWithTimeout(ctx, e.clk, e.opts.TestTimeout)
+			defer cancel()
+			res = e.eval.Evaluate(tctx, n.CheckID, params, assertion.Trigger{
+				Source:            assertion.TriggerOnDemand,
+				ProcessInstanceID: r.req.ProcessInstanceID,
+				StepID:            r.req.StepID,
+			})
+			if res.Status != assertion.StatusError {
+				return resilience.VerdictOK
+			}
+			// A no-retry test never classifies as retryable: its answer is
+			// time-sensitive (the catalog's TestClass annotation, enforced
+			// by podlint FT009), so repeating the call proves nothing.
+			if n.TestClass != faulttree.TestClassNoRetry && resilience.Retryable(res.Err) {
+				return resilience.VerdictRetryable
+			}
+			return resilience.VerdictFatal
 		})
+		if out.ShortCircuited && out.Attempts == 0 {
+			// The breaker opened between the precheck and here (a racing
+			// walk tripped it): the test never ran.
+			res = unknownResult(n.CheckID, params)
+		}
 		span.SetAttr("status", res.Status.String())
 		span.End()
 		return res

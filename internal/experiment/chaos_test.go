@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/chaos"
+	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/faultinject"
+)
+
+// acceptanceChaos is the issue's acceptance regime: drop 10%, duplicate
+// 5%, reorder 10%, periodic RequestLimitExceeded storms against the
+// monitoring plane's API reads. Seed 0 inherits the run seed, so every
+// run's chaos is reproducible.
+func acceptanceChaos() *chaos.Profile {
+	return &chaos.Profile{
+		Name:     "acceptance",
+		DropProb: 0.10, DupProb: 0.05, ReorderProb: 0.10,
+		MaxDelay:      2 * time.Second,
+		StormInterval: 60 * time.Second, StormDuration: 5 * time.Second,
+	}
+}
+
+func chaosCfg() Config {
+	cfg := fastCfg()
+	cfg.Chaos = acceptanceChaos()
+	return cfg
+}
+
+// TestChaosAllFaultKindsStillDiagnosed is the chaos acceptance gate (run
+// by the CI chaos smoke job with -race): with the log pipeline lossy and
+// the monitoring plane's API reads stormed, every one of the paper's 8
+// fault kinds must still be detected and its root cause identified —
+// possibly with degraded confidence, but never wrongly with full
+// confidence.
+func TestChaosAllFaultKindsStillDiagnosed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos acceptance campaign is slow")
+	}
+	for i, kind := range faultinject.AllKinds() {
+		kind := kind
+		spec := RunSpec{
+			ID: i, Fault: kind, ClusterSize: 2,
+			Seed:        int64(100 + 7*i),
+			InjectDelay: time.Second,
+		}
+		t.Run(kind.String(), func(t *testing.T) {
+			res, err := RunOne(context.Background(), spec, chaosCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.FaultDetected {
+				t.Fatalf("fault undetected under chaos; detections: %+v", res.Detections)
+			}
+			if !res.FaultDiagnosed {
+				t.Errorf("fault detected but root cause not identified under chaos; detections: %+v", res.Detections)
+			}
+			for _, d := range res.Detections {
+				// The CI gate: chaos may degrade a diagnosis, never forge a
+				// confident wrong one.
+				if d.Attribution == "unattributed" && d.Conclusion == diagnosis.ConclusionIdentified && !d.Degraded {
+					t.Errorf("non-degraded wrong diagnosis under chaos: %+v", d)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosCleanRunNoConfidentFalsePositive runs a clean (fault-free)
+// upgrade under the acceptance chaos regime: dropped log events may
+// produce degraded detections, but a full-confidence identified root
+// cause on a healthy operation would be the harness catching its own
+// monitoring plane lying.
+func TestChaosCleanRunNoConfidentFalsePositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run is slow")
+	}
+	res, err := RunOne(context.Background(), RunSpec{ID: 90, ClusterSize: 2, Seed: 907}, chaosCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpgradeErr != "" {
+		t.Fatalf("chaos leaked into the operation plane: %s", res.UpgradeErr)
+	}
+	for _, d := range res.Detections {
+		if d.Conclusion == diagnosis.ConclusionIdentified && !d.Degraded {
+			t.Errorf("non-degraded identified diagnosis on clean chaotic run: %+v", d)
+		}
+	}
+}

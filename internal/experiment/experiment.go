@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"poddiagnosis/internal/chaos"
 	"poddiagnosis/internal/clock"
 	"poddiagnosis/internal/consistentapi"
 	"poddiagnosis/internal/core"
@@ -52,6 +53,10 @@ type Config struct {
 	// Profile overrides the cloud profile (defaults to a calibrated
 	// variant of the paper profile).
 	Profile *simaws.Profile
+	// Chaos, when set and enabled, turns the lane into a chaos lane: the
+	// profile's log tap is wired in front of the manager's reorder buffer
+	// and its fault injector onto the cloud's API plane.
+	Chaos *chaos.Profile
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +134,9 @@ type DetectionSummary struct {
 	Causes []string `json:"causes,omitempty"`
 	// DiagnosisTime is the diagnosis duration in simulated time.
 	DiagnosisTime time.Duration `json:"diagnosisTime"`
+	// Degraded marks a detection made while the session's log stream had
+	// known losses (its confidence is discounted).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // RunResult is the outcome of one run.
@@ -181,11 +189,24 @@ func newLane(cfg Config, seed int64) (*lane, error) {
 	if cfg.Profile != nil {
 		profile = *cfg.Profile
 	}
-	cloud := simaws.New(clk, profile, simaws.WithSeed(seed), simaws.WithBus(bus))
+	cloudOpts := []simaws.Option{simaws.WithSeed(seed), simaws.WithBus(bus)}
+	var logTap func(<-chan logging.Event) <-chan logging.Event
+	if cfg.Chaos != nil && cfg.Chaos.Enabled() {
+		cp := *cfg.Chaos
+		if cp.Seed == 0 {
+			cp.Seed = seed
+		}
+		if inj := cp.FaultInjector(clk); inj != nil {
+			cloudOpts = append(cloudOpts, simaws.WithFaultInjector(inj))
+		}
+		logTap = cp.LogTap(clk)
+	}
+	cloud := simaws.New(clk, profile, cloudOpts...)
 	cloud.Start()
 	mgr, err := core.NewManager(core.ManagerConfig{
-		Cloud: cloud,
-		Bus:   bus,
+		Cloud:  cloud,
+		Bus:    bus,
+		LogTap: logTap,
 		API: consistentapi.Config{
 			// Stale reads are masked by resampling (staleness is an 8%
 			// per-read event), so a short budget suffices; a tight budget
@@ -346,6 +367,7 @@ func classify(res *RunResult, dets []core.Detection) {
 			Source:    d.Source,
 			TriggerID: d.TriggerID,
 			StepID:    d.StepID,
+			Degraded:  d.Degraded,
 		}
 		if d.Diagnosis != nil {
 			sum.Conclusion = d.Diagnosis.Conclusion

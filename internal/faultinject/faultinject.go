@@ -87,14 +87,19 @@ func (k Kind) ConfigurationFault() bool {
 // that constitute a correct diagnosis.
 func (k Kind) ExpectedRootCauses() []string {
 	switch k {
+	// The changed-kind faults act by flipping the new launch configuration
+	// (flipLaunchConfig), so a diagnosis of "launch configuration changed"
+	// is as correct as the attribute-level wrong-* causes: which one fires
+	// depends on whether the assertion runs before or after the ASG has
+	// launched from the flipped configuration.
 	case KindAMIChanged:
-		return []string{"wrong-ami"}
+		return []string{"wrong-ami", "lc-changed"}
 	case KindKeyPairChanged:
-		return []string{"wrong-keypair"}
+		return []string{"wrong-keypair", "lc-changed"}
 	case KindSGChanged:
-		return []string{"wrong-sg"}
+		return []string{"wrong-sg", "lc-changed"}
 	case KindInstanceTypeChanged:
-		return []string{"wrong-instance-type"}
+		return []string{"wrong-instance-type", "lc-changed"}
 	case KindAMIUnavailable:
 		return []string{"launch-ami-unavailable", "lc-ami-unavailable", "wrong-ami"}
 	case KindKeyPairUnavailable:

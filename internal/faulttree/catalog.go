@@ -89,6 +89,7 @@ func wrongConfigSubtree() *Node {
 				ID:          "wrong-sg",
 				Description: "Security group of ASG {asgid} changed during upgrade",
 				CheckID:     assertion.CheckASGUsesSG,
+				TestClass:   TestClassRetryable,
 				Prob:        0.35,
 				RootCause:   true,
 			},
@@ -96,6 +97,7 @@ func wrongConfigSubtree() *Node {
 				ID:          "wrong-keypair",
 				Description: "Key pair of ASG {asgid} changed during upgrade",
 				CheckID:     assertion.CheckASGUsesKeyPair,
+				TestClass:   TestClassRetryable,
 				Prob:        0.30,
 				RootCause:   true,
 			},
@@ -103,6 +105,7 @@ func wrongConfigSubtree() *Node {
 				ID:          "wrong-ami",
 				Description: "AMI of ASG {asgid} changed during upgrade (concurrent independent upgrade)",
 				CheckID:     assertion.CheckASGUsesAMI,
+				TestClass:   TestClassRetryable,
 				Prob:        0.25,
 				RootCause:   true,
 			},
@@ -110,6 +113,7 @@ func wrongConfigSubtree() *Node {
 				ID:          "wrong-instance-type",
 				Description: "Instance type of ASG {asgid} changed during upgrade",
 				CheckID:     assertion.CheckASGUsesType,
+				TestClass:   TestClassRetryable,
 				Prob:        0.10,
 				RootCause:   true,
 			},
@@ -123,12 +127,14 @@ func launchFailedSubtree(idSuffix string) *Node {
 		ID:          "instance-launch-failed" + idSuffix,
 		Description: "The ASG {asgid} failed to launch a replacement instance",
 		CheckID:     assertion.CheckNoFailedLaunches,
+		TestClass:   TestClassRetryable,
 		Steps:       []string{process.StepWaitASG, process.StepNewReady, process.StepCompleted},
 		Children: []*Node{
 			{
 				ID:          "launch-ami-unavailable" + idSuffix,
 				Description: "The AMI {amiid} is unavailable",
 				CheckID:     assertion.CheckAMIAvailable,
+				TestClass:   TestClassRetryable,
 				Prob:        0.35,
 				RootCause:   true,
 			},
@@ -136,6 +142,7 @@ func launchFailedSubtree(idSuffix string) *Node {
 				ID:          "launch-keypair-unavailable" + idSuffix,
 				Description: "The key pair {keyname} is unavailable",
 				CheckID:     assertion.CheckKeyPairExists,
+				TestClass:   TestClassRetryable,
 				Prob:        0.22,
 				RootCause:   true,
 			},
@@ -143,6 +150,7 @@ func launchFailedSubtree(idSuffix string) *Node {
 				ID:          "launch-sg-unavailable" + idSuffix,
 				Description: "The security group {sgname} is unavailable",
 				CheckID:     assertion.CheckSGExists,
+				TestClass:   TestClassRetryable,
 				Prob:        0.18,
 				RootCause:   true,
 			},
@@ -152,6 +160,7 @@ func launchFailedSubtree(idSuffix string) *Node {
 				ID:          "account-limit-reached" + idSuffix,
 				Description: "The account instance limit was reached by a simultaneous operation",
 				CheckID:     assertion.CheckNoLimitExceeded,
+				TestClass:   TestClassRetryable,
 				Prob:        0.10,
 				RootCause:   true,
 			},
@@ -165,6 +174,7 @@ func countDroppedSubtree(idSuffix string) *Node {
 		ID:          "instance-count-dropped" + idSuffix,
 		Description: "Instances of ASG {asgid} disappeared unexpectedly",
 		CheckID:     assertion.CheckASGInstanceCount,
+		TestClass:   TestClassRetryable,
 		Steps: []string{process.StepDeregister, process.StepTerminateOld,
 			process.StepWaitASG, process.StepNewReady, process.StepCompleted},
 		Children: []*Node{
@@ -172,6 +182,7 @@ func countDroppedSubtree(idSuffix string) *Node {
 				ID:          "simultaneous-scale-in" + idSuffix,
 				Description: "A simultaneous scale-in shrank ASG {asgid}",
 				CheckID:     assertion.CheckNoScaleIn,
+				TestClass:   TestClassRetryable,
 				Prob:        0.30,
 				RootCause:   true,
 			},
@@ -184,6 +195,7 @@ func countDroppedSubtree(idSuffix string) *Node {
 				ID:          "unexpected-termination" + idSuffix,
 				Description: "An instance of ASG {asgid} was terminated outside the process",
 				CheckID:     assertion.CheckNoExternalTermination,
+				TestClass:   TestClassNoRetry,
 				Prob:        0.15,
 				RootCause:   true,
 			},
@@ -197,6 +209,7 @@ func elbSubtree() *Node {
 		ID:          "elb-problems",
 		Description: "The load balancer {elbname} is misbehaving",
 		CheckID:     assertion.CheckELBInstanceCount,
+		TestClass:   TestClassRetryable,
 		// The step context of a conformance-derived error is the last
 		// valid step, so an ELB failure during step 4 surfaces with
 		// step-3 context; include it.
@@ -208,6 +221,7 @@ func elbSubtree() *Node {
 				ID:          "elb-unreachable",
 				Description: "The load balancer {elbname} is unavailable (service disruption or deleted)",
 				CheckID:     assertion.CheckELBReachable,
+				TestClass:   TestClassRetryable,
 				Prob:        0.25,
 				RootCause:   true,
 			},
@@ -215,6 +229,7 @@ func elbSubtree() *Node {
 				ID:          "instance-not-registered",
 				Description: "Instance {instanceid} is not registered with {elbname}",
 				CheckID:     assertion.CheckInstanceRegistered,
+				TestClass:   TestClassRetryable,
 				Prob:        0.15,
 				RootCause:   true,
 			},
@@ -229,6 +244,7 @@ func lcCreateSubtree() *Node {
 		ID:          "lc-create-failed",
 		Description: "Creating launch configuration {lcname} failed",
 		CheckID:     assertion.CheckLCExists,
+		TestClass:   TestClassRetryable,
 		CheckParams: assertion.Params{assertion.ParamLC: "{lcname}"},
 		Steps:       []string{process.StepUpdateLC},
 		Children: []*Node{
@@ -236,6 +252,7 @@ func lcCreateSubtree() *Node {
 				ID:          "lc-ami-unavailable",
 				Description: "The AMI {amiid} is unavailable",
 				CheckID:     assertion.CheckAMIAvailable,
+				TestClass:   TestClassRetryable,
 				Prob:        0.40,
 				RootCause:   true,
 			},
@@ -243,6 +260,7 @@ func lcCreateSubtree() *Node {
 				ID:          "lc-keypair-unavailable",
 				Description: "The key pair {keyname} is unavailable",
 				CheckID:     assertion.CheckKeyPairExists,
+				TestClass:   TestClassRetryable,
 				Prob:        0.28,
 				RootCause:   true,
 			},
@@ -250,6 +268,7 @@ func lcCreateSubtree() *Node {
 				ID:          "lc-sg-unavailable",
 				Description: "The security group {sgname} is unavailable",
 				CheckID:     assertion.CheckSGExists,
+				TestClass:   TestClassRetryable,
 				Prob:        0.22,
 				RootCause:   true,
 			},
@@ -325,6 +344,7 @@ func lcExistsTree() *Tree {
 					ID:          "lc-changed",
 					Description: "The launch configuration of ASG {asgid} was changed by a simultaneous operation",
 					CheckID:     assertion.CheckASGUsesAMI,
+					TestClass:   TestClassRetryable,
 					Prob:        0.30,
 					RootCause:   true,
 				},

@@ -33,6 +33,11 @@ type Node struct {
 	// CheckParams override or extend the request parameters for the
 	// diagnosis test; values may contain {param} placeholders.
 	CheckParams assertion.Params `json:"checkParams,omitempty"`
+	// TestClass classifies the diagnosis test's failure handling for the
+	// resilience layer: TestClassRetryable tests are retried with backoff
+	// on throttle/timeout-class errors, TestClassNoRetry tests are not.
+	// Required (by podlint FT009) on every node carrying a CheckID.
+	TestClass string `json:"testClass,omitempty"`
 	// Steps is the process context association: the step ids for which
 	// this sub-tree is relevant. Empty means relevant in any context.
 	Steps []string `json:"steps,omitempty"`
@@ -45,6 +50,16 @@ type Node struct {
 	// Children are the sub-events that can cause this event.
 	Children []*Node `json:"children,omitempty"`
 }
+
+// Test classifications for Node.TestClass.
+const (
+	// TestClassRetryable marks a test safe to retry under backoff when it
+	// fails with a throttle/timeout-class error (read-only cloud queries).
+	TestClassRetryable = "retryable"
+	// TestClassNoRetry marks a test that must not be retried (its answer
+	// is time-sensitive or the call is not idempotent).
+	TestClassNoRetry = "no-retry"
+)
 
 // Clone deep-copies the node.
 func (n *Node) Clone() *Node {

@@ -114,6 +114,7 @@ const (
 	RuleTreeStepDisjoint    = "FT006"
 	RuleTreeUntestableCause = "FT007"
 	RuleTreeDuplicateNodeID = "FT008"
+	RuleTreeNoTestClass     = "FT009"
 
 	RuleCoverageStepNoAssertion  = "XC001"
 	RuleCoverageAssertionNoTree  = "XC002"
@@ -161,6 +162,7 @@ var ruleTable = map[string]RuleInfo{
 	RuleTreeStepDisjoint:    {RuleTreeStepDisjoint, SevWarning, "model", "node's step scope is disjoint from an ancestor's — unreachable under any step context"},
 	RuleTreeUntestableCause: {RuleTreeUntestableCause, SevWarning, "model", "root cause carries no diagnosis test and can never be confirmed"},
 	RuleTreeDuplicateNodeID: {RuleTreeDuplicateNodeID, SevError, "model", "duplicate node id within one fault tree"},
+	RuleTreeNoTestClass:     {RuleTreeNoTestClass, SevWarning, "model", "diagnosis test lacks a timeout/retry classification (TestClass) — the resilience layer cannot tell whether retrying is safe"},
 
 	RuleCoverageStepNoAssertion:  {RuleCoverageStepNoAssertion, SevWarning, "model", "process step has no assertion bound (trigger chain gap)"},
 	RuleCoverageAssertionNoTree:  {RuleCoverageAssertionNoTree, SevError, "model", "spec-bound assertion has no fault tree — its failure cannot be diagnosed"},

@@ -141,7 +141,7 @@ func TestLintTreeSeedsEveryFTRule(t *testing.T) {
 			Children: []*faulttree.Node{
 				{ID: "dangling", CheckID: "missing", Prob: 0.4, RootCause: true},                          // FT001
 				{ID: "untestable", Prob: 0.3, RootCause: true},                                            // FT007
-				{ID: "zero", CheckID: "known", RootCause: true},                                           // FT004 (Prob 0)
+				{ID: "zero", CheckID: "known", RootCause: true},                                           // FT004 (Prob 0); no TestClass → FT009
 				{ID: "tie-a", CheckID: "known", Prob: 0.1, RootCause: true},                               // FT003 with tie-b
 				{ID: "tie-b", CheckID: "known", Prob: 0.1, RootCause: true},                               //
 				{ID: "gate", Prob: 0.05, Children: []*faulttree.Node{cyclic}},                             // FT005, then FT002 below
@@ -154,6 +154,7 @@ func TestLintTreeSeedsEveryFTRule(t *testing.T) {
 	for _, rule := range []string{
 		RuleTreeDanglingCheck, RuleTreeCycle, RuleTreeDupSiblingProb, RuleTreeZeroSiblingProb,
 		RuleTreeDegenerateGate, RuleTreeStepDisjoint, RuleTreeUntestableCause, RuleTreeDuplicateNodeID,
+		RuleTreeNoTestClass,
 	} {
 		if !hasRule(fs, rule) {
 			t.Errorf("expected %s in:\n%s", rule, render(fs))

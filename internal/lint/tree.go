@@ -66,6 +66,21 @@ func (l *treeLinter) walk(n *faulttree.Node, parent *faulttree.Node, ancestorSte
 		}
 	}
 
+	// FT009: every diagnosis test must classify its retry safety so the
+	// resilience layer knows whether throttle/timeout-class failures may
+	// be retried with backoff.
+	if n.CheckID != "" {
+		switch n.TestClass {
+		case faulttree.TestClassRetryable, faulttree.TestClassNoRetry:
+		case "":
+			l.report(RuleTreeNoTestClass, n.ID,
+				"diagnosis test %q on node %q has no TestClass (retryable/no-retry)", n.CheckID, n.ID)
+		default:
+			l.report(RuleTreeNoTestClass, n.ID,
+				"diagnosis test %q on node %q has unknown TestClass %q", n.CheckID, n.ID, n.TestClass)
+		}
+	}
+
 	// FT007: a root cause with no diagnosis test can only ever be
 	// suspected (the paper's "diagnosis cannot determine why" case);
 	// legal, but worth surfacing.

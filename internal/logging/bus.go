@@ -8,32 +8,43 @@ import (
 )
 
 // Bus metrics: the full-buffer eviction in Publish used to lose events
-// with zero signal; both totals now land in the default registry.
+// with zero signal; both totals now land in the default registry. Drops
+// are labelled by subscriber so pipeline loss is attributable to the
+// consumer that fell behind rather than a single anonymous total.
 var (
 	mPublished = obs.Default.Counter("pod_logbus_published_total",
 		"Log events published to the bus.")
-	mDropped = obs.Default.Counter("pod_logbus_dropped_total",
-		"Log events evicted from full subscriber buffers.")
+	mDropped = obs.Default.CounterVec("pod_logbus_dropped_total",
+		"Log events evicted from full subscriber buffers.", "subscriber")
 	mSubscribers = obs.Default.Gauge("pod_logbus_subscribers",
 		"Active bus subscriptions.")
 )
+
+// anonSubscriber labels drops on subscriptions created without a name.
+const anonSubscriber = "anon"
 
 // Bus is an in-process publish/subscribe channel for log events. It stands
 // in for the log shipping fabric (Logstash agents forwarding to a central
 // collector) of the paper's deployment. Publishing never blocks the
 // producer: slow subscribers drop their oldest pending events, mirroring
 // the lossy nature of real log shipping under backpressure.
+//
+// The bus also stamps each event with a monotone per-source sequence
+// number (Event.Seq) on first publication, giving downstream consumers —
+// in particular the conformance reorder/dedup buffer — enough structure to
+// detect duplication, reordering and loss in the shipping fabric.
 type Bus struct {
 	mu      sync.Mutex
 	subs    map[int]*Subscription
 	nextID  int
 	closed  bool
 	dropped atomic.Uint64
+	seq     map[string]uint64 // per Source|SourceHost publication counter
 }
 
 // NewBus returns an empty bus.
 func NewBus() *Bus {
-	return &Bus{subs: make(map[int]*Subscription)}
+	return &Bus{subs: make(map[int]*Subscription), seq: make(map[string]uint64)}
 }
 
 // Subscription receives events published to a Bus. Receive from C until it
@@ -43,23 +54,37 @@ type Subscription struct {
 	// cancelled or the bus is closed.
 	C <-chan Event
 
-	id     int
-	ch     chan Event
-	bus    *Bus
-	filter func(Event) bool
-	once   sync.Once
+	id      int
+	name    string
+	ch      chan Event
+	bus     *Bus
+	filter  func(Event) bool
+	once    sync.Once
+	dropped atomic.Uint64
+	mDrops  *obs.Counter
 }
 
-// Subscribe registers a new subscriber with the given channel buffer.
-// A nil filter receives every event. Buffer must be at least 1.
+// Subscribe registers a new anonymous subscriber with the given channel
+// buffer. A nil filter receives every event. Buffer must be at least 1.
 func (b *Bus) Subscribe(buffer int, filter func(Event) bool) *Subscription {
+	return b.SubscribeNamed(anonSubscriber, buffer, filter)
+}
+
+// SubscribeNamed registers a subscriber whose dropped-event count is
+// exported under the given name (the "subscriber" label of
+// pod_logbus_dropped_total). A nil filter receives every event. Buffer
+// must be at least 1.
+func (b *Bus) SubscribeNamed(name string, buffer int, filter func(Event) bool) *Subscription {
 	if buffer < 1 {
 		buffer = 1
+	}
+	if name == "" {
+		name = anonSubscriber
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	ch := make(chan Event, buffer)
-	sub := &Subscription{ch: ch, C: ch, bus: b, filter: filter}
+	sub := &Subscription{ch: ch, C: ch, bus: b, filter: filter, name: name, mDrops: mDropped.With(name)}
 	if b.closed {
 		close(ch)
 		return sub
@@ -70,6 +95,13 @@ func (b *Bus) Subscribe(buffer int, filter func(Event) bool) *Subscription {
 	mSubscribers.Inc()
 	return sub
 }
+
+// Name returns the subscriber name used for drop attribution.
+func (s *Subscription) Name() string { return s.name }
+
+// Dropped returns how many events were evicted from this subscription's
+// buffer since it was created.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 
 // Cancel removes the subscription and closes its channel. It is safe to
 // call more than once.
@@ -85,6 +117,14 @@ func (s *Subscription) Cancel() {
 	})
 }
 
+// drop records one lost event against both the bus total and the
+// subscription it was destined for. Called with the bus lock held.
+func (s *Subscription) drop() {
+	s.bus.dropped.Add(1)
+	s.dropped.Add(1)
+	s.mDrops.Inc()
+}
+
 // Publish delivers the event to every matching subscriber. If a
 // subscriber's buffer is full its oldest pending event is dropped to make
 // room, so publishers are never blocked by slow consumers. Delivery makes
@@ -92,11 +132,22 @@ func (s *Subscription) Cancel() {
 // attempts — so a consumer racing Publish by draining its channel can
 // never make Publish spin while it holds the bus lock; in that rare race
 // the new event is dropped (and counted) instead.
+//
+// Events with Seq == 0 are stamped with the next sequence number for
+// their (Source, SourceHost, Type) triple — per type, because
+// subscriptions filter by type and a type-filtered consumer must see a
+// dense stream; events that already carry a sequence number (replays,
+// chaos duplicates) keep it.
 func (b *Bus) Publish(e Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return
+	}
+	if e.Seq == 0 {
+		key := e.Source + "|" + e.SourceHost + "|" + e.Type
+		b.seq[key]++
+		e.Seq = b.seq[key]
 	}
 	mPublished.Inc()
 	for _, sub := range b.subs {
@@ -113,15 +164,13 @@ func (b *Bus) Publish(e Event) {
 		// consumer receive; either way exactly one event is dropped.
 		select {
 		case <-sub.ch:
-			b.dropped.Add(1)
-			mDropped.Inc()
+			sub.drop()
 		default:
 		}
 		select {
 		case sub.ch <- e:
 		default:
-			b.dropped.Add(1)
-			mDropped.Inc()
+			sub.drop()
 		}
 	}
 }

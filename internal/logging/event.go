@@ -45,6 +45,13 @@ type Event struct {
 	Fields map[string]string `json:"@fields"`
 	// Message is the original raw log line.
 	Message string `json:"@message"`
+	// Seq is a monotone per-source sequence number stamped by the Bus the
+	// first time the event is published (a duplicate republication keeps
+	// the original number, which is what makes duplicates detectable).
+	// Zero means the event never crossed a bus. The sequencing key is
+	// (Source, SourceHost, Type) — one Logstash agent per log file, with
+	// the type folded in so type-filtered subscribers see dense streams.
+	Seq uint64 `json:"@seq,omitempty"`
 }
 
 // Clone returns a deep copy of the event, so that pipeline stages can

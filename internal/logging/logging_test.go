@@ -167,6 +167,57 @@ func TestBusDroppedCountsAcrossSubscribers(t *testing.T) {
 	}
 }
 
+func TestBusPerSubscriberDropAccounting(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	slow := b.SubscribeNamed("pipeline", 1, nil)
+	fast := b.SubscribeNamed("central", 16, nil)
+	for i := 0; i < 4; i++ {
+		b.Publish(Event{Message: "x"})
+	}
+	if slow.Name() != "pipeline" || fast.Name() != "central" {
+		t.Fatalf("names = %q/%q", slow.Name(), fast.Name())
+	}
+	if got := slow.Dropped(); got != 3 {
+		t.Fatalf("slow.Dropped() = %d, want 3", got)
+	}
+	if got := fast.Dropped(); got != 0 {
+		t.Fatalf("fast.Dropped() = %d, want 0", got)
+	}
+	// The bus-wide count is the sum over subscribers.
+	if got := b.Dropped(); got != 3 {
+		t.Fatalf("bus Dropped() = %d, want 3", got)
+	}
+}
+
+func TestBusStampsSequencePerSourceStream(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	sub := b.Subscribe(16, nil)
+	// Two interleaved streams: sequence numbers are dense per
+	// (Source, SourceHost, Type), not global.
+	for i := 0; i < 3; i++ {
+		b.Publish(Event{Source: "asgard.log", SourceHost: "h1", Type: TypeOperation})
+		b.Publish(Event{Source: "asgard.log", SourceHost: "h2", Type: TypeOperation})
+	}
+	want := map[string]uint64{}
+	for i := 0; i < 6; i++ {
+		e := <-sub.C
+		key := e.Source + "|" + e.SourceHost + "|" + e.Type
+		if got := want[key] + 1; e.Seq != got {
+			t.Fatalf("%s: seq = %d, want %d", key, e.Seq, got)
+		}
+		want[key]++
+	}
+	// A republished duplicate keeps its original number — that is what
+	// makes duplicates detectable downstream.
+	dup := Event{Source: "asgard.log", SourceHost: "h1", Type: TypeOperation, Seq: 2}
+	b.Publish(dup)
+	if e := <-sub.C; e.Seq != 2 {
+		t.Fatalf("duplicate restamped to %d", e.Seq)
+	}
+}
+
 func TestBusCancelClosesChannel(t *testing.T) {
 	b := NewBus()
 	defer b.Close()

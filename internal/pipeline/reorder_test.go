@@ -1,0 +1,288 @@
+package pipeline
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/logging"
+)
+
+// manualClock is a hand-advanced clock for deterministic watermark tests.
+type manualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{t: time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func (c *manualClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.Advance(d)
+	return ctx.Err()
+}
+
+func (c *manualClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	ch <- c.Now().Add(d)
+	return ch
+}
+
+func (c *manualClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+func seqEvent(source, host string, seq uint64) logging.Event {
+	return logging.Event{Source: source, SourceHost: host, Type: logging.TypeOperation, Seq: seq}
+}
+
+// collector records deliveries per source key.
+type collector struct {
+	order []Delivery
+}
+
+func (c *collector) deliver(d Delivery) { c.order = append(c.order, d) }
+
+// TestReorderPropertyPermutations is the property test: for many seeded
+// random permutations of several interleaved sequenced streams, with
+// duplicates injected, every event is delivered exactly once, in
+// per-source sequence order, with no gaps declared — as long as the
+// window never overflows and the watermark never fires.
+func TestReorderPropertyPermutations(t *testing.T) {
+	const perSource = 120
+	sources := []struct{ src, host string }{
+		{"asgard.log", "ops-a"},
+		{"asgard.log", "ops-b"},
+		{"cloudwatch.log", "ops-a"},
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var events []logging.Event
+		for _, s := range sources {
+			for i := 1; i <= perSource; i++ {
+				events = append(events, seqEvent(s.src, s.host, uint64(i)))
+			}
+		}
+		rng.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+		// Duplicate ~10% of the stream at random positions.
+		for i := 0; i < len(events); i += 10 {
+			events = append(events, events[rng.Intn(len(events))])
+		}
+
+		clk := newManualClock()
+		col := &collector{}
+		b := NewReorderBuffer(clk, ReorderOptions{MaxPending: 3 * perSource}, col.deliver)
+		for _, ev := range events {
+			b.Offer(ev)
+		}
+
+		next := map[string]uint64{}
+		for _, d := range col.order {
+			if d.GapBefore {
+				t.Fatalf("seed %d: spurious gap before %v", seed, d.Event)
+			}
+			key := d.Event.Source + "|" + d.Event.SourceHost + "|" + d.Event.Type
+			if want := next[key] + 1; d.Event.Seq != want {
+				t.Fatalf("seed %d: %s delivered seq %d, want %d", seed, key, d.Event.Seq, want)
+			}
+			next[key]++
+		}
+		for key, n := range next {
+			if n != perSource {
+				t.Fatalf("seed %d: %s delivered %d events, want %d", seed, key, n, perSource)
+			}
+		}
+		st := b.Stats()
+		if st.Pending != 0 || st.Gaps != 0 {
+			t.Fatalf("seed %d: stats = %+v", seed, st)
+		}
+		if st.Duplicates == 0 {
+			t.Fatalf("seed %d: no duplicates observed despite injection", seed)
+		}
+	}
+}
+
+// TestReorderWatermarkDeclaresGap drops one event and checks the watermark
+// releases the successors with GapBefore set once the window expires, and
+// that the late-arriving original is then discarded as a duplicate.
+func TestReorderWatermarkDeclaresGap(t *testing.T) {
+	clk := newManualClock()
+	col := &collector{}
+	b := NewReorderBuffer(clk, ReorderOptions{Window: 3 * time.Second}, col.deliver)
+
+	b.Offer(seqEvent("asgard.log", "h", 1))
+	b.Offer(seqEvent("asgard.log", "h", 3)) // 2 is lost
+	b.Offer(seqEvent("asgard.log", "h", 4))
+	if len(col.order) != 1 {
+		t.Fatalf("deliveries before watermark = %d, want 1", len(col.order))
+	}
+
+	clk.Advance(2 * time.Second)
+	b.Flush()
+	if len(col.order) != 1 {
+		t.Fatalf("watermark fired before window: %d deliveries", len(col.order))
+	}
+
+	clk.Advance(2 * time.Second)
+	b.Flush()
+	if len(col.order) != 3 {
+		t.Fatalf("deliveries after watermark = %d, want 3", len(col.order))
+	}
+	if !col.order[1].GapBefore {
+		t.Error("first post-gap delivery not marked GapBefore")
+	}
+	if col.order[2].GapBefore {
+		t.Error("second post-gap delivery wrongly marked GapBefore")
+	}
+
+	// The lost event finally arrives: it must not be re-delivered.
+	b.Offer(seqEvent("asgard.log", "h", 2))
+	if len(col.order) != 3 {
+		t.Fatalf("late event re-delivered: %d deliveries", len(col.order))
+	}
+	st := b.Stats()
+	if st.Gaps != 1 || st.Duplicates != 1 {
+		t.Errorf("stats = %+v, want 1 gap and 1 duplicate", st)
+	}
+}
+
+// TestReorderOverflowForcesOldest checks the MaxPending bound: overflow
+// force-flushes the oldest held run, declaring a gap, without waiting for
+// the watermark.
+func TestReorderOverflowForcesOldest(t *testing.T) {
+	clk := newManualClock()
+	col := &collector{}
+	b := NewReorderBuffer(clk, ReorderOptions{Window: time.Hour, MaxPending: 3}, col.deliver)
+
+	b.Offer(seqEvent("asgard.log", "h", 1))
+	for seq := uint64(3); seq <= 7; seq++ { // 2 is missing; 5 held > MaxPending 3
+		b.Offer(seqEvent("asgard.log", "h", seq))
+	}
+	if len(col.order) != 6 {
+		t.Fatalf("deliveries = %d, want 6 (1 + forced 3..7)", len(col.order))
+	}
+	if !col.order[1].GapBefore {
+		t.Error("forced delivery not marked GapBefore")
+	}
+	if b.Stats().Gaps != 1 {
+		t.Errorf("gaps = %d, want 1", b.Stats().Gaps)
+	}
+	if b.Pending() != 0 {
+		t.Errorf("pending = %d after force flush", b.Pending())
+	}
+}
+
+// TestReorderCloseDrainsHeld checks Close releases everything still held,
+// declaring gaps, so no event is silently lost at shutdown.
+func TestReorderCloseDrainsHeld(t *testing.T) {
+	clk := newManualClock()
+	col := &collector{}
+	b := NewReorderBuffer(clk, ReorderOptions{Window: time.Hour}, col.deliver)
+
+	b.Offer(seqEvent("asgard.log", "h", 1))
+	b.Offer(seqEvent("asgard.log", "h", 5))
+	b.Offer(seqEvent("asgard.log", "h", 7))
+	b.Close()
+	if len(col.order) != 3 {
+		t.Fatalf("deliveries = %d, want 3", len(col.order))
+	}
+	if !col.order[1].GapBefore || !col.order[2].GapBefore {
+		t.Error("forced closing deliveries not marked GapBefore")
+	}
+	if b.Pending() != 0 {
+		t.Errorf("pending = %d after Close", b.Pending())
+	}
+}
+
+// TestReorderUnsequencedPassThrough checks events that never crossed a bus
+// (Seq 0) are delivered synchronously and unexamined.
+func TestReorderUnsequencedPassThrough(t *testing.T) {
+	clk := newManualClock()
+	col := &collector{}
+	b := NewReorderBuffer(clk, ReorderOptions{}, col.deliver)
+	for i := 0; i < 5; i++ {
+		b.Offer(logging.Event{Source: "raw.log", Message: "x"})
+	}
+	if len(col.order) != 5 {
+		t.Fatalf("deliveries = %d, want 5", len(col.order))
+	}
+	if st := b.Stats(); st.Pending != 0 || st.Gaps != 0 || st.Duplicates != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestReorderScheduleArmsWatermark checks the Schedule hook drives the
+// watermark without any further traffic.
+func TestReorderScheduleArmsWatermark(t *testing.T) {
+	clk := newManualClock()
+	col := &collector{}
+	var scheduled []func()
+	b := NewReorderBuffer(clk, ReorderOptions{
+		Window: 3 * time.Second,
+		Schedule: func(d time.Duration, f func()) func() {
+			scheduled = append(scheduled, f)
+			return func() {}
+		},
+	}, col.deliver)
+
+	b.Offer(seqEvent("asgard.log", "h", 2)) // first observed is not 1: held
+	if len(scheduled) != 1 {
+		t.Fatalf("scheduled flushes = %d, want 1", len(scheduled))
+	}
+	clk.Advance(4 * time.Second)
+	scheduled[0]() // the timer fires
+	if len(col.order) != 1 || !col.order[0].GapBefore {
+		t.Fatalf("timer flush deliveries = %+v", col.order)
+	}
+}
+
+// FuzzReorderBuffer feeds arbitrary byte-derived sequences of events and
+// checks the buffer's core invariants: per-source deliveries are strictly
+// increasing in sequence number, nothing is delivered twice, and Close
+// leaves nothing pending.
+func FuzzReorderBuffer(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{5, 4, 3, 2, 1, 1, 2, 3})
+	f.Add([]byte{0, 0, 7, 7, 200, 1, 3, 2, 128, 64})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		clk := newManualClock()
+		delivered := map[string]uint64{} // key -> last delivered seq
+		b := NewReorderBuffer(clk, ReorderOptions{Window: 5 * time.Second, MaxPending: 8},
+			func(d Delivery) {
+				if d.Event.Seq == 0 {
+					return
+				}
+				key := d.Event.Source + "|" + d.Event.SourceHost + "|" + d.Event.Type
+				if last, ok := delivered[key]; ok && d.Event.Seq <= last {
+					t.Fatalf("%s: delivered seq %d after %d", key, d.Event.Seq, last)
+				}
+				delivered[key] = d.Event.Seq
+			})
+		for i, c := range data {
+			src := "s" + string(rune('A'+int(c)%2))
+			seq := uint64(c>>1)%24 + 1
+			b.Offer(seqEvent(src, "h", seq))
+			if i%7 == 6 {
+				clk.Advance(2 * time.Second)
+				b.Flush()
+			}
+		}
+		b.Close()
+		if b.Pending() != 0 {
+			t.Fatalf("pending = %d after Close", b.Pending())
+		}
+	})
+}

@@ -82,6 +82,14 @@ func (c *Client) Instances(ctx context.Context) ([]string, error) {
 	return out, err
 }
 
+// Resilience fetches the diagnosis-test retry/breaker posture and the
+// lossy-pipeline repair counters.
+func (c *Client) Resilience(ctx context.Context) (ResilienceStatus, error) {
+	var out ResilienceStatus
+	err := c.get(ctx, "/diagnosis/resilience", &out)
+	return out, err
+}
+
 // Healthy reports whether the server responds to the health check.
 func (c *Client) Healthy(ctx context.Context) bool {
 	var out map[string]string
@@ -156,8 +164,26 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	return c.do(req, out)
 }
 
+// retryDelay is the single short backoff before an idempotent GET retry.
+var retryDelay = 100 * time.Millisecond
+
 func (c *Client) do(req *http.Request, out any) error {
 	resp, err := c.http.Do(req)
+	if retryable(req, resp, err) {
+		// Idempotent GETs retry exactly once after a short backoff: a
+		// connection refused (server restarting) or a 5xx is routinely
+		// transient, and a GET repeated carries no side effects. The
+		// caller's context still governs the whole exchange.
+		if resp != nil {
+			resp.Body.Close()
+		}
+		select {
+		case <-req.Context().Done():
+			return fmt.Errorf("rest client: %w", req.Context().Err())
+		case <-time.After(retryDelay):
+		}
+		resp, err = c.http.Do(req.Clone(req.Context()))
+	}
 	if err != nil {
 		return fmt.Errorf("rest client: %w", err)
 	}
@@ -174,4 +200,17 @@ func (c *Client) do(req *http.Request, out any) error {
 		return fmt.Errorf("rest client: decode response: %w", err)
 	}
 	return nil
+}
+
+// retryable reports whether a first attempt is worth one retry: only GETs
+// (idempotent, bodyless), and only on connection-level errors or 5xx.
+func retryable(req *http.Request, resp *http.Response, err error) bool {
+	if req.Method != http.MethodGet || req.Context().Err() != nil {
+		return false
+	}
+	if err != nil {
+		// Connection-level failure (refused, reset) — not a ctx timeout.
+		return true
+	}
+	return resp.StatusCode >= 500
 }

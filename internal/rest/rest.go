@@ -19,6 +19,8 @@ import (
 	"poddiagnosis/internal/core"
 	"poddiagnosis/internal/diagnosis"
 	"poddiagnosis/internal/obs"
+	"poddiagnosis/internal/pipeline"
+	"poddiagnosis/internal/resilience"
 )
 
 // HTTP serving metrics, labelled by logical route name (not raw path, to
@@ -138,6 +140,7 @@ func NewServer(checker *conformance.Checker, eval *assertion.Evaluator, diag *di
 	s.route("GET /assertions/checks", "assertions_checks", s.handleChecks)
 	s.route("POST /diagnosis", "diagnosis", s.handleDiagnose)
 	s.route("GET /diagnosis/config", "diagnosis_config", s.handleDiagnosisConfig)
+	s.route("GET /diagnosis/resilience", "diagnosis_resilience", s.handleDiagnosisResilience)
 	s.route("GET /model", "model", s.handleModel)
 	s.route("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -348,6 +351,30 @@ func (s *Server) handleDiagnosisConfig(w http.ResponseWriter, r *http.Request) {
 		cfg.SharedCache = &stats
 	}
 	writeJSON(w, http.StatusOK, cfg)
+}
+
+// ResilienceStatus is the body of GET /diagnosis/resilience: the retry
+// and circuit-breaker posture of the diagnosis-test executor, plus the
+// lossy-pipeline repair counters when a manager is attached.
+type ResilienceStatus struct {
+	// Executor is the diagnosis-test retry/breaker snapshot.
+	Executor resilience.Status `json:"executor"`
+	// Reorder carries the manager's reorder-buffer counters; absent in
+	// standalone (manager-less) servers.
+	Reorder *pipeline.ReorderStats `json:"reorder,omitempty"`
+}
+
+func (s *Server) handleDiagnosisResilience(w http.ResponseWriter, r *http.Request) {
+	if s.diag == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("diagnosis not configured"))
+		return
+	}
+	st := ResilienceStatus{Executor: s.diag.Resilience().Snapshot()}
+	if s.mgr != nil {
+		rs := s.mgr.ReorderStats()
+		st.Reorder = &rs
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {

@@ -17,7 +17,8 @@ import (
 type Cloud struct {
 	clk     clock.Clock
 	profile Profile
-	bus     *logging.Bus // may be nil
+	bus     *logging.Bus  // may be nil
+	inject  FaultInjector // may be nil
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -54,6 +55,39 @@ func WithBus(bus *logging.Bus) Option {
 // reproducible.
 func WithSeed(seed int64) Option {
 	return func(c *Cloud) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// FaultInjector is consulted before every API call; a non-nil error is
+// returned to the caller in place of the real operation. Chaos harnesses
+// use it to synthesize RequestLimitExceeded storms and latency spikes
+// (which the injector models by sleeping on the clock before returning
+// nil). It must be safe for concurrent use.
+type FaultInjector func(ctx context.Context, op string) error
+
+// PlaneMonitoring tags API calls issued by POD-Diagnosis's own monitoring
+// plane (the consistent-API layer under assertion evaluation and
+// diagnosis tests), as opposed to untagged operation-plane calls from the
+// upgrade orchestrator. Fault injectors use the tag to attack one plane
+// selectively.
+const PlaneMonitoring = "monitoring"
+
+// planeKey carries the calling-plane tag through a context.
+type planeKey struct{}
+
+// WithPlane returns ctx tagged with the calling plane name.
+func WithPlane(ctx context.Context, plane string) context.Context {
+	return context.WithValue(ctx, planeKey{}, plane)
+}
+
+// PlaneFrom returns ctx's plane tag; untagged calls report "".
+func PlaneFrom(ctx context.Context) string {
+	p, _ := ctx.Value(planeKey{}).(string)
+	return p
+}
+
+// WithFaultInjector installs a chaos fault injector on the API plane.
+func WithFaultInjector(f FaultInjector) Option {
+	return func(c *Cloud) { c.inject = f }
 }
 
 // New returns a Cloud with the given clock and profile. The reconciler is
@@ -142,6 +176,11 @@ func (c *Cloud) publish(message string, fields map[string]string) {
 // on cancellation.
 func (c *Cloud) apiCall(ctx context.Context, op string) error {
 	mAPICalls.With(op).Inc()
+	if c.inject != nil {
+		if err := c.inject(ctx, op); err != nil {
+			return err
+		}
+	}
 	if !c.bucket.allow(1) {
 		mAPIThrottled.With(op).Inc()
 		return newErr(op, ErrCodeRequestLimitExceeded, "request limit exceeded for account")
