@@ -5,8 +5,18 @@
 // Usage:
 //
 //	podctl [-size N] [-fault kind] [-interfere kind] [-scale X] [-seed S] [-v]
+//	podctl -fault key-pair-changed -timeline   # render the causal evidence timeline
+//	podctl -fault wrong-ami -spans             # print the operation's tracer spans (/traces?op= view)
 //	podctl -show-tree            # print the Figure 5 fault tree
 //	podctl -list-faults          # list injectable fault kinds
+//
+// With -timeline, the run ends by rendering the operation's causal
+// flight-recorder timeline: every detection chains back through
+// conformance verdicts (or assertion results) to the raw log event that
+// triggered it, and forward through the fault-tree tests (with
+// retry/breaker/cache annotations) to the confirmed root cause.
+// -timeline-kind restricts the rendering to a comma-separated list of
+// entry kinds (e.g. detection,diagnosis.cause).
 package main
 
 import (
@@ -14,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"poddiagnosis/internal/assertion"
@@ -22,6 +33,8 @@ import (
 	"poddiagnosis/internal/faultinject"
 	"poddiagnosis/internal/faulttree"
 	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/obs"
+	"poddiagnosis/internal/obs/flight"
 	"poddiagnosis/internal/offline"
 	"poddiagnosis/internal/process"
 	"poddiagnosis/internal/simaws"
@@ -44,8 +57,25 @@ func run() int {
 		listFault = flag.Bool("list-faults", false, "list fault kinds and exit")
 		postmort  = flag.Bool("postmortem", false, "print the offline post-mortem from the central log store after the run")
 		dumpPath  = flag.String("dump", "", "write the central log store to this JSON-lines file (analyze later with podanalyze)")
+		timeline  = flag.Bool("timeline", false, "render the operation's causal flight-recorder timeline after the run")
+		tlKinds   = flag.String("timeline-kind", "", "comma-separated entry kinds to keep in -timeline output (empty = all)")
+		spans     = flag.Bool("spans", false, "print the operation's completed tracer spans after the run (the GET /traces?op= view)")
 	)
 	flag.Parse()
+
+	var kinds []flight.Kind
+	for _, part := range strings.Split(*tlKinds, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k := flight.Kind(part)
+		if !flight.KnownKind(k) {
+			fmt.Fprintf(os.Stderr, "unknown timeline kind %q (known: %v)\n", part, flight.Kinds())
+			return 2
+		}
+		kinds = append(kinds, k)
+	}
 
 	if *listFault {
 		for _, k := range faultinject.AllKinds() {
@@ -195,7 +225,34 @@ func run() int {
 			}
 		}
 	}
+	if *timeline {
+		fmt.Println()
+		flight.Render(os.Stdout, mon.Session().Timeline(kinds...))
+	}
+	if *spans {
+		printOperationSpans(mon.Session().ID())
+	}
 	return 0
+}
+
+// printOperationSpans renders the completed tracer spans belonging to
+// the operation's traces — the in-process equivalent of GET /traces?op=.
+func printOperationSpans(op string) {
+	all := obs.DefaultTracer.Spans()
+	traces := make(map[uint64]bool)
+	for _, s := range all {
+		if s.Attrs["op"] == op {
+			traces[s.TraceID] = true
+		}
+	}
+	fmt.Printf("\nspans for operation %s:\n", op)
+	for _, s := range all {
+		if !traces[s.TraceID] {
+			continue
+		}
+		fmt.Printf("  trace=%-6d span=%-6d parent=%-6d %-20s %6.1fms\n",
+			s.TraceID, s.SpanID, s.ParentID, s.Name, float64(s.DurationUS)/1000)
+	}
 }
 
 // printTree renders the Figure 5 fault tree.

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	podserve [-addr :8077] [-clusters N] [-size N] [-scale X] [-diag-workers N] [-chaos-profile NAME] [-pprof addr]
+//	podserve [-addr :8077] [-clusters N] [-size N] [-scale X] [-diag-workers N] [-chaos-profile NAME] [-trace-capacity N] [-pprof addr]
 //
 // Endpoints:
 //
@@ -22,12 +22,17 @@
 //	GET  /operations             list sessions
 //	GET  /operations/{id}        one session's summary
 //	GET  /operations/{id}/detections
+//	GET  /operations/{id}/timeline  causal flight-recorder evidence chain (?kind= filters)
 //	DELETE /operations/{id}      end and remove a session
 //	GET  /model
 //	GET  /healthz
 //	GET  /readyz                 manager backlog, per-operation breakdown
 //	GET  /metrics                Prometheus text exposition
-//	GET  /traces                 completed spans as JSON
+//	GET  /traces                 completed spans as JSON (?op=ID filters to one operation)
+//
+// The span ring buffer behind /traces holds -trace-capacity completed
+// spans (default 4096); raise it when correlating long chaos runs with
+// timelines, lower it to bound memory.
 //
 // With -pprof ADDR, net/http/pprof is served on a second listener at
 // ADDR (e.g. -pprof localhost:6060).
@@ -55,6 +60,7 @@ import (
 	"poddiagnosis/internal/core"
 	"poddiagnosis/internal/diagnosis"
 	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/obs"
 	"poddiagnosis/internal/rest"
 	"poddiagnosis/internal/simaws"
 	"poddiagnosis/internal/upgrade"
@@ -73,11 +79,13 @@ func run() int {
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 		diagWorkers = flag.Int("diag-workers", 0, "parallel fault-tree walk width per diagnosis (0 = worker-pool size, 1 = sequential)")
 		chaosName   = flag.String("chaos-profile", "", "self-chaos profile (off, light, lossy, storm, full)")
+		traceCap    = flag.Int("trace-capacity", 4096, "completed spans retained for GET /traces")
 	)
 	flag.Parse()
 	if *clusters < 1 {
 		*clusters = 1
 	}
+	obs.DefaultTracer.Resize(*traceCap)
 
 	cp, ok := chaos.ByName(*chaosName)
 	if !ok {
@@ -107,10 +115,15 @@ func run() int {
 	// each cluster gets its own Session.
 	// Generous retention: ended demo sessions stay queryable over
 	// /operations long after their upgrade finishes.
+	chaosLabel := ""
+	if cp.Enabled() {
+		chaosLabel = cp.Name
+	}
 	mgr, err := core.NewManager(core.ManagerConfig{
 		Cloud: cloud, Bus: bus, Retention: 24 * time.Hour,
-		Diagnosis: diagnosis.Options{Workers: *diagWorkers},
-		LogTap:    logTap,
+		Diagnosis:  diagnosis.Options{Workers: *diagWorkers},
+		LogTap:     logTap,
+		ChaosLabel: chaosLabel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -113,6 +113,22 @@ type Result struct {
 	Context *ErrorContext `json:"context,omitempty"`
 }
 
+// Summary renders the result as a one-line human-readable verdict for
+// evidence timelines, e.g. "unfit at createlc (create launch config)".
+func (r Result) Summary() string {
+	s := string(r.Verdict)
+	if r.StepID != "" {
+		s += " at " + r.StepID
+	}
+	if r.ActivityName != "" {
+		s += " (" + r.ActivityName + ")"
+	}
+	if r.Resynced {
+		s += " [resynced]"
+	}
+	return s
+}
+
 // Checker replays log lines for any number of process instances of one
 // model. It is safe for concurrent use.
 type Checker struct {

@@ -44,6 +44,22 @@ var (
 		"Background work items discarded because the queue was full or the manager was stopping.")
 )
 
+// sloBuckets cover simulated-time latencies from sub-second detections
+// to multi-minute timer-driven diagnoses (DefBuckets stop at 10s).
+var sloBuckets = []float64{.05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// Time-to-diagnosis SLO instruments (simulated seconds). Degraded-mode
+// and chaos-profile runs are labeled so discounted-confidence paths stay
+// distinguishable from clean ones.
+var (
+	mSLODetection = obs.Default.HistogramVec("pod_slo_detection_latency_seconds",
+		"Latency from the originating event (log line or timer fire) to the admitted detection.",
+		sloBuckets, "degraded", "chaos")
+	mSLODiagnosis = obs.Default.HistogramVec("pod_slo_diagnosis_latency_seconds",
+		"Latency from an admitted detection to its diagnosis confirming a root cause.",
+		sloBuckets, "degraded", "chaos")
+)
+
 // Expectation declares the desired end state of the operation being
 // watched; it parameterizes assertions and fault-tree instantiation.
 type Expectation struct {
@@ -149,6 +165,10 @@ type Detection struct {
 	// Confidence is 1.0 for detections on an intact stream, discounted to
 	// 0.5 while degraded.
 	Confidence float64 `json:"confidence"`
+	// EvidenceID is the flight-recorder timeline entry of this detection
+	// (0 when the recorder is disabled): the anchor tying the detection
+	// into the operation's causal evidence chain.
+	EvidenceID uint64 `json:"evidenceId,omitempty"`
 }
 
 // Engine is the single-operation compatibility wrapper: one Manager with

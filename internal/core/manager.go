@@ -21,6 +21,7 @@ import (
 	"poddiagnosis/internal/logging"
 	"poddiagnosis/internal/logstore"
 	"poddiagnosis/internal/obs"
+	"poddiagnosis/internal/obs/flight"
 	"poddiagnosis/internal/pipeline"
 	"poddiagnosis/internal/process"
 	"poddiagnosis/internal/simaws"
@@ -106,6 +107,16 @@ type ManagerConfig struct {
 	// (chaos.Profile.LogTap). The decorator must close its output after
 	// the input closes.
 	LogTap func(<-chan logging.Event) <-chan logging.Event
+	// FlightCapacity bounds the causal flight recorder's per-operation
+	// evidence ring. Zero means flight.DefaultCapacity.
+	FlightCapacity int
+	// DisableFlight turns off the causal flight recorder; timelines come
+	// back empty and detections carry no evidence ids.
+	DisableFlight bool
+	// ChaosLabel names the active chaos profile on the pod_slo_* latency
+	// histograms, so chaos-run latencies are distinguishable from clean
+	// ones. Empty means "none".
+	ChaosLabel string
 }
 
 // Manager owns the shared POD-Diagnosis substrate — bus subscriptions, the
@@ -126,6 +137,7 @@ type Manager struct {
 	store       *logstore.Store
 	central     *logstore.CentralProcessor
 	timers      *assertion.TimerSet
+	flight      *flight.Recorder // nil when DisableFlight
 	workers     int
 
 	opSub      *logging.Subscription
@@ -207,6 +219,9 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.DegradedHold <= 0 {
 		cfg.DegradedHold = 30 * time.Second
 	}
+	if cfg.ChaosLabel == "" {
+		cfg.ChaosLabel = "none"
+	}
 	if cfg.Diagnosis.Workers <= 0 {
 		// Fault-tree walks fan out to the same width as the manager pool
 		// unless explicitly tuned. The diagnosis engine bounds its own
@@ -244,6 +259,9 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		workCh:      make(chan func(), queueCap),
 		stop:        make(chan struct{}),
 	}
+	if !cfg.DisableFlight {
+		m.flight = flight.NewRecorder(m.clk, cfg.FlightCapacity)
+	}
 	for i := range m.shards {
 		m.shards[i].owner = make(map[string]*Session)
 		m.shards[i].depthVec = mShardPending.With(strconv.Itoa(i))
@@ -263,6 +281,15 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		if d.GapBefore {
 			m.notifyGap()
 		}
+		// Make stream repair visible to evidence timelines: a held event
+		// waited out of order; gap-before means its predecessors were
+		// declared lost. The annotation rides as an event field so it
+		// survives the trip through the processor to the sessions.
+		if d.GapBefore {
+			d.Event = d.Event.WithField("reorder", "gap-before")
+		} else if d.Held {
+			d.Event = d.Event.WithField("reorder", "held")
+		}
 		m.processor.Process(d.Event)
 	})
 	return m, nil
@@ -281,6 +308,12 @@ func (m *Manager) notifyGap() {
 	for _, s := range sessions {
 		if !s.ended() {
 			s.noteGap(now)
+			if id := m.flight.Op(s.id).Record(flight.Entry{
+				Kind: flight.KindStreamGap, At: now,
+				Message: "sequence gap on the shipping fabric; degraded hold armed",
+			}); id != 0 {
+				s.setLastGap(id)
+			}
 		}
 	}
 }
@@ -472,6 +505,7 @@ func (m *Manager) Watch(x Expectation, opts ...WatchOption) (*Session, error) {
 		total:            make(map[string]int),
 		stepCancel:       make(map[string]func()),
 		perioCancel:      make(map[string]func()),
+		lastEntry:        make(map[string]uint64),
 	}
 
 	m.mu.Lock()
@@ -484,6 +518,9 @@ func (m *Manager) Watch(x Expectation, opts ...WatchOption) (*Session, error) {
 		return nil, fmt.Errorf("core: session %q already exists", o.id)
 	}
 	s.id = o.id
+	// The evidence ring is created before the session becomes routable,
+	// so pipeline handlers never observe a half-wired session.
+	s.flight = m.flight.Op(s.id)
 	m.sessions[s.id] = s
 	m.order = append(m.order, s)
 	m.mu.Unlock()
@@ -660,6 +697,10 @@ func (m *Manager) drop(victims []*Session) {
 	}
 	m.order = kept
 	m.mu.Unlock()
+	for _, s := range victims {
+		// Evidence rings share session retention: GC'd together.
+		m.flight.Drop(s.id)
+	}
 	for i := range m.shards {
 		sh := &m.shards[i]
 		sh.mu.Lock()
@@ -722,6 +763,9 @@ func (m *Manager) Diagnoser() *diagnosis.Engine { return m.diag }
 
 // ReorderStats snapshots the lossy-pipeline repair counters.
 func (m *Manager) ReorderStats() pipeline.ReorderStats { return m.reorder.Stats() }
+
+// Flight returns the causal flight recorder (nil when disabled).
+func (m *Manager) Flight() *flight.Recorder { return m.flight }
 
 // Clock returns the manager's (simulated) clock.
 func (m *Manager) Clock() clock.Clock { return m.clk }

@@ -14,6 +14,7 @@ import (
 	"poddiagnosis/internal/conformance"
 	"poddiagnosis/internal/diagnosis"
 	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/obs/flight"
 	"poddiagnosis/internal/process"
 )
 
@@ -42,6 +43,9 @@ type Session struct {
 	expect  Expectation
 	spec    *assertspec.Spec
 	checker *conformance.Checker
+	// flight is the operation's evidence ring; nil (a no-op) when the
+	// manager's recorder is disabled. Immutable after Watch.
+	flight *flight.Op
 
 	periodicInterval time.Duration
 	stepSlack        float64
@@ -64,6 +68,12 @@ type Session struct {
 	total       map[string]int  // instance -> total relaunches
 	stepCancel  map[string]func()
 	perioCancel map[string]func()
+	// lastEntry maps instance id -> latest log-event evidence entry, the
+	// causal anchor for assertions and detections triggered by that line.
+	lastEntry map[string]uint64
+	// flightGap is the latest stream-gap evidence entry; degraded
+	// detections cite it as a contributing parent.
+	flightGap uint64
 	// degradedUntil marks the end of the degraded hold: after a sequence
 	// gap on the shipping fabric, the session cannot trust the absence of
 	// a log line until this (simulated) time passes. Conformance switches
@@ -149,6 +159,27 @@ func (s *Session) noteGap(now time.Time) {
 	s.mu.Unlock()
 }
 
+// setLastGap remembers the newest stream-gap evidence entry.
+func (s *Session) setLastGap(id uint64) {
+	s.mu.Lock()
+	s.flightGap = id
+	s.mu.Unlock()
+}
+
+// lastEntryOf returns the instance's latest log-event evidence entry.
+func (s *Session) lastEntryOf(instanceID string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastEntry[instanceID]
+}
+
+// Timeline snapshots the session's evidence chain, optionally filtered
+// by entry kind. Empty (with no entries, never nil) when the manager's
+// flight recorder is disabled.
+func (s *Session) Timeline(kinds ...flight.Kind) flight.Timeline {
+	return s.mgr.flight.Timeline(s.id, kinds...)
+}
+
 // degradedNow reports whether the session is inside a degraded hold.
 func (s *Session) degradedNow() bool {
 	now := s.mgr.clk.Now()
@@ -201,7 +232,14 @@ func (s *Session) baseParams(ev logging.Event) assertion.Params {
 // OnConformance replays the line on the session's private conformance
 // context and reacts to anomalies.
 func (s *Session) OnConformance(instanceID, line string, ev logging.Event) {
-	if s.mgr.cfg.DisableConformance || s.ended() {
+	if s.ended() {
+		return
+	}
+	// Every routed line anchors the evidence timeline — even when
+	// conformance checking is ablated — because detections and causes
+	// must chain back to a raw log event.
+	evEntry := s.recordLogEvent(instanceID, ev)
+	if s.mgr.cfg.DisableConformance {
 		return
 	}
 	// In degraded mode the checker absorbs forward deviations by
@@ -217,14 +255,27 @@ func (s *Session) OnConformance(instanceID, line string, ev logging.Event) {
 	if stepID == "" && res.Context != nil {
 		stepID = res.Context.LastValidStep
 	}
+	confEntry := s.flight.Record(flight.Entry{
+		Kind:    flight.KindConformance,
+		At:      ev.Timestamp,
+		Parents: parentsOf(evEntry),
+		Message: res.Summary(),
+		Attrs: map[string]string{
+			"verdict":  string(res.Verdict),
+			"step":     stepID,
+			"degraded": strconv.FormatBool(degraded),
+		},
+	})
 	key := "conf|" + instanceID + "|" + string(res.Verdict) + "|" + stepID
 	if !s.shouldDiagnose(key) {
 		return
 	}
 	params := s.baseParams(ev)
 	detail := fmt.Sprintf("conformance %s on line %q", res.Verdict, line)
+	detEntry, detAt := s.recordDetection(diagnosis.SourceConformance,
+		res.Verdict.Tag(), stepID, detail, ev.Timestamp, degraded, confEntry)
 	s.submit(instanceID, func() {
-		d := s.mgr.diag.Diagnose(context.Background(), diagnosis.Request{
+		d := s.mgr.diag.Diagnose(s.diagCtx(detEntry), diagnosis.Request{
 			Source:            diagnosis.SourceConformance,
 			ProcessInstanceID: instanceID,
 			StepID:            stepID,
@@ -232,6 +283,7 @@ func (s *Session) OnConformance(instanceID, line string, ev logging.Event) {
 			Detail:            detail,
 			Degraded:          degraded,
 		})
+		s.observeDiagnosisSLO(d, detAt, degraded)
 		s.record(Detection{
 			At:         ev.Timestamp,
 			Source:     diagnosis.SourceConformance,
@@ -242,8 +294,103 @@ func (s *Session) OnConformance(instanceID, line string, ev logging.Event) {
 			Diagnosis:  d,
 			Degraded:   degraded,
 			Confidence: confidence(degraded),
+			EvidenceID: detEntry,
 		}, key)
 	})
+}
+
+// parentsOf builds a parent-id list from the non-zero entry ids.
+func parentsOf(ids ...uint64) []uint64 {
+	var out []uint64
+	for _, id := range ids {
+		if id != 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// recordLogEvent anchors one routed line in the evidence timeline and
+// remembers it as the instance's latest entry, the parent for whatever
+// that line triggers.
+func (s *Session) recordLogEvent(instanceID string, ev logging.Event) uint64 {
+	if s.flight == nil {
+		return 0
+	}
+	attrs := map[string]string{"instance": instanceID}
+	if rep := ev.Field("reorder"); rep != "" {
+		attrs["reorder"] = rep
+	}
+	id := s.flight.Record(flight.Entry{
+		Kind:    flight.KindLogEvent,
+		At:      ev.Timestamp,
+		Seq:     ev.Seq,
+		Cause:   ev.CauseID,
+		Message: ev.Message,
+		Attrs:   attrs,
+	})
+	s.mu.Lock()
+	s.lastEntry[instanceID] = id
+	s.mu.Unlock()
+	return id
+}
+
+// recordDetection admits a detection into the evidence timeline and
+// observes the event->detection SLO. origin is the trigger's source
+// time — the log line's timestamp, or the timer fire. It returns the
+// detection entry id and the admission time the diagnosis-latency SLO
+// measures from.
+func (s *Session) recordDetection(src diagnosis.Source, triggerID, stepID, msg string,
+	origin time.Time, degraded bool, parent uint64) (uint64, time.Time) {
+	now := s.mgr.clk.Now()
+	lat := now.Sub(origin).Seconds()
+	if lat < 0 {
+		lat = 0
+	}
+	mSLODetection.With(strconv.FormatBool(degraded), s.mgr.cfg.ChaosLabel).Observe(lat)
+	parents := parentsOf(parent)
+	if degraded {
+		s.mu.Lock()
+		gap := s.flightGap
+		s.mu.Unlock()
+		if gap != 0 && gap != parent {
+			parents = append(parents, gap)
+		}
+	}
+	id := s.flight.Record(flight.Entry{
+		Kind:    flight.KindDetection,
+		At:      now,
+		Parents: parents,
+		Message: msg,
+		Attrs: map[string]string{
+			"source":   string(src),
+			"trigger":  triggerID,
+			"step":     stepID,
+			"degraded": strconv.FormatBool(degraded),
+		},
+	})
+	return id, now
+}
+
+// diagCtx carries the operation's evidence ring and the detection entry
+// into the diagnosis engine. Sessions intentionally diagnose on a
+// background context (the walk outlives the pipeline callback), so the
+// causal linkage travels as context values.
+func (s *Session) diagCtx(detEntry uint64) context.Context {
+	return flight.WithParent(flight.NewContext(context.Background(), s.flight), detEntry)
+}
+
+// observeDiagnosisSLO records the detection->confirmed-cause latency
+// for diagnosis runs that identified a root cause.
+func (s *Session) observeDiagnosisSLO(d *diagnosis.Diagnosis, detAt time.Time, degraded bool) {
+	if d == nil || d.Conclusion != diagnosis.ConclusionIdentified {
+		return
+	}
+	lat := s.mgr.clk.Since(detAt).Seconds()
+	if lat < 0 {
+		lat = 0
+	}
+	mSLODiagnosis.With(strconv.FormatBool(degraded), s.mgr.cfg.ChaosLabel).Observe(lat)
 }
 
 // confidence maps the degraded flag onto the detection confidence score.
@@ -283,9 +430,13 @@ func (s *Session) OnStepEvent(instanceID string, node *process.Node, ev logging.
 		ProcessInstanceID: instanceID,
 		StepID:            node.StepID,
 	}
+	// The step line was anchored by OnConformance just before this
+	// handler ran; it is the causal parent of every post-step assertion.
+	anchor := s.lastEntryOf(instanceID)
+	origin := ev.Timestamp
 	for _, b := range s.stepBindings(instanceID, node, ev) {
 		b := b
-		s.submit(instanceID, func() { s.evaluateAndMaybeDiagnose(b.checkID, b.params, trig) })
+		s.submit(instanceID, func() { s.evaluateAndMaybeDiagnose(b.checkID, b.params, trig, anchor, origin) })
 	}
 }
 
@@ -306,6 +457,9 @@ func (s *Session) OnProcessStart(instanceID string, ev logging.Event) {
 		Source:            assertion.TriggerTimer,
 		ProcessInstanceID: instanceID,
 	}
+	// Periodic detections chain back to the process-start line that
+	// armed the timer; the fire time is the SLO origin.
+	anchor := s.lastEntryOf(instanceID)
 	cancels := make([]func(), 0, 1)
 	for _, pb := range s.spec.Periodic() {
 		params, ok := pb.Resolve(base, vars)
@@ -321,8 +475,9 @@ func (s *Session) OnProcessStart(instanceID string, ev logging.Event) {
 		checkID := pb.CheckID
 		cancels = append(cancels, s.mgr.timers.Every(interval, func() {
 			mTimerFires.With("periodic").Inc()
+			fireAt := s.mgr.clk.Now()
 			s.submit(instanceID, func() {
-				s.evaluateAndMaybeDiagnose(checkID, params, trig)
+				s.evaluateAndMaybeDiagnose(checkID, params, trig, anchor, fireAt)
 			})
 		}))
 	}
@@ -422,8 +577,11 @@ func (s *Session) stepBindings(instanceID string, node *process.Node, ev logging
 }
 
 // evaluateAndMaybeDiagnose runs one assertion; a non-pass result is a
-// detection and triggers diagnosis.
-func (s *Session) evaluateAndMaybeDiagnose(checkID string, p assertion.Params, trig assertion.Trigger) {
+// detection and triggers diagnosis. anchor is the evidence entry of the
+// log line (or arming line, for timers) that caused the evaluation;
+// origin is the trigger's source time for the detection-latency SLO.
+func (s *Session) evaluateAndMaybeDiagnose(checkID string, p assertion.Params,
+	trig assertion.Trigger, anchor uint64, origin time.Time) {
 	// Standalone evaluations get the same per-test clock deadline the
 	// diagnosis engine applies to its on-demand tests.
 	ctx, cancel := clock.ContextWithTimeout(context.Background(), s.mgr.clk, s.mgr.diag.Options().TestTimeout)
@@ -432,6 +590,17 @@ func (s *Session) evaluateAndMaybeDiagnose(checkID string, p assertion.Params, t
 	if res.Passed() {
 		return
 	}
+	assertEntry := s.flight.Record(flight.Entry{
+		Kind:    flight.KindAssertion,
+		At:      res.EvaluatedAt,
+		Parents: parentsOf(anchor),
+		Message: res.Message,
+		Attrs: map[string]string{
+			"check":   checkID,
+			"trigger": string(trig.Source),
+			"status":  res.Status.String(),
+		},
+	})
 	key := "assert|" + trig.ProcessInstanceID + "|" + checkID + "|" + trig.StepID
 	if !s.shouldDiagnose(key) {
 		return
@@ -441,7 +610,9 @@ func (s *Session) evaluateAndMaybeDiagnose(checkID string, p assertion.Params, t
 		src = diagnosis.SourceTimer
 	}
 	degraded := s.degradedNow()
-	d := s.mgr.diag.Diagnose(context.Background(), diagnosis.Request{
+	detEntry, detAt := s.recordDetection(src, checkID, trig.StepID, res.Message,
+		origin, degraded, assertEntry)
+	d := s.mgr.diag.Diagnose(s.diagCtx(detEntry), diagnosis.Request{
 		AssertionID:       checkID,
 		Source:            src,
 		ProcessInstanceID: trig.ProcessInstanceID,
@@ -450,6 +621,7 @@ func (s *Session) evaluateAndMaybeDiagnose(checkID string, p assertion.Params, t
 		Detail:            res.Message,
 		Degraded:          degraded,
 	})
+	s.observeDiagnosisSLO(d, detAt, degraded)
 	s.record(Detection{
 		At:         res.EvaluatedAt,
 		Source:     src,
@@ -460,6 +632,7 @@ func (s *Session) evaluateAndMaybeDiagnose(checkID string, p assertion.Params, t
 		Diagnosis:  d,
 		Degraded:   degraded,
 		Confidence: confidence(degraded),
+		EvidenceID: detEntry,
 	}, key)
 }
 
@@ -499,6 +672,9 @@ func (s *Session) resetStepTimer(instanceID string, node *process.Node) {
 		ProcessInstanceID: instanceID,
 		// No step id: the timer fires between steps (weak context).
 	}
+	// Timer detections chain back to the step line that armed the
+	// deadline — the last line seen before the silence being detected.
+	anchor := s.lastEntryOf(instanceID)
 	cancels := make([]func(), 0, len(timeouts))
 	for _, tb := range timeouts {
 		params, ok := tb.Resolve(base, vars)
@@ -508,8 +684,9 @@ func (s *Session) resetStepTimer(instanceID string, node *process.Node) {
 		checkID := tb.CheckID
 		cancels = append(cancels, s.mgr.timers.After(deadline, func() {
 			mTimerFires.With("step").Inc()
+			fireAt := s.mgr.clk.Now()
 			s.submit(instanceID, func() {
-				s.evaluateAndMaybeDiagnose(checkID, params, trig)
+				s.evaluateAndMaybeDiagnose(checkID, params, trig, anchor, fireAt)
 			})
 		}))
 	}

@@ -28,6 +28,7 @@ import (
 	"poddiagnosis/internal/faulttree"
 	"poddiagnosis/internal/logging"
 	"poddiagnosis/internal/obs"
+	"poddiagnosis/internal/obs/flight"
 	"poddiagnosis/internal/resilience"
 )
 
@@ -184,6 +185,10 @@ type Diagnosis struct {
 	// Confidence discounts degraded diagnoses (0.5 vs the usual 1.0): a
 	// gap in the stream means the trigger itself may be an artifact.
 	Confidence float64 `json:"confidence"`
+	// EvidenceID is the flight-recorder entry of this run's diagnosis
+	// timeline record (0 when the caller carried no evidence ring in its
+	// context): test executions and confirmed causes chain off it.
+	EvidenceID uint64 `json:"evidenceId,omitempty"`
 }
 
 // HasCause reports whether nodeID (ignoring catalog id suffixes after the
@@ -300,10 +305,54 @@ type run struct {
 	diag  *Diagnosis
 	latch bool // stop at first confirmation
 
-	mu    sync.Mutex
-	local map[string]assertion.Result // per-run result cache; guards diag.TestsRun too
+	// op is the operation's evidence ring (nil-safe no-op when the
+	// request carried none) and diagEntry the run's timeline record;
+	// both are read-only after construction.
+	op        *flight.Op
+	diagEntry uint64
+	// trees are the instantiated, pruned trees the walk visits, kept so
+	// confirmed causes can cite their root-to-leaf path.
+	trees []*faulttree.Tree
+
+	mu        sync.Mutex
+	local     map[string]assertion.Result // per-run result cache; guards diag.TestsRun too
+	testEntry map[string]uint64           // node id -> diagnosis.test evidence entry
 
 	testsLeft atomic.Int64
+}
+
+// recordTest records one diagnosis-test evidence entry, chained to the
+// run's diagnosis entry, and remembers the node's first entry as the
+// parent link for a later cause record.
+func (r *run) recordTest(n *faulttree.Node, status string, attrs map[string]string) {
+	if r.op == nil {
+		return
+	}
+	attrs["check"] = n.CheckID
+	attrs["node"] = n.ID
+	attrs["status"] = status
+	id := r.op.Record(flight.Entry{
+		Kind:    flight.KindTest,
+		Parents: parentsOf(r.diagEntry),
+		Message: fmt.Sprintf("test %s on %s: %s", n.CheckID, n.ID, status),
+		Attrs:   attrs,
+	})
+	r.mu.Lock()
+	if _, ok := r.testEntry[n.ID]; !ok {
+		r.testEntry[n.ID] = id
+	}
+	r.mu.Unlock()
+}
+
+// parentsOf builds a parent-id list from the non-zero entry ids.
+func parentsOf(ids ...uint64) []uint64 {
+	var out []uint64
+	for _, id := range ids {
+		if id != 0 {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // exclusion records a passing diagnosis test that rules out the
@@ -371,10 +420,18 @@ func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
 	}
 	r := &run{
 		req: req, diag: d,
-		latch: !e.opts.ContinueAfterConfirm,
-		local: make(map[string]assertion.Result),
+		latch:     !e.opts.ContinueAfterConfirm,
+		op:        flight.FromContext(ctx),
+		local:     make(map[string]assertion.Result),
+		testEntry: make(map[string]uint64),
 	}
 	r.testsLeft.Store(int64(e.opts.MaxTests))
+	if r.op != nil {
+		// Tie the walk's spans into the operation's trace and evidence
+		// chain: the span carries the operation id (the /traces?op=
+		// filter), the timeline entry the span id.
+		span.SetAttr("op", r.op.Operation())
+	}
 
 	// Instantiate and prune each selected tree exactly once; the same
 	// instance serves both the potential-fault count and the walk.
@@ -388,7 +445,30 @@ func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
 			inst = inst.Prune(req.StepID)
 		}
 		d.PotentialFaults += len(inst.PotentialRootCauses())
+		r.trees = append(r.trees, inst)
 		roots = append(roots, inst.Root)
+	}
+
+	if r.op != nil {
+		attrs := map[string]string{
+			"source": string(req.Source),
+			"faults": strconv.Itoa(d.PotentialFaults),
+		}
+		if req.StepID != "" {
+			attrs["step"] = req.StepID
+		}
+		if req.AssertionID != "" {
+			attrs["assertion"] = req.AssertionID
+		}
+		d.EvidenceID = r.op.Record(flight.Entry{
+			Kind:    flight.KindDiagnosis,
+			At:      started,
+			Parents: parentsOf(flight.ParentFrom(ctx)),
+			SpanID:  span.ID(),
+			Message: fmt.Sprintf("fault-tree walk: %d potential faults", d.PotentialFaults),
+			Attrs:   attrs,
+		})
+		r.diagEntry = d.EvidenceID
 	}
 
 	e.log(req, "Performing on demand assertion checking: %s. %d potential faults in total...",
@@ -566,13 +646,49 @@ func (e *Engine) commit(r *run, br *branch) {
 	for _, c := range br.causes {
 		if !hasCause(d.RootCauses, c) {
 			d.RootCauses = append(d.RootCauses, c)
+			r.recordCause(c, true)
 		}
 	}
 	for _, c := range br.suspects {
 		if !hasCause(d.Suspected, c) {
 			d.Suspected = append(d.Suspected, c)
+			r.recordCause(c, false)
 		}
 	}
+}
+
+// recordCause commits one cause to the evidence timeline, chained to
+// the diagnosis entry and the test execution that confirmed (or could
+// not exclude) it. Recording happens at commit time, never during the
+// walk: parallel branches merged after the first confirmation are
+// discarded, and speculative causes must not leave evidence behind.
+func (r *run) recordCause(c Cause, confirmed bool) {
+	if r.op == nil {
+		return
+	}
+	r.mu.Lock()
+	te := r.testEntry[c.NodeID]
+	r.mu.Unlock()
+	attrs := map[string]string{
+		"node":      c.NodeID,
+		"confirmed": strconv.FormatBool(confirmed),
+	}
+	for _, t := range r.trees {
+		if path := t.Path(c.NodeID); path != "" {
+			attrs["path"] = t.ID + ":" + path
+			break
+		}
+	}
+	msg := "confirmed cause: " + c.Description
+	if !confirmed {
+		msg = "suspected cause: " + c.Description
+	}
+	r.op.Record(flight.Entry{
+		Kind:    flight.KindCause,
+		Parents: parentsOf(te, r.diagEntry),
+		Message: msg,
+		Attrs:   attrs,
+	})
 }
 
 // hasCause reports whether list already carries the cause, by node id or
@@ -604,6 +720,7 @@ func (e *Engine) test(ctx context.Context, r *run, n *faulttree.Node) (assertion
 	if e.resil.Open(n.CheckID) {
 		// Breaker open: skip before touching the budget or the shared
 		// cache, so an unknown never displaces or poisons a real answer.
+		r.recordTest(n, "error", map[string]string{"breaker": "open"})
 		return unknownResult(n.CheckID, params), false
 	}
 
@@ -618,11 +735,18 @@ func (e *Engine) test(ctx context.Context, r *run, n *faulttree.Node) (assertion
 			}
 		}
 	}
+	// resOut escapes the closure so the evidence entry can carry the
+	// retry/breaker annotations; it is only written when this call runs
+	// the evaluation itself (outcome == OutcomeEvaluated).
+	var resOut resilience.Outcome
 	evalFn := func() assertion.Result {
 		mTests.Inc()
 		ctx, span := obs.StartSpan(ctx, "diagnosis.test")
 		span.SetAttr("node", n.ID)
 		span.SetAttr("check", n.CheckID)
+		if r.op != nil {
+			span.SetAttr("op", r.op.Operation())
+		}
 		e.log(r.req, "Verifying %s", strings.TrimSuffix(n.Description, "."))
 		var res assertion.Result
 		out := e.resil.Do(ctx, n.CheckID, func(ctx context.Context) resilience.Verdict {
@@ -649,6 +773,7 @@ func (e *Engine) test(ctx context.Context, r *run, n *faulttree.Node) (assertion
 			// walk tripped it): the test never ran.
 			res = unknownResult(n.CheckID, params)
 		}
+		resOut = out
 		span.SetAttr("status", res.Status.String())
 		span.End()
 		return res
@@ -664,6 +789,7 @@ func (e *Engine) test(ctx context.Context, r *run, n *faulttree.Node) (assertion
 	}
 	if outcome == OutcomeRejected {
 		mBudgetExhausted.Inc()
+		r.recordTest(n, "error", map[string]string{"budget": "exhausted"})
 		// Not recorded in TestsRun and not logged: no test actually ran.
 		return budgetExhaustedResult(n.CheckID, params), false
 	}
@@ -680,6 +806,13 @@ func (e *Engine) test(ctx context.Context, r *run, n *faulttree.Node) (assertion
 	r.local[key] = res
 	r.diag.TestsRun = append(r.diag.TestsRun, res)
 	r.mu.Unlock()
+	attrs := map[string]string{"cached": strconv.FormatBool(res.Cached)}
+	if outcome == OutcomeEvaluated {
+		for k, v := range resOut.Labels() {
+			attrs[k] = v
+		}
+	}
+	r.recordTest(n, res.Status.String(), attrs)
 	return res, outcome == OutcomeEvaluated
 }
 

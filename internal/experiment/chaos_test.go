@@ -8,6 +8,7 @@ import (
 	"poddiagnosis/internal/chaos"
 	"poddiagnosis/internal/diagnosis"
 	"poddiagnosis/internal/faultinject"
+	"poddiagnosis/internal/obs"
 )
 
 // acceptanceChaos is the issue's acceptance regime: drop 10%, duplicate
@@ -29,6 +30,20 @@ func chaosCfg() Config {
 	return cfg
 }
 
+// sloCounts sums the time-to-diagnosis SLO histogram observations for
+// the acceptance chaos label across both degraded states. Redeclaring
+// the families against obs.Default returns the live series the engine
+// observes into.
+func sloCounts() (detection, diagnosisLat uint64) {
+	det := obs.Default.HistogramVec("pod_slo_detection_latency_seconds", "", nil, "degraded", "chaos")
+	diag := obs.Default.HistogramVec("pod_slo_diagnosis_latency_seconds", "", nil, "degraded", "chaos")
+	for _, degraded := range []string{"false", "true"} {
+		detection += det.With(degraded, "acceptance").Count()
+		diagnosisLat += diag.With(degraded, "acceptance").Count()
+	}
+	return detection, diagnosisLat
+}
+
 // TestChaosAllFaultKindsStillDiagnosed is the chaos acceptance gate (run
 // by the CI chaos smoke job with -race): with the log pipeline lossy and
 // the monitoring plane's API reads stormed, every one of the paper's 8
@@ -47,6 +62,7 @@ func TestChaosAllFaultKindsStillDiagnosed(t *testing.T) {
 			InjectDelay: time.Second,
 		}
 		t.Run(kind.String(), func(t *testing.T) {
+			detBefore, diagBefore := sloCounts()
 			res, err := RunOne(context.Background(), spec, chaosCfg())
 			if err != nil {
 				t.Fatal(err)
@@ -63,6 +79,25 @@ func TestChaosAllFaultKindsStillDiagnosed(t *testing.T) {
 				if d.Attribution == "unattributed" && d.Conclusion == diagnosis.ConclusionIdentified && !d.Degraded {
 					t.Errorf("non-degraded wrong diagnosis under chaos: %+v", d)
 				}
+			}
+			// Evidence acceptance: every confirmed cause must chain back
+			// through its timeline parents to a raw log event, even with
+			// the log pipeline dropping and duplicating under it.
+			if res.BrokenEvidenceChains != 0 {
+				t.Errorf("%d confirmed cause(s) with broken evidence chains under chaos", res.BrokenEvidenceChains)
+			}
+			if res.FaultDiagnosed && res.ConfirmedCauseChains == 0 {
+				t.Errorf("fault diagnosed but no confirmed-cause evidence chain reaches a log event")
+			}
+			// SLO acceptance: the run must have observed event->detection
+			// latency, and — when a cause was confirmed — detection->cause
+			// latency, under the chaos-profile label.
+			detAfter, diagAfter := sloCounts()
+			if detAfter <= detBefore {
+				t.Errorf("pod_slo_detection_latency_seconds did not grow (before=%d after=%d)", detBefore, detAfter)
+			}
+			if res.FaultDiagnosed && diagAfter <= diagBefore {
+				t.Errorf("pod_slo_diagnosis_latency_seconds did not grow (before=%d after=%d)", diagBefore, diagAfter)
 			}
 		})
 	}

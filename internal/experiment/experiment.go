@@ -25,6 +25,7 @@ import (
 	"poddiagnosis/internal/diagnosis"
 	"poddiagnosis/internal/faultinject"
 	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/obs/flight"
 	"poddiagnosis/internal/simaws"
 	"poddiagnosis/internal/upgrade"
 )
@@ -163,6 +164,13 @@ type RunResult struct {
 	// FalsePositivesDiagnosedNoCause counts false positives whose
 	// diagnosis correctly concluded "no root cause identified".
 	FalsePositivesDiagnosedNoCause int `json:"falsePositivesNoCause"`
+	// ConfirmedCauseChains counts confirmed-cause timeline entries whose
+	// evidence chain walks all the way back to a raw log event.
+	ConfirmedCauseChains int `json:"confirmedCauseChains,omitempty"`
+	// BrokenEvidenceChains counts confirmed-cause timeline entries whose
+	// chain does NOT reach a log event (dangling or overwritten
+	// evidence); the chaos acceptance gate requires zero.
+	BrokenEvidenceChains int `json:"brokenEvidenceChains,omitempty"`
 	// SimDuration is the simulated length of the run.
 	SimDuration time.Duration `json:"simDuration"`
 }
@@ -191,6 +199,7 @@ func newLane(cfg Config, seed int64) (*lane, error) {
 	}
 	cloudOpts := []simaws.Option{simaws.WithSeed(seed), simaws.WithBus(bus)}
 	var logTap func(<-chan logging.Event) <-chan logging.Event
+	chaosLabel := ""
 	if cfg.Chaos != nil && cfg.Chaos.Enabled() {
 		cp := *cfg.Chaos
 		if cp.Seed == 0 {
@@ -200,13 +209,20 @@ func newLane(cfg Config, seed int64) (*lane, error) {
 			cloudOpts = append(cloudOpts, simaws.WithFaultInjector(inj))
 		}
 		logTap = cp.LogTap(clk)
+		chaosLabel = cp.Name
 	}
 	cloud := simaws.New(clk, profile, cloudOpts...)
 	cloud.Start()
 	mgr, err := core.NewManager(core.ManagerConfig{
-		Cloud:  cloud,
-		Bus:    bus,
-		LogTap: logTap,
+		Cloud:      cloud,
+		Bus:        bus,
+		LogTap:     logTap,
+		ChaosLabel: chaosLabel,
+		// Evaluation runs verify end-to-end evidence chains, so the
+		// per-operation ring must hold a whole run: a chaos-duplicated
+		// upgrade stays well under this, and rings are retired with the
+		// run's session.
+		FlightCapacity: 2048,
 		API: consistentapi.Config{
 			// Stale reads are masked by resampling (staleness is an 8%
 			// per-read event), so a short budget suffices; a tight budget
@@ -317,6 +333,7 @@ func (l *lane) runOne(ctx context.Context, spec RunSpec, appName string) (*RunRe
 		res.UpgradeErr = rep.Err.Error()
 	}
 	classify(res, sess.Detections())
+	verifyEvidenceChains(res, sess.Timeline())
 
 	// Retire the session and the cluster: heal injected faults, delete the
 	// ASG and wait for its instances to die so the account-wide instance
@@ -356,6 +373,23 @@ func RunOne(ctx context.Context, spec RunSpec, cfg Config) (*RunResult, error) {
 	}
 	defer l.close()
 	return l.runOne(ctx, spec, "pm")
+}
+
+// verifyEvidenceChains walks every confirmed-cause entry of the run's
+// flight-recorder timeline back through its parents, counting chains
+// that bottom out at a raw log event versus broken ones. Must run
+// before the session is removed — removal retires the timeline ring.
+func verifyEvidenceChains(res *RunResult, tl flight.Timeline) {
+	for _, e := range tl.Entries {
+		if e.Kind != flight.KindCause || e.Attrs["confirmed"] != "true" {
+			continue
+		}
+		if _, ok := flight.ChainToLog(tl.Entries, e.ID); ok {
+			res.ConfirmedCauseChains++
+		} else {
+			res.BrokenEvidenceChains++
+		}
+	}
 }
 
 // classify attributes each detection to the run's ground truth and fills

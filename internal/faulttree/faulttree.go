@@ -76,6 +76,30 @@ func (n *Node) Clone() *Node {
 // Leaf reports whether the node has no children.
 func (n *Node) Leaf() bool { return len(n.Children) == 0 }
 
+// Path returns the "/"-joined node ids from the root of t to the node
+// with the given id, or "" when the id is not in the tree. Evidence
+// timelines attach it to confirmed causes so a cause records where in
+// the tree it was found, not just its leaf id.
+func (t *Tree) Path(nodeID string) string {
+	if t == nil || t.Root == nil {
+		return ""
+	}
+	var find func(n *Node, trail []string) string
+	find = func(n *Node, trail []string) string {
+		trail = append(trail, n.ID)
+		if n.ID == nodeID {
+			return strings.Join(trail, "/")
+		}
+		for _, c := range n.Children {
+			if p := find(c, trail); p != "" {
+				return p
+			}
+		}
+		return ""
+	}
+	return find(t.Root, nil)
+}
+
 // RelevantTo reports whether the node applies in the given step context.
 // An empty stepID (context unknown, e.g. purely timer-triggered
 // diagnosis) keeps every node; an unscoped node is always relevant.

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"poddiagnosis/internal/obs/flight"
 )
 
 // metricMethods are the obs.Registry constructors whose first argument is
@@ -17,13 +19,14 @@ var metricMethods = []string{"Counter", "CounterVec", "Gauge", "GaugeVec", "Hist
 // namespace on the /metrics exposition.
 var metricNameRE = regexp.MustCompile(`^pod_[a-z_]+$`)
 
-// analyzeFile runs the four GO analyzers over one parsed file.
+// analyzeFile runs the five GO analyzers over one parsed file.
 func analyzeFile(f *srcFile) []Finding {
 	var fs []Finding
 	f.lintWallClock(&fs)
 	f.lintMetricNames(&fs)
 	f.lintMutexSends(&fs)
 	f.lintRestContext(&fs)
+	f.lintFlightKinds(&fs)
 	return fs
 }
 
@@ -90,6 +93,80 @@ func (f *srcFile) lintMetricNames(fs *[]Finding) {
 		}
 		return true
 	})
+}
+
+// flightImportPath is the flight recorder package whose Kind enum GO005
+// validates against.
+const flightImportPath = "poddiagnosis/internal/obs/flight"
+
+// knownFlightKinds is built from the flight package's registered enum,
+// so the analyzer can never drift from the source of truth.
+var knownFlightKinds = func() map[string]bool {
+	out := make(map[string]bool, len(flight.Kinds()))
+	for _, k := range flight.Kinds() {
+		out[string(k)] = true
+	}
+	return out
+}()
+
+// lintFlightKinds implements GO005: every string literal used as a
+// flight-recorder entry kind — a flight.Kind("...") conversion or a
+// Kind: "..." field in a flight.Entry composite literal — must name a
+// registered kind. An invented kind silently fragments timelines: the
+// REST ?kind= filter rejects it and renderers cannot classify it.
+func (f *srcFile) lintFlightKinds(fs *[]Finding) {
+	flightName := f.importName(flightImportPath)
+	if flightName == "" {
+		return
+	}
+	ast.Inspect(f.file, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := v.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Kind" || len(v.Args) != 1 {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != flightName {
+				return true
+			}
+			f.checkFlightKind(fs, v.Args[0])
+		case *ast.CompositeLit:
+			sel, ok := v.Type.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Entry" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != flightName {
+				return true
+			}
+			for _, el := range v.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Kind" {
+					f.checkFlightKind(fs, kv.Value)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkFlightKind flags a string literal that is not a registered kind.
+// Non-literal expressions (typically the named Kind constants) pass.
+func (f *srcFile) checkFlightKind(fs *[]Finding, e ast.Expr) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind.String() != "STRING" {
+		return
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !knownFlightKinds[name] {
+		f.report(fs, RuleSrcFlightKind, lit,
+			"timeline entry kind %q is not a registered flight.Kind (known: %v)", name, flight.Kinds())
+	}
 }
 
 // lintRestContext implements GO004: handlers and clients under

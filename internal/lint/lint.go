@@ -124,6 +124,7 @@ const (
 	RuleSrcMetricName        = "GO002"
 	RuleSrcMutexChannelSend  = "GO003"
 	RuleSrcContextBackground = "GO004"
+	RuleSrcFlightKind        = "GO005"
 )
 
 // RuleInfo documents one rule.
@@ -172,6 +173,7 @@ var ruleTable = map[string]RuleInfo{
 	RuleSrcMetricName:        {RuleSrcMetricName, SevError, "source", "metric name does not match ^pod_[a-z_]+$"},
 	RuleSrcMutexChannelSend:  {RuleSrcMutexChannelSend, SevError, "source", "blocking channel send while a mutex is held"},
 	RuleSrcContextBackground: {RuleSrcContextBackground, SevError, "source", "context.Background/TODO on a request path under internal/rest"},
+	RuleSrcFlightKind:        {RuleSrcFlightKind, SevError, "source", "timeline entry kind string is not a registered flight.Kind"},
 }
 
 // Rules returns the rule registry sorted by ID.

@@ -313,13 +313,27 @@ import "context"
 
 func handle() context.Context { return context.Background() }
 `,
+		"pkg/flightuse.go": `package pkg
+
+import "poddiagnosis/internal/obs/flight"
+
+func kinds() []any {
+	return []any{
+		flight.Kind("log.event"),
+		flight.Kind("made.up"),
+		flight.Entry{Kind: "detection"},
+		flight.Entry{Kind: "also.bogus"},
+		flight.Entry{Kind: flight.KindCause},
+	}
+}
+`,
 	})
 	fs, err := LintSource(root, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	for _, rule := range []string{RuleSrcWallClock, RuleSrcMetricName, RuleSrcMutexChannelSend, RuleSrcContextBackground} {
+	for _, rule := range []string{RuleSrcWallClock, RuleSrcMetricName, RuleSrcMutexChannelSend, RuleSrcContextBackground, RuleSrcFlightKind} {
 		if !hasRule(fs, rule) {
 			t.Errorf("expected %s in:\n%s", rule, render(fs))
 		}
@@ -360,6 +374,18 @@ func handle() context.Context { return context.Background() }
 	go004 := findingsFor(fs, RuleSrcContextBackground)
 	if len(go004) != 1 || !strings.HasPrefix(go004[0].Pos, "internal/rest/") {
 		t.Errorf("want 1 GO004 under internal/rest, got %s", render(go004))
+	}
+
+	// GO005: the invented kinds in the conversion and the Entry literal are
+	// flagged; registered literals and the named constant pass.
+	go005 := findingsFor(fs, RuleSrcFlightKind)
+	if len(go005) != 2 {
+		t.Errorf("want 2 GO005 findings, got %s", render(go005))
+	}
+	for _, f := range go005 {
+		if !strings.Contains(f.Message, "made.up") && !strings.Contains(f.Message, "also.bogus") {
+			t.Errorf("unexpected GO005 finding %s", f)
+		}
 	}
 }
 
@@ -481,6 +507,12 @@ func f(mu *sync.Mutex, ch chan int) {
 import "context"
 
 func h() context.Context { return context.TODO() }
+`,
+		"pkg/flight.go": `package pkg
+
+import "poddiagnosis/internal/obs/flight"
+
+func k() flight.Kind { return flight.Kind("nope") }
 `,
 	})
 	srcFindings, err := LintSource(root, nil)

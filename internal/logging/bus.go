@@ -40,6 +40,7 @@ type Bus struct {
 	closed  bool
 	dropped atomic.Uint64
 	seq     map[string]uint64 // per Source|SourceHost publication counter
+	cause   uint64            // bus-wide causality id counter
 }
 
 // NewBus returns an empty bus.
@@ -137,7 +138,9 @@ func (s *Subscription) drop() {
 // their (Source, SourceHost, Type) triple — per type, because
 // subscriptions filter by type and a type-filtered consumer must see a
 // dense stream; events that already carry a sequence number (replays,
-// chaos duplicates) keep it.
+// chaos duplicates) keep it. Events with CauseID == 0 are likewise
+// stamped with a bus-unique causality id; republished copies keep the
+// original, so every duplicate of one line shares one cause.
 func (b *Bus) Publish(e Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -148,6 +151,10 @@ func (b *Bus) Publish(e Event) {
 		key := e.Source + "|" + e.SourceHost + "|" + e.Type
 		b.seq[key]++
 		e.Seq = b.seq[key]
+	}
+	if e.CauseID == 0 {
+		b.cause++
+		e.CauseID = b.cause
 	}
 	mPublished.Inc()
 	for _, sub := range b.subs {

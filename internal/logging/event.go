@@ -52,6 +52,12 @@ type Event struct {
 	// (Source, SourceHost, Type) — one Logstash agent per log file, with
 	// the type folded in so type-filtered subscribers see dense streams.
 	Seq uint64 `json:"@seq,omitempty"`
+	// CauseID is a bus-unique causality identifier stamped the first time
+	// the event is published (a duplicate republication keeps the original
+	// id, so every copy of one underlying line shares one cause). The
+	// flight recorder uses it to anchor evidence chains at raw log events
+	// across the reorder buffer and chaos-injected duplication.
+	CauseID uint64 `json:"@cause,omitempty"`
 }
 
 // Clone returns a deep copy of the event, so that pipeline stages can

@@ -19,7 +19,12 @@ func MetricsHandler(r *Registry) http.Handler {
 //
 //	GET /traces              -> {"spans": [...]} oldest first
 //	GET /traces?trace=ID     -> spans of one trace, parents first
+//	GET /traces?op=ID        -> spans of the traces touching one operation
 //	GET /traces?limit=N      -> at most the newest N spans
+//
+// The op filter keeps every span of every trace that contains at least
+// one span whose "op" attribute equals the given process/operation id,
+// so a single operation's work can be pulled without dumping the ring.
 func TracesHandler(t *Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		var spans []SpanData
@@ -34,6 +39,21 @@ func TracesHandler(t *Tracer) http.Handler {
 			spans = t.Trace(id)
 		} else {
 			spans = t.Spans()
+		}
+		if op := req.URL.Query().Get("op"); op != "" {
+			traces := make(map[uint64]bool)
+			for _, s := range spans {
+				if s.Attrs["op"] == op {
+					traces[s.TraceID] = true
+				}
+			}
+			kept := spans[:0:0]
+			for _, s := range spans {
+				if traces[s.TraceID] {
+					kept = append(kept, s)
+				}
+			}
+			spans = kept
 		}
 		if limStr := req.URL.Query().Get("limit"); limStr != "" {
 			if lim, err := strconv.Atoi(limStr); err == nil && lim >= 0 && lim < len(spans) {

@@ -86,6 +86,24 @@ func SpanFromContext(ctx context.Context) *Span {
 	return s
 }
 
+// ID returns the span's tracer-unique id (0 for a nil span). SpanID is
+// immutable after creation, so no lock is needed.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.SpanID
+}
+
+// TraceID returns the id of the trace the span belongs to (0 for nil).
+// TraceID is immutable after creation, so no lock is needed.
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.TraceID
+}
+
 // SetAttr annotates the span. Safe on nil and ended spans (no-op).
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {
@@ -162,6 +180,20 @@ func (t *Tracer) Trace(traceID uint64) []SpanData {
 		return out[i].SpanID < out[j].SpanID
 	})
 	return out
+}
+
+// Resize replaces the ring with one of the given capacity (minimum 16),
+// discarding retained spans. The id sequence keeps advancing, so spans
+// in flight across a resize still record unique ids.
+func (t *Tracer) Resize(capacity int) {
+	if capacity < 16 {
+		capacity = 16
+	}
+	t.mu.Lock()
+	t.buf = make([]SpanData, capacity)
+	t.next = 0
+	t.full = false
+	t.mu.Unlock()
 }
 
 // Reset discards all retained spans (the id sequence keeps advancing).

@@ -45,6 +45,9 @@ type Delivery struct {
 	// before this one were declared lost — the consumer is looking at a
 	// hole in the stream and should degrade accordingly.
 	GapBefore bool
+	// Held is true when the event arrived out of order and waited in the
+	// buffer before release — the stream was repaired, not pristine.
+	Held bool
 }
 
 // ReorderBuffer repairs a lossy event stream in front of the conformance
@@ -164,7 +167,7 @@ func (b *ReorderBuffer) drain(src *reorderSource, gapFirst bool) {
 		delete(src.pending, src.next)
 		mReorderPending.Dec()
 		src.next++
-		b.deliver(Delivery{Event: held.ev, GapBefore: gapFirst})
+		b.deliver(Delivery{Event: held.ev, GapBefore: gapFirst, Held: true})
 		gapFirst = false
 	}
 }

@@ -19,6 +19,7 @@ package resilience
 import (
 	"context"
 	"math/rand"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -160,6 +161,20 @@ type Outcome struct {
 	Retries int
 	// ShortCircuited means the breaker was open and the call never ran.
 	ShortCircuited bool
+}
+
+// Labels renders the outcome as annotations for evidence timelines and
+// spans: attempts, retries, and the breaker disposition.
+func (o Outcome) Labels() map[string]string {
+	breaker := "closed"
+	if o.ShortCircuited {
+		breaker = "open"
+	}
+	return map[string]string{
+		"attempts": strconv.Itoa(o.Attempts),
+		"retries":  strconv.Itoa(o.Retries),
+		"breaker":  breaker,
+	}
 }
 
 // Executor runs calls under retry, budget and breaker policies. It is

@@ -13,6 +13,7 @@ import (
 	"poddiagnosis/internal/conformance"
 	"poddiagnosis/internal/core"
 	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/obs/flight"
 )
 
 // Client talks to a POD REST server.
@@ -130,6 +131,19 @@ func (c *Client) Operation(ctx context.Context, id string) (core.SessionSummary,
 func (c *Client) OperationDetections(ctx context.Context, id string) ([]core.Detection, error) {
 	var out []core.Detection
 	err := c.get(ctx, "/operations/"+url.PathEscape(id)+"/detections", &out)
+	return out, err
+}
+
+// OperationTimeline fetches one session's causal flight-recorder
+// timeline, optionally restricted to the given event kinds.
+func (c *Client) OperationTimeline(ctx context.Context, id string, kinds ...string) (flight.Timeline, error) {
+	path := "/operations/" + url.PathEscape(id) + "/timeline"
+	if len(kinds) > 0 {
+		q := url.Values{"kind": kinds}
+		path += "?" + q.Encode()
+	}
+	var out flight.Timeline
+	err := c.get(ctx, path, &out)
 	return out, err
 }
 

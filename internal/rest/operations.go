@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"poddiagnosis/internal/core"
+	"poddiagnosis/internal/obs/flight"
 )
 
 // OperationRequest is the body of POST /operations: it registers a new
@@ -117,6 +119,34 @@ func (s *Server) handleOperationDetections(w http.ResponseWriter, r *http.Reques
 		ds = []core.Detection{}
 	}
 	writeJSON(w, http.StatusOK, ds)
+}
+
+// handleOperationTimeline serves GET /operations/{id}/timeline: the
+// operation's causal flight-recorder timeline. Repeatable (or
+// comma-separated) ?kind= query parameters restrict the entries to the
+// named event kinds; unknown kinds are a 400 so typos don't silently
+// return an empty timeline.
+func (s *Server) handleOperationTimeline(w http.ResponseWriter, r *http.Request) {
+	sess := s.operation(w, r)
+	if sess == nil {
+		return
+	}
+	var kinds []flight.Kind
+	for _, raw := range r.URL.Query()["kind"] {
+		for _, part := range strings.Split(raw, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			k := flight.Kind(part)
+			if !flight.KnownKind(k) {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown timeline kind %q (known: %v)", part, flight.Kinds()))
+				return
+			}
+			kinds = append(kinds, k)
+		}
+	}
+	writeJSON(w, http.StatusOK, sess.Timeline(kinds...))
 }
 
 func (s *Server) handleOperationDelete(w http.ResponseWriter, r *http.Request) {

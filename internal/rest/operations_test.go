@@ -24,6 +24,7 @@ type opsEnv struct {
 	cloud  *simaws.Cloud
 	mgr    *core.Manager
 	client *Client
+	base   string
 	ctx    context.Context
 }
 
@@ -53,7 +54,7 @@ func newOpsEnv(t *testing.T) *opsEnv {
 	t.Cleanup(func() { srv.Close(); mgr.Stop(); cloud.Stop(); bus.Close() })
 	return &opsEnv{
 		clk: clk, bus: bus, cloud: cloud, mgr: mgr,
-		client: NewClient(srv.URL, nil), ctx: context.Background(),
+		client: NewClient(srv.URL, nil), base: srv.URL, ctx: context.Background(),
 	}
 }
 
@@ -188,6 +189,9 @@ func TestOperationsWithoutManager(t *testing.T) {
 	}
 	if _, err := client.OperationDetections(ctx, "x"); err == nil || !strings.Contains(err.Error(), "status 503") {
 		t.Fatalf("detections without manager: %v", err)
+	}
+	if _, err := client.OperationTimeline(ctx, "x"); err == nil || !strings.Contains(err.Error(), "status 503") {
+		t.Fatalf("timeline without manager: %v", err)
 	}
 	if err := client.RemoveOperation(ctx, "x"); err == nil || !strings.Contains(err.Error(), "status 503") {
 		t.Fatalf("remove without manager: %v", err)

@@ -1,0 +1,123 @@
+package rest
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/core"
+	"poddiagnosis/internal/obs/flight"
+)
+
+// seedTimeline registers a session and records a minimal deterministic
+// evidence chain (log event -> detection -> confirmed cause) with
+// explicit timestamps, so the wire format can be golden-tested.
+func seedTimeline(t *testing.T, e *opsEnv) {
+	t.Helper()
+	if _, err := e.mgr.Watch(core.Expectation{ASGName: "asg-tl", ClusterSize: 2},
+		core.WithSessionID("op-tl"), core.BindInstance("task-tl")); err != nil {
+		t.Fatal(err)
+	}
+	op := e.mgr.Flight().Op("op-tl")
+	base := time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC)
+	op.Record(flight.Entry{
+		Kind: flight.KindLogEvent, At: base.Add(1 * time.Second),
+		Seq: 4, Cause: 9, Message: "asg update requested",
+	})
+	op.Record(flight.Entry{
+		Kind: flight.KindDetection, At: base.Add(2 * time.Second),
+		Parents: []uint64{1}, Message: "capacity below minimum",
+		Attrs: map[string]string{"source": "assertion"},
+	})
+	op.Record(flight.Entry{
+		Kind: flight.KindCause, At: base.Add(3 * time.Second),
+		Parents: []uint64{2}, Message: "confirmed cause: key pair changed",
+		Attrs: map[string]string{"confirmed": "true", "node": "wrong-key"},
+	})
+}
+
+// TestOperationTimelineGoldenShape pins the exact JSON wire format of
+// GET /operations/{id}/timeline: field names, omitempty behaviour and
+// entry ordering are API surface that podctl and external consumers
+// parse.
+func TestOperationTimelineGoldenShape(t *testing.T) {
+	e := newOpsEnv(t)
+	seedTimeline(t, e)
+
+	resp, err := http.Get(e.base + "/operations/op-tl/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, body); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	golden := `{"operation":"op-tl","entries":[` +
+		`{"id":1,"kind":"log.event","at":"2013-11-19T11:00:01Z","seq":4,"cause":9,"message":"asg update requested"},` +
+		`{"id":2,"parents":[1],"kind":"detection","at":"2013-11-19T11:00:02Z","message":"capacity below minimum","attrs":{"source":"assertion"}},` +
+		`{"id":3,"parents":[2],"kind":"diagnosis.cause","at":"2013-11-19T11:00:03Z","message":"confirmed cause: key pair changed","attrs":{"confirmed":"true","node":"wrong-key"}}` +
+		`]}`
+	if got := compact.String(); got != golden {
+		t.Errorf("timeline JSON shape drifted:\n got: %s\nwant: %s", got, golden)
+	}
+}
+
+// TestOperationTimelineKindFilter exercises ?kind= filtering (repeatable
+// and comma-separated), unknown-kind rejection, and the client helper.
+func TestOperationTimelineKindFilter(t *testing.T) {
+	e := newOpsEnv(t)
+	seedTimeline(t, e)
+
+	tl, err := e.client.OperationTimeline(e.ctx, "op-tl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Entries) != 3 || tl.Operation != "op-tl" {
+		t.Fatalf("unfiltered timeline = %+v", tl)
+	}
+
+	tl, err = e.client.OperationTimeline(e.ctx, "op-tl", string(flight.KindDetection))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Entries) != 1 || tl.Entries[0].Kind != flight.KindDetection {
+		t.Fatalf("kind=detection timeline = %+v", tl)
+	}
+
+	// Comma-separated kinds in one parameter.
+	resp, err := http.Get(e.base + "/operations/op-tl/timeline?kind=detection,diagnosis.cause")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got flight.Timeline
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(got.Entries) != 2 {
+		t.Fatalf("comma-separated filter entries = %+v", got.Entries)
+	}
+
+	// Unknown kinds are a 400, not a silently empty timeline.
+	if _, err := e.client.OperationTimeline(e.ctx, "op-tl", "bogus"); err == nil ||
+		!strings.Contains(err.Error(), "status 400") {
+		t.Fatalf("unknown kind error = %v", err)
+	}
+	// Unknown operations are a 404.
+	if _, err := e.client.OperationTimeline(e.ctx, "nope"); err == nil ||
+		!strings.Contains(err.Error(), "status 404") {
+		t.Fatalf("unknown operation error = %v", err)
+	}
+}
