@@ -190,7 +190,7 @@ func BenchmarkDiagnosisTime(b *testing.B) {
 	_ = cloud.UpdateAutoScalingGroup(ctx, cluster.ASGName, "rogue-lc", -1, -1, -1)
 
 	eval := assertion.NewEvaluator(client, assertion.DefaultRegistry(), nil)
-	engine := diagnosis.NewEngine(faulttree.DefaultRepository(), eval, nil, diagnosis.Options{})
+	engine := diagnosis.NewEngine(faulttree.DefaultCatalog(), eval, nil, diagnosis.Options{})
 	req := diagnosis.Request{
 		AssertionID:       assertion.CheckASGVersionCount,
 		Source:            diagnosis.SourceAssertion,
@@ -227,7 +227,7 @@ func BenchmarkAblationPruning(b *testing.B) {
 			profile := simaws.FastProfile()
 			_, cluster, client := benchCloud(b, profile, 1000)
 			eval := assertion.NewEvaluator(client, assertion.DefaultRegistry(), nil)
-			engine := diagnosis.NewEngine(faulttree.DefaultRepository(), eval, nil, tc.opts)
+			engine := diagnosis.NewEngine(faulttree.DefaultCatalog(), eval, nil, tc.opts)
 			req := diagnosis.Request{
 				AssertionID: assertion.CheckASGVersionCount,
 				StepID:      process.StepUpdateLC,
@@ -505,7 +505,7 @@ func BenchmarkAblationCloudTrail(b *testing.B) {
 					MaxBackoff: time.Second, CallTimeout: 20 * time.Second,
 				})
 				eval := assertion.NewEvaluator(client, assertion.DefaultRegistry(), nil)
-				engine := diagnosis.NewEngine(faulttree.DefaultRepository(), eval, nil, diagnosis.Options{})
+				engine := diagnosis.NewEngine(faulttree.DefaultCatalog(), eval, nil, diagnosis.Options{})
 				d := engine.Diagnose(ctx, diagnosis.Request{
 					AssertionID: assertion.CheckASGInstanceCount,
 					Source:      diagnosis.SourceAssertion,

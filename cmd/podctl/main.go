@@ -7,8 +7,9 @@
 //	podctl [-size N] [-fault kind] [-interfere kind] [-scale X] [-seed S] [-v]
 //	podctl -fault key-pair-changed -timeline   # render the causal evidence timeline
 //	podctl -fault wrong-ami -spans             # print the operation's tracer spans (/traces?op= view)
-//	podctl -show-tree            # print the Figure 5 fault tree
-//	podctl -list-faults          # list injectable fault kinds
+//	podctl -plans                        # list the diagnosis-plan catalog
+//	podctl -show-plan ft-version-count   # print one plan (the Figure 5 DAG)
+//	podctl -list-faults                  # list injectable fault kinds
 //
 // With -timeline, the run ends by rendering the operation's causal
 // flight-recorder timeline: every detection chains back through
@@ -27,9 +28,9 @@ import (
 	"strings"
 	"time"
 
-	"poddiagnosis/internal/assertion"
 	"poddiagnosis/internal/clock"
 	"poddiagnosis/internal/core"
+	"poddiagnosis/internal/diagplan"
 	"poddiagnosis/internal/faultinject"
 	"poddiagnosis/internal/faulttree"
 	"poddiagnosis/internal/logging"
@@ -53,7 +54,8 @@ func run() int {
 		scale     = flag.Float64("scale", 120, "clock speed-up factor")
 		seed      = flag.Int64("seed", 1, "random seed")
 		verbose   = flag.Bool("v", false, "stream all log events")
-		showTree  = flag.Bool("show-tree", false, "print the version-count fault tree (Figure 5) and exit")
+		showPlan  = flag.String("show-plan", "", "print one diagnosis plan as an indented DAG and exit (see -plans)")
+		plansList = flag.Bool("plans", false, "list the diagnosis-plan catalog and exit")
 		listFault = flag.Bool("list-faults", false, "list fault kinds and exit")
 		postmort  = flag.Bool("postmortem", false, "print the offline post-mortem from the central log store after the run")
 		dumpPath  = flag.String("dump", "", "write the central log store to this JSON-lines file (analyze later with podanalyze)")
@@ -83,9 +85,12 @@ func run() int {
 		}
 		return 0
 	}
-	if *showTree {
-		printTree()
+	if *plansList {
+		listPlans()
 		return 0
+	}
+	if *showPlan != "" {
+		return printPlan(*showPlan)
 	}
 
 	var fault faultinject.Kind
@@ -255,23 +260,37 @@ func printOperationSpans(op string) {
 	}
 }
 
-// printTree renders the Figure 5 fault tree.
-func printTree() {
-	repo := faulttree.DefaultRepository()
-	trees := repo.Select(assertion.CheckASGVersionCount)
-	if len(trees) == 0 {
-		return
+// listPlans prints the full diagnosis-plan catalog, one line per plan.
+func listPlans() {
+	for _, p := range faulttree.FullCatalog().All() {
+		fmt.Printf("  %-24s assertion=%-20s nodes=%2d causes=%2d  %s\n",
+			p.ID, p.AssertionID, len(p.Nodes), len(p.PotentialRootCauses()), p.Description)
 	}
-	var walk func(n *faulttree.Node, depth int)
-	walk = func(n *faulttree.Node, depth int) {
-		indent := ""
-		for i := 0; i < depth; i++ {
-			indent += "  "
-		}
+}
+
+// printPlan renders one diagnosis plan as an indented DAG, probability
+// order first. Fan-in nodes are expanded once; later visits print a
+// shared-node reference instead of repeating the sub-graph.
+func printPlan(id string) int {
+	p := faulttree.FullCatalog().Get(id)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "unknown plan %q (see -plans)\n", id)
+		return 2
+	}
+	fmt.Printf("Diagnosis plan %s — diagnoses assertion %q\n", p.ID, p.AssertionID)
+	seen := make(map[string]bool)
+	var walk func(n *diagplan.Node, depth int)
+	walk = func(n *diagplan.Node, depth int) {
+		indent := strings.Repeat("  ", depth)
 		marker := "▸"
-		if n.RootCause {
+		if n.IsCause() {
 			marker = "●"
 		}
+		if seen[n.ID] {
+			fmt.Printf("%s%s %s ↩ (shared sub-graph, expanded above)\n", indent, marker, n.ID)
+			return
+		}
+		seen[n.ID] = true
 		check := ""
 		if n.CheckID != "" {
 			check = " [test: " + n.CheckID + "]"
@@ -281,10 +300,10 @@ func printTree() {
 			steps = fmt.Sprintf(" (steps %v)", n.Steps)
 		}
 		fmt.Printf("%s%s %s%s%s\n", indent, marker, n.Description, check, steps)
-		for _, c := range faulttree.SortedChildren(n) {
+		for _, c := range p.Children(n) {
 			walk(c, depth+1)
 		}
 	}
-	fmt.Println("Fault tree for: assert the system has N instances with the new version (Figure 5)")
-	walk(trees[0].Root, 0)
+	walk(p.EntryNode(), 0)
+	return 0
 }

@@ -1,7 +1,7 @@
 // Command podlint is the static-analysis gate for POD-Diagnosis. It lints
 // on two fronts: the registered diagnosis artifacts (process models,
-// assertion specifications, the fault-tree catalog, and the trigger chain
-// connecting them) and the Go source tree (wall-clock reads, metric
+// assertion specifications, the diagnosis-plan catalog, and the trigger
+// chain connecting them) and the Go source tree (wall-clock reads, metric
 // naming, mutexes held across blocking sends, context.Background on
 // request paths).
 //
@@ -10,10 +10,11 @@
 //	podlint [flags] [target ...]
 //
 // Targets are directories of Go source to analyze ("./..." is accepted and
-// means the directory tree, matching go-tool convention) and/or process
-// model JSON documents (*.json), which are linted structurally. With no
-// targets the module root is analyzed. The built-in artifact bundles are
-// always linted unless -source-only is given.
+// means the directory tree, matching go-tool convention) and/or JSON
+// documents (*.json) — process models or diagnosis plans, told apart by
+// their top-level keys — which are linted structurally. With no targets
+// the module root is analyzed. The built-in artifact bundles are always
+// linted unless -source-only is given.
 //
 // Flags:
 //
@@ -87,7 +88,7 @@ func run(args []string, stdout, stderr *os.File) int {
 				fmt.Fprintln(stderr, "podlint:", err)
 				return 2
 			}
-			findings = append(findings, lint.LintModelDoc(filepath.Base(doc), data)...)
+			findings = append(findings, lintDoc(filepath.Base(doc), data)...)
 		}
 	}
 
@@ -133,6 +134,20 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// lintDoc routes a JSON document to the diagnosis-plan or process-model
+// linter by sniffing its top-level keys: plan documents carry "entry" and
+// "assertionId", model documents do not.
+func lintDoc(name string, data []byte) []lint.Finding {
+	var probe struct {
+		Entry       *string `json:"entry"`
+		AssertionID *string `json:"assertionId"`
+	}
+	if err := json.Unmarshal(data, &probe); err == nil && (probe.Entry != nil || probe.AssertionID != nil) {
+		return lint.LintPlanDoc(name, data)
+	}
+	return lint.LintModelDoc(name, data)
 }
 
 // printRules writes the rule registry.

@@ -25,6 +25,7 @@ import (
 	"poddiagnosis/internal/conformance"
 	"poddiagnosis/internal/consistentapi"
 	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/diagplan"
 	"poddiagnosis/internal/faulttree"
 	"poddiagnosis/internal/logging"
 	"poddiagnosis/internal/logstore"
@@ -108,8 +109,11 @@ type Config struct {
 	Model *process.Model
 	// Registry is the assertion library. Defaults to the built-in one.
 	Registry *assertion.Registry
-	// Trees is the fault-tree knowledge base. Defaults to the built-in
-	// catalog.
+	// Plans is the diagnosis plan catalog. Takes precedence over Trees;
+	// defaults to compiling Trees (or the built-in compiled catalog).
+	Plans *diagplan.Catalog
+	// Trees is the legacy fault-tree knowledge base, compiled into plans
+	// when Plans is nil.
 	Trees *faulttree.Repository
 	// API tunes the consistent API layer.
 	API consistentapi.Config
@@ -187,6 +191,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		Bus:                cfg.Bus,
 		Model:              cfg.Model,
 		Registry:           cfg.Registry,
+		Plans:              cfg.Plans,
 		Trees:              cfg.Trees,
 		API:                cfg.API,
 		AssertionSpec:      cfg.AssertionSpec,

@@ -17,6 +17,7 @@ import (
 	"poddiagnosis/internal/conformance"
 	"poddiagnosis/internal/consistentapi"
 	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/diagplan"
 	"poddiagnosis/internal/faulttree"
 	"poddiagnosis/internal/logging"
 	"poddiagnosis/internal/logstore"
@@ -59,8 +60,12 @@ type ManagerConfig struct {
 	Model *process.Model
 	// Registry is the assertion library. Defaults to the built-in one.
 	Registry *assertion.Registry
-	// Trees is the fault-tree knowledge base. Defaults to the built-in
-	// catalog.
+	// Plans is the diagnosis plan catalog the engine walks. Takes
+	// precedence over Trees. Defaults to compiling Trees (or, when both
+	// are nil, to the built-in compiled rolling-upgrade catalog).
+	Plans *diagplan.Catalog
+	// Trees is the legacy fault-tree knowledge base; when Plans is nil it
+	// is compiled into the plan catalog the engine walks.
 	Trees *faulttree.Repository
 	// API tunes the consistent API layer.
 	API consistentapi.Config
@@ -189,8 +194,16 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = assertion.DefaultRegistry()
 	}
-	if cfg.Trees == nil {
-		cfg.Trees = faulttree.DefaultRepository()
+	if cfg.Plans == nil {
+		if cfg.Trees != nil {
+			cat, err := cfg.Trees.Compile()
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			cfg.Plans = cat
+		} else {
+			cfg.Plans = faulttree.DefaultCatalog()
+		}
 	}
 	if cfg.PeriodicInterval <= 0 {
 		cfg.PeriodicInterval = time.Minute
@@ -223,13 +236,13 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		cfg.ChaosLabel = "none"
 	}
 	if cfg.Diagnosis.Workers <= 0 {
-		// Fault-tree walks fan out to the same width as the manager pool
-		// unless explicitly tuned. The diagnosis engine bounds its own
+		// Diagnosis plan walks fan out to the same width as the manager
+		// pool unless explicitly tuned. The diagnosis engine bounds its own
 		// goroutines separately, so walks running ON pool workers cannot
 		// deadlock against pool capacity.
 		cfg.Diagnosis.Workers = cfg.Workers
 	}
-	if err := cfg.Trees.Validate(cfg.Registry); err != nil {
+	if err := cfg.Plans.Validate(cfg.Registry); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	specText := cfg.AssertionSpec
@@ -266,7 +279,7 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		m.shards[i].owner = make(map[string]*Session)
 		m.shards[i].depthVec = mShardPending.With(strconv.Itoa(i))
 	}
-	m.diag = diagnosis.NewEngine(cfg.Trees, m.evaluator, cfg.Bus, cfg.Diagnosis)
+	m.diag = diagnosis.NewEngine(cfg.Plans, m.evaluator, cfg.Bus, cfg.Diagnosis)
 	m.processor = pipeline.NewRouted(cfg.Model, m.store, m.route)
 	m.central = logstore.NewCentralProcessor(m.store, nil)
 	// The reorder/dedup buffer repairs the lossy shipping fabric in front

@@ -60,7 +60,11 @@ func newBenchEngine(b *testing.B, opts Options, profile simaws.Profile, trees []
 	for _, t := range trees {
 		repo.Register(t)
 	}
-	return NewEngine(repo, assertion.NewEvaluator(client, reg, nil), nil, opts)
+	cat, err := repo.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewEngine(cat, assertion.NewEvaluator(client, reg, nil), nil, opts)
 }
 
 func runDiagnoseBench(b *testing.B, opts Options, profile simaws.Profile) {

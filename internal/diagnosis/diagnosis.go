@@ -1,15 +1,18 @@
 // Package diagnosis implements the paper's Error Diagnosis component
 // (§III.B.4): when an assertion fails, a process non-conformance is
 // detected, or another monitor reports a failure, the engine selects the
-// fault tree(s) for the triggering assertion, instantiates their variables
-// from the runtime request, prunes sub-trees that do not match the process
-// context, and visits the remaining nodes top-down, running on-demand
-// diagnosis tests (assertion evaluations) to confirm or exclude potential
-// faults. Test results are cached and reused across nodes — and, through
-// a shared single-flight cache bounded by the simulated cloud's
-// eventual-consistency window, across concurrent runs; sibling visits are
-// ordered by prior fault probability and may proceed in parallel on a
-// bounded worker pool while committing results in that same order.
+// diagnosis plan(s) for the triggering assertion, instantiates their
+// variables from the runtime request, prunes nodes that do not match the
+// process context, and visits the remaining DAG entry-down, running
+// on-demand diagnosis tests (assertion evaluations) to confirm or exclude
+// potential faults. Plans generalize the paper's fault trees: collector
+// nodes may feed several tester sub-graphs and shared sub-graphs fan in
+// from several parents, each visited at most once per run. Test results
+// are cached and reused across nodes — and, through a shared single-
+// flight cache bounded by the simulated cloud's eventual-consistency
+// window, across concurrent runs; sibling visits are ordered by per-edge
+// prior fault probability and may proceed in parallel on a bounded worker
+// pool while committing results in that same order.
 package diagnosis
 
 import (
@@ -25,7 +28,7 @@ import (
 
 	"poddiagnosis/internal/assertion"
 	"poddiagnosis/internal/clock"
-	"poddiagnosis/internal/faulttree"
+	"poddiagnosis/internal/diagplan"
 	"poddiagnosis/internal/logging"
 	"poddiagnosis/internal/obs"
 	"poddiagnosis/internal/obs/flight"
@@ -36,9 +39,9 @@ import (
 // carries the simulated-clock duration the paper's §V measures).
 var (
 	mWalks = obs.Default.CounterVec("pod_diagnosis_walks_total",
-		"Fault-tree diagnosis runs by conclusion.", "conclusion")
+		"Diagnosis plan runs by conclusion.", "conclusion")
 	mWalkDuration = obs.Default.Histogram("pod_diagnosis_walk_seconds",
-		"Wall-clock duration of one fault-tree diagnosis run.", nil)
+		"Wall-clock duration of one diagnosis plan run.", nil)
 	mTests = obs.Default.Counter("pod_diagnosis_tests_total",
 		"On-demand diagnosis tests executed.")
 	mCacheHits = obs.Default.Counter("pod_diagnosis_cache_hits_total",
@@ -76,8 +79,8 @@ func budgetExhaustedResult(checkID string, params assertion.Params) assertion.Re
 // ErrResultUnknown is the sentinel carried (as text, in Result.Err) by the
 // StatusError results synthesized when a diagnosis test's circuit breaker
 // is open: the test was not attempted, its answer is unknown, and the
-// fault-tree walk continues past it (leaf → suspected, interior →
-// descended) exactly like any other inconclusive test.
+// plan walk continues past it (sink → suspected, interior → descended)
+// exactly like any other inconclusive test.
 var ErrResultUnknown = errors.New("diagnosis: test result unknown (circuit open)")
 
 // IsUnknown reports whether res is a synthetic breaker-open "result
@@ -109,9 +112,10 @@ const (
 
 // Request describes one diagnosis trigger.
 type Request struct {
-	// AssertionID is the failing assertion that selects the fault trees.
-	// Empty (e.g. for conformance-triggered diagnoses) means every tree
-	// is consulted, relying on step-context pruning to narrow the search.
+	// AssertionID is the failing assertion that selects the diagnosis
+	// plans. Empty (e.g. for conformance-triggered diagnoses) means every
+	// plan is consulted, relying on step-context pruning to narrow the
+	// search.
 	AssertionID string `json:"assertionId,omitempty"`
 	// Source is the trigger kind.
 	Source Source `json:"source"`
@@ -122,7 +126,7 @@ type Request struct {
 	// diagnoses, §VI.A).
 	StepID string `json:"stepId,omitempty"`
 	// Params are the runtime request variables used to instantiate the
-	// trees and parameterize diagnosis tests.
+	// plans and parameterize diagnosis tests.
 	Params assertion.Params `json:"params"`
 	// Detail is free-form context (e.g. the failing assertion message).
 	Detail string `json:"detail,omitempty"`
@@ -134,7 +138,7 @@ type Request struct {
 
 // Cause is one diagnosed root cause.
 type Cause struct {
-	// NodeID is the fault-tree node.
+	// NodeID is the diagnosis-plan node.
 	NodeID string `json:"nodeId"`
 	// Description is the instantiated fault description.
 	Description string `json:"description"`
@@ -163,7 +167,7 @@ type Diagnosis struct {
 	Request Request `json:"request"`
 	// RootCauses are the confirmed causes, in discovery order.
 	RootCauses []Cause `json:"rootCauses"`
-	// Suspected are unconfirmed candidate causes (untestable leaves under
+	// Suspected are unconfirmed candidate causes (untestable sinks under
 	// confirmed errors, or inconclusive tests).
 	Suspected []Cause `json:"suspected,omitempty"`
 	// PotentialFaults is the number of root-cause candidates considered
@@ -212,7 +216,7 @@ type Options struct {
 	// MaxTests bounds the diagnosis tests per run. Zero means 64.
 	MaxTests int
 	// Workers bounds the goroutines one walk may fan out across
-	// independent sibling sub-trees. Zero or one keeps the sequential
+	// independent sibling sub-graphs. Zero or one keeps the sequential
 	// paper walk. The committed Diagnosis is identical either way (see
 	// walkInto); parallelism only trades speculative tests for latency.
 	Workers int
@@ -238,7 +242,7 @@ type Options struct {
 // Engine runs diagnoses. It is safe for concurrent use: per-run state
 // lives on the run, and the shared cross-run cache is concurrency-safe.
 type Engine struct {
-	repo  *faulttree.Repository
+	cat   *diagplan.Catalog
 	eval  *assertion.Evaluator
 	bus   *logging.Bus // may be nil
 	clk   clock.Clock
@@ -247,14 +251,16 @@ type Engine struct {
 	cache *SharedCache  // nil when disabled
 	resil *resilience.Executor
 
-	// testHookInstantiate, when set, observes every tree instantiation
-	// (regression hook: each selected tree is instantiated exactly once
+	// testHookInstantiate, when set, observes every plan instantiation
+	// (regression hook: each selected plan is instantiated exactly once
 	// per run).
-	testHookInstantiate func(treeID string)
+	testHookInstantiate func(planID string)
 }
 
-// NewEngine returns an Engine over the given fault trees and evaluator.
-func NewEngine(repo *faulttree.Repository, eval *assertion.Evaluator, bus *logging.Bus, opts Options) *Engine {
+// NewEngine returns an Engine over the given diagnosis plan catalog and
+// evaluator. Legacy fault trees reach here compiled into plans (see
+// faulttree.Tree.Compile); the engine itself only walks plans.
+func NewEngine(cat *diagplan.Catalog, eval *assertion.Evaluator, bus *logging.Bus, opts Options) *Engine {
 	if opts.MaxTests <= 0 {
 		opts.MaxTests = 64
 	}
@@ -264,7 +270,7 @@ func NewEngine(repo *faulttree.Repository, eval *assertion.Evaluator, bus *loggi
 	if opts.TestTimeout <= 0 {
 		opts.TestTimeout = 30 * time.Second
 	}
-	e := &Engine{repo: repo, eval: eval, bus: bus, clk: eval.Client().Clock(), opts: opts}
+	e := &Engine{cat: cat, eval: eval, bus: bus, clk: eval.Client().Clock(), opts: opts}
 	e.resil = resilience.NewExecutor(e.clk, opts.Resilience)
 	e.opts.Resilience = e.resil.Options()
 	if opts.Workers > 1 {
@@ -296,10 +302,20 @@ func (e *Engine) Cache() *SharedCache { return e.cache }
 // Resilience returns the retry/breaker executor guarding diagnosis tests.
 func (e *Engine) Resilience() *resilience.Executor { return e.resil }
 
+// Catalog returns the plan catalog the engine diagnoses from.
+func (e *Engine) Catalog() *diagplan.Catalog { return e.cat }
+
+// target is one (plan, node) visit unit: the walk needs the owning plan
+// for edge ordering and cause enumeration.
+type target struct {
+	p *diagplan.Plan
+	n *diagplan.Node
+}
+
 // run carries the mutable state of one diagnosis. It is shared across the
 // walk goroutines of that one diagnosis: the budget is atomic, the
-// per-run cache and TestsRun are guarded by mu, and everything else is
-// read-only after construction.
+// per-run cache, claim set, and TestsRun are guarded by mu, and
+// everything else is read-only after construction.
 type run struct {
 	req   Request
 	diag  *Diagnosis
@@ -310,21 +326,42 @@ type run struct {
 	// both are read-only after construction.
 	op        *flight.Op
 	diagEntry uint64
-	// trees are the instantiated, pruned trees the walk visits, kept so
-	// confirmed causes can cite their root-to-leaf path.
-	trees []*faulttree.Tree
+	// plans are the instantiated, pruned plans the walk visits, kept so
+	// confirmed causes can cite their entry-to-node path and fan-in
+	// parents.
+	plans []*diagplan.Plan
 
 	mu        sync.Mutex
 	local     map[string]assertion.Result // per-run result cache; guards diag.TestsRun too
 	testEntry map[string]uint64           // node id -> diagnosis.test evidence entry
+	// claimed marks plan nodes (by instantiated-node pointer, so distinct
+	// plans never collide) that some branch has already visited. Fan-in
+	// makes a node reachable from several parents; the first visitor
+	// claims it and later routes skip it, mirroring the DAG's "shared
+	// sub-graph, evaluated once" semantics. A node excluded by a passing
+	// parent test is NOT claimed — it stays reachable through its other
+	// parents.
+	claimed map[*diagplan.Node]bool
 
 	testsLeft atomic.Int64
+}
+
+// claim marks the node visited, reporting whether this caller won the
+// claim (false: another branch already visited it).
+func (r *run) claim(n *diagplan.Node) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.claimed[n] {
+		return false
+	}
+	r.claimed[n] = true
+	return true
 }
 
 // recordTest records one diagnosis-test evidence entry, chained to the
 // run's diagnosis entry, and remembers the node's first entry as the
 // parent link for a later cause record.
-func (r *run) recordTest(n *faulttree.Node, status string, attrs map[string]string) {
+func (r *run) recordTest(n *diagplan.Node, status string, attrs map[string]string) {
 	if r.op == nil {
 		return
 	}
@@ -355,18 +392,20 @@ func parentsOf(ids ...uint64) []uint64 {
 	return out
 }
 
-// exclusion records a passing diagnosis test that rules out the
-// root-cause leaves under a node. Counting and logging are deferred to
-// commit so the running n/m tallies come out in deterministic merge
-// order regardless of execution interleaving.
+// exclusion records a passing diagnosis test that rules out the cause
+// nodes reachable under a plan node. Counting and logging are deferred to
+// commit so the running n/m tallies come out in deterministic merge order
+// regardless of execution interleaving — and so causes shared by several
+// excluded parents (fan-in) are counted once.
 type exclusion struct {
-	node  *faulttree.Node
-	count int
-	res   assertion.Result
-	fresh bool
+	node   *diagplan.Node
+	planID string
+	causes []string // cause node ids under node, in visit order
+	res    assertion.Result
+	fresh  bool
 }
 
-// branch accumulates the outcome of one sub-tree visit. Sibling branches
+// branch accumulates the outcome of one sub-graph visit. Sibling branches
 // are merged back in probability order (walkInto), so the committed
 // Diagnosis is identical to the sequential walk's.
 type branch struct {
@@ -379,11 +418,11 @@ type branch struct {
 	confirmed bool
 }
 
-func (b *branch) confirm(n *faulttree.Node) {
+func (b *branch) confirm(n *diagplan.Node) {
 	b.causes = append(b.causes, Cause{NodeID: n.ID, Description: n.Description, Confirmed: true})
 }
 
-func (b *branch) suspect(n *faulttree.Node) {
+func (b *branch) suspect(n *diagplan.Node) {
 	b.suspects = append(b.suspects, Cause{NodeID: n.ID, Description: n.Description})
 }
 
@@ -424,6 +463,7 @@ func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
 		op:        flight.FromContext(ctx),
 		local:     make(map[string]assertion.Result),
 		testEntry: make(map[string]uint64),
+		claimed:   make(map[*diagplan.Node]bool),
 	}
 	r.testsLeft.Store(int64(e.opts.MaxTests))
 	if r.op != nil {
@@ -433,20 +473,22 @@ func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
 		span.SetAttr("op", r.op.Operation())
 	}
 
-	// Instantiate and prune each selected tree exactly once; the same
+	// Instantiate and prune each selected plan exactly once; the same
 	// instance serves both the potential-fault count and the walk.
-	var roots []*faulttree.Node
-	for _, t := range e.selectTrees(req) {
+	var entries []target
+	for _, p := range e.selectPlans(req) {
 		if e.testHookInstantiate != nil {
-			e.testHookInstantiate(t.ID)
+			e.testHookInstantiate(p.ID)
 		}
-		inst := t.Instantiate(req.Params)
+		inst := p.Instantiate(req.Params)
 		if !e.opts.DisablePruning {
 			inst = inst.Prune(req.StepID)
 		}
 		d.PotentialFaults += len(inst.PotentialRootCauses())
-		r.trees = append(r.trees, inst)
-		roots = append(roots, inst.Root)
+		r.plans = append(r.plans, inst)
+		if entry := inst.EntryNode(); entry != nil {
+			entries = append(entries, target{p: inst, n: entry})
+		}
 	}
 
 	if r.op != nil {
@@ -465,7 +507,7 @@ func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
 			At:      started,
 			Parents: parentsOf(flight.ParentFrom(ctx)),
 			SpanID:  span.ID(),
-			Message: fmt.Sprintf("fault-tree walk: %d potential faults", d.PotentialFaults),
+			Message: fmt.Sprintf("diagnosis plan walk: %d potential faults", d.PotentialFaults),
 			Attrs:   attrs,
 		})
 		r.diagEntry = d.EvidenceID
@@ -475,7 +517,7 @@ func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
 		req.Detail, d.PotentialFaults)
 
 	top := &branch{}
-	e.walkInto(ctx, r, top, roots)
+	e.walkInto(ctx, r, top, entries)
 	e.commit(r, top)
 
 	switch {
@@ -504,18 +546,17 @@ func (e *Engine) Diagnose(ctx context.Context, req Request) *Diagnosis {
 	return d
 }
 
-// selectTrees picks the fault trees for the request.
-func (e *Engine) selectTrees(req Request) []*faulttree.Tree {
+// selectPlans picks the diagnosis plans for the request.
+func (e *Engine) selectPlans(req Request) []*diagplan.Plan {
 	if req.AssertionID != "" {
-		return e.repo.Select(req.AssertionID)
+		return e.cat.Select(req.AssertionID)
 	}
-	trees := e.repo.All()
-	// Deterministic order for reproducible diagnoses.
-	sort.Slice(trees, func(i, j int) bool { return trees[i].ID < trees[j].ID })
-	return trees
+	// All() is sorted by plan id: deterministic order for reproducible
+	// diagnoses.
+	return e.cat.All()
 }
 
-// walkInto visits the preference-ordered nodes and merges the resulting
+// walkInto visits the preference-ordered targets and merges the resulting
 // branches back into br IN THAT ORDER. Sequential mode (no semaphore)
 // visits in order and stops at the first confirmation, exactly the
 // paper's walk. Parallel mode fans siblings out across the semaphore —
@@ -524,13 +565,13 @@ func (e *Engine) selectTrees(req Request) []*faulttree.Tree {
 // confirmed branch. Probability order is thus a preference in both
 // modes, and the committed result is identical; parallel walks merely
 // spend speculative tests (visible in TestsRun) to cut latency.
-func (e *Engine) walkInto(ctx context.Context, r *run, br *branch, nodes []*faulttree.Node) {
-	if br.confirmed || len(nodes) == 0 {
+func (e *Engine) walkInto(ctx context.Context, r *run, br *branch, targets []target) {
+	if br.confirmed || len(targets) == 0 {
 		return
 	}
 	if e.sem == nil {
-		for _, n := range nodes {
-			e.visit(ctx, r, br, n)
+		for _, t := range targets {
+			e.visit(ctx, r, br, t)
 			if br.confirmed {
 				return
 			}
@@ -538,21 +579,21 @@ func (e *Engine) walkInto(ctx context.Context, r *run, br *branch, nodes []*faul
 		return
 	}
 
-	subs := make([]*branch, len(nodes))
+	subs := make([]*branch, len(targets))
 	// skipAfter is the lowest index whose branch has confirmed a root
 	// cause so far; the sequential walk would never visit siblings past
 	// it, so they are not even launched.
 	var skipAfter atomic.Int64
-	skipAfter.Store(int64(len(nodes)))
+	skipAfter.Store(int64(len(targets)))
 	var wg sync.WaitGroup
-	for i, n := range nodes {
+	for i, t := range targets {
 		if r.latch && int64(i) > skipAfter.Load() {
 			break
 		}
 		sub := &branch{}
 		subs[i] = sub
-		visit := func(i int, n *faulttree.Node, sub *branch) {
-			e.visit(ctx, r, sub, n)
+		visit := func(i int, t target, sub *branch) {
+			e.visit(ctx, r, sub, t)
 			if sub.confirmed {
 				for {
 					cur := skipAfter.Load()
@@ -565,13 +606,13 @@ func (e *Engine) walkInto(ctx context.Context, r *run, br *branch, nodes []*faul
 		select {
 		case e.sem <- struct{}{}:
 			wg.Add(1)
-			go func(i int, n *faulttree.Node, sub *branch) {
+			go func(i int, t target, sub *branch) {
 				defer wg.Done()
 				defer func() { <-e.sem }()
-				visit(i, n, sub)
-			}(i, n, sub)
+				visit(i, t, sub)
+			}(i, t, sub)
 		default:
-			visit(i, n, sub)
+			visit(i, t, sub)
 		}
 	}
 	wg.Wait()
@@ -586,20 +627,27 @@ func (e *Engine) walkInto(ctx context.Context, r *run, br *branch, nodes []*faul
 	}
 }
 
-// visit walks one (instantiated, pruned) node top-down into br.
-func (e *Engine) visit(ctx context.Context, r *run, br *branch, n *faulttree.Node) {
+// visit walks one (instantiated, pruned) plan node entry-down into br. A
+// node already claimed by another branch — a fan-in target whose shared
+// sub-graph was evaluated first through a different parent — is skipped.
+func (e *Engine) visit(ctx context.Context, r *run, br *branch, t target) {
+	p, n := t.p, t.n
+	if !r.claim(n) {
+		return
+	}
 	if n.CheckID != "" {
 		res, fresh := e.test(ctx, r, n)
 		switch res.Status {
 		case assertion.StatusPass:
-			// Error not present: exclude this sub-tree. Tallying and the
-			// n/m exclusion log are deferred to commit.
+			// Error not present: exclude every cause reachable under this
+			// node. Tallying and the n/m exclusion log are deferred to
+			// commit, where fan-in shared causes are deduplicated.
 			br.exclusions = append(br.exclusions, exclusion{
-				node: n, count: countRootCauses(n), res: res, fresh: fresh,
+				node: n, planID: p.ID, causes: p.CausesUnder(n.ID), res: res, fresh: fresh,
 			})
 			return
 		case assertion.StatusError:
-			// Inconclusive: this node cannot be checked. A leaf becomes a
+			// Inconclusive: this node cannot be checked. A sink becomes a
 			// suspect; an interior node is still descended into, since
 			// its children's tests may be independently runnable.
 			if fresh {
@@ -613,7 +661,7 @@ func (e *Engine) visit(ctx context.Context, r *run, br *branch, n *faulttree.Nod
 			if fresh {
 				e.log(r.req, "Failed verification of %s: %s", n.ID, res.Message)
 			}
-			if n.RootCause {
+			if n.IsCause() {
 				br.confirm(n)
 				if r.latch {
 					br.confirmed = true
@@ -621,23 +669,36 @@ func (e *Engine) visit(ctx context.Context, r *run, br *branch, n *faulttree.Nod
 				return
 			}
 		}
-	} else if n.RootCause {
-		// Untestable leaf under a present error: suspected only.
+	} else if n.IsCause() {
+		// Untestable cause under a present error: suspected only.
 		br.suspect(n)
 		return
 	}
-	e.walkInto(ctx, r, br, faulttree.SortedChildren(n))
+	kids := p.Children(n)
+	next := make([]target, len(kids))
+	for i, c := range kids {
+		next[i] = target{p: p, n: c}
+	}
+	e.walkInto(ctx, r, br, next)
 }
 
 // commit folds the merged top-level branch into the Diagnosis on the
-// Diagnose goroutine: exclusions are tallied and logged in merge order,
-// and causes and suspects are deduplicated — catalog sub-trees shared
-// across fault trees carry id suffixes, so identity is by node id or by
-// instantiated description.
+// Diagnose goroutine: exclusions are tallied and logged in merge order —
+// each (plan, cause) pair counted once even when fan-in lets several
+// passing parents exclude the same shared cause — and causes and suspects
+// are deduplicated: catalog sub-graphs shared across plans carry id
+// suffixes, so identity is by node id or by instantiated description.
 func (e *Engine) commit(r *run, br *branch) {
 	d := r.diag
+	excluded := make(map[string]bool)
 	for _, ex := range br.exclusions {
-		d.Excluded += ex.count
+		for _, id := range ex.causes {
+			key := ex.planID + ":" + id
+			if !excluded[key] {
+				excluded[key] = true
+				d.Excluded++
+			}
+		}
 		if ex.fresh {
 			e.log(r.req, "Verified %s: %s %d/%d faults are excluded",
 				ex.node.ID, ex.res.Message, d.Excluded, d.PotentialFaults)
@@ -659,9 +720,12 @@ func (e *Engine) commit(r *run, br *branch) {
 
 // recordCause commits one cause to the evidence timeline, chained to
 // the diagnosis entry and the test execution that confirmed (or could
-// not exclude) it. Recording happens at commit time, never during the
-// walk: parallel branches merged after the first confirmation are
-// discarded, and speculative causes must not leave evidence behind.
+// not exclude) it. The entry cites the probability-preferred entry-to-
+// node path and, for fan-in causes, every parent that can reach the node
+// — the full DAG confirmation context. Recording happens at commit time,
+// never during the walk: parallel branches merged after the first
+// confirmation are discarded, and speculative causes must not leave
+// evidence behind.
 func (r *run) recordCause(c Cause, confirmed bool) {
 	if r.op == nil {
 		return
@@ -673,11 +737,17 @@ func (r *run) recordCause(c Cause, confirmed bool) {
 		"node":      c.NodeID,
 		"confirmed": strconv.FormatBool(confirmed),
 	}
-	for _, t := range r.trees {
-		if path := t.Path(c.NodeID); path != "" {
-			attrs["path"] = t.ID + ":" + path
-			break
+	for _, p := range r.plans {
+		if !p.Has(c.NodeID) {
+			continue
 		}
+		if path := p.PathTo(c.NodeID); path != "" {
+			attrs["path"] = p.ID + ":" + path
+		}
+		if parents := p.Parents(c.NodeID); len(parents) > 0 {
+			attrs["parents"] = strings.Join(parents, ",")
+		}
+		break
 	}
 	msg := "confirmed cause: " + c.Description
 	if !confirmed {
@@ -707,7 +777,12 @@ func hasCause(list []Cause, c Cause) bool {
 // whether this call ran the evaluation itself (and so drives the
 // paper-format verification logging). Only fresh evaluations charge the
 // run's test budget — shared-cache hits and coalesced joins are free.
-func (e *Engine) test(ctx context.Context, r *run, n *faulttree.Node) (assertion.Result, bool) {
+//
+// The cache key derives from the canonicalized check id and parameters
+// only, never from the plan or node the test was reached through: a tree-
+// compiled plan and a native DAG plan running the same check share cache
+// entries.
+func (e *Engine) test(ctx context.Context, r *run, n *diagplan.Node) (assertion.Result, bool) {
 	params := r.req.Params.Merge(n.CheckParams)
 	key := cacheKey(n.CheckID, params)
 	r.mu.Lock()
@@ -762,8 +837,8 @@ func (e *Engine) test(ctx context.Context, r *run, n *faulttree.Node) (assertion
 			}
 			// A no-retry test never classifies as retryable: its answer is
 			// time-sensitive (the catalog's TestClass annotation, enforced
-			// by podlint FT009), so repeating the call proves nothing.
-			if n.TestClass != faulttree.TestClassNoRetry && resilience.Retryable(res.Err) {
+			// by podlint DG009), so repeating the call proves nothing.
+			if n.TestClass != diagplan.TestClassNoRetry && resilience.Retryable(res.Err) {
 				return resilience.VerdictRetryable
 			}
 			return resilience.VerdictFatal
@@ -814,18 +889,6 @@ func (e *Engine) test(ctx context.Context, r *run, n *faulttree.Node) (assertion
 	}
 	r.recordTest(n, res.Status.String(), attrs)
 	return res, outcome == OutcomeEvaluated
-}
-
-// countRootCauses counts root-cause leaves at or below n.
-func countRootCauses(n *faulttree.Node) int {
-	count := 0
-	if n.RootCause {
-		count++
-	}
-	for _, c := range n.Children {
-		count += countRootCauses(c)
-	}
-	return count
 }
 
 // cacheKey builds an injective key from the check id and parameters:

@@ -34,8 +34,12 @@ func newSyntheticEngine(t *testing.T, opts Options, trees []*faulttree.Tree, che
 		}
 		repo.Register(tr)
 	}
+	cat, err := repo.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
 	eval := assertion.NewEvaluator(client, reg, nil)
-	return NewEngine(repo, eval, nil, opts)
+	return NewEngine(cat, eval, nil, opts)
 }
 
 func failCheck(id string) assertion.Check {
@@ -158,7 +162,7 @@ func TestParallelWalkMatchesSequential(t *testing.T) {
 	_ = e.cloud.UpdateAutoScalingGroup(e.ctx, e.cluster.ASGName, "rogue-lc", -1, -1, -1)
 
 	seq := e.engine.Diagnose(e.ctx, e.request(process.StepNewReady))
-	par := NewEngine(faulttree.DefaultRepository(), e.eval, e.bus, Options{Workers: 8}).
+	par := NewEngine(faulttree.DefaultCatalog(), e.eval, e.bus, Options{Workers: 8}).
 		Diagnose(e.ctx, e.request(process.StepNewReady))
 
 	if par.Conclusion != seq.Conclusion {

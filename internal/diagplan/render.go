@@ -1,0 +1,92 @@
+package diagplan
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Parse loads one plan document from JSON and validates its structure
+// (check ids are not resolvable here; pass the result through
+// Validate(registry) for that). Unknown fields are rejected so typos in
+// hand-authored documents surface instead of silently dropping edges.
+func Parse(data []byte) (*Plan, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("diagplan: parse: %w", err)
+	}
+	// Trailing garbage after the document is an authoring error too.
+	if dec.More() {
+		return nil, fmt.Errorf("diagplan: parse: trailing data after plan document")
+	}
+	if err := p.Validate(nil); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Render serializes the plan to its canonical JSON form: nodes sorted by
+// id, edges by descending probability then target id, two-space indent,
+// trailing newline. Rendering a parsed document and re-parsing the output
+// is byte-stable (the golden round-trip property plan tests rely on).
+func (p *Plan) Render() ([]byte, error) {
+	c := p.Clone()
+	sort.Slice(c.Nodes, func(i, j int) bool { return c.Nodes[i].ID < c.Nodes[j].ID })
+	for _, n := range c.Nodes {
+		sort.SliceStable(n.Edges, func(i, j int) bool {
+			if n.Edges[i].Prob != n.Edges[j].Prob {
+				return n.Edges[i].Prob > n.Edges[j].Prob
+			}
+			return n.Edges[i].To < n.Edges[j].To
+		})
+	}
+	out, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("diagplan %s: render: %w", p.ID, err)
+	}
+	return append(out, '\n'), nil
+}
+
+// DOT renders the plan as a Graphviz digraph: entries as doubleoctagons,
+// collectors as folders, tests as boxes, causes as filled ellipses, edge
+// labels carrying the prior probabilities.
+func (p *Plan) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", p.ID)
+	b.WriteString("  rankdir=TB;\n")
+	nodes := append([]*Node(nil), p.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		shape := "box"
+		attrs := ""
+		switch n.Kind {
+		case KindEntry:
+			shape = "doubleoctagon"
+		case KindCollector:
+			shape = "folder"
+		case KindCause:
+			shape = "ellipse"
+			attrs = ", style=filled, fillcolor=lightpink"
+		}
+		label := n.ID
+		if n.CheckID != "" {
+			label += "\\n[" + n.CheckID + "]"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s, label=%q%s];\n", n.ID, shape, label, attrs)
+	}
+	for _, n := range nodes {
+		for _, e := range sortedEdges(n.Edges) {
+			if e.Prob > 0 {
+				fmt.Fprintf(&b, "  %q -> %q [label=\"%.2f\"];\n", n.ID, e.To, e.Prob)
+			} else {
+				fmt.Fprintf(&b, "  %q -> %q;\n", n.ID, e.To)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package diagplan
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+)
+
+// scenarioFS embeds the shipped scenario plan documents. Shipping them as
+// JSON (not Go builders) keeps the production load path identical to the
+// operator-authored one: parse, validate, walk.
+//
+//go:embed plans/*.json
+var scenarioFS embed.FS
+
+// ScenarioPlans parses the embedded scenario plan documents — the
+// diagnosis DAGs of the blue/green deploy and spot-rebalance scenarios —
+// sorted by plan id. The documents are validated at parse time; a broken
+// shipped plan is a build defect, so errors panic.
+func ScenarioPlans() []*Plan {
+	entries, err := scenarioFS.ReadDir("plans")
+	if err != nil {
+		panic(fmt.Sprintf("diagplan: embedded plans: %v", err))
+	}
+	var out []*Plan
+	for _, e := range entries {
+		data, err := scenarioFS.ReadFile("plans/" + e.Name())
+		if err != nil {
+			panic(fmt.Sprintf("diagplan: embedded plan %s: %v", e.Name(), err))
+		}
+		p, err := Parse(data)
+		if err != nil {
+			panic(fmt.Sprintf("diagplan: embedded plan %s: %v", e.Name(), err))
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ScenarioPlanSources returns the raw embedded scenario documents keyed
+// by file name — the golden round-trip tests and podlint's self-check
+// read them.
+func ScenarioPlanSources() map[string][]byte {
+	entries, err := scenarioFS.ReadDir("plans")
+	if err != nil {
+		panic(fmt.Sprintf("diagplan: embedded plans: %v", err))
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		data, err := scenarioFS.ReadFile("plans/" + e.Name())
+		if err != nil {
+			panic(fmt.Sprintf("diagplan: embedded plan %s: %v", e.Name(), err))
+		}
+		out[e.Name()] = data
+	}
+	return out
+}

@@ -118,6 +118,11 @@ type RunSpec struct {
 	// launch configuration appearing). Zero draws a random delay, as in
 	// the paper's "random point of time during rolling upgrade".
 	InjectDelay time.Duration `json:"injectDelay,omitempty"`
+	// ExpectedCauses lists extra root-cause node ids that count as a
+	// correct diagnosis of the run's ground truth. Scenario runs whose
+	// injected anomaly is not one of the 8 fault kinds (the spot
+	// interruption storm) set this instead of Fault.
+	ExpectedCauses []string `json:"expectedCauses,omitempty"`
 }
 
 // DetectionSummary condenses one detection for reporting.
@@ -188,8 +193,10 @@ type lane struct {
 }
 
 // newLane builds the lane's cloud and Manager. seed drives the cloud's
-// randomness.
-func newLane(cfg Config, seed int64) (*lane, error) {
+// randomness. mutate hooks, when given, adjust the ManagerConfig before
+// the Manager is built — scenario lanes use them to swap in their own
+// process model, assertion specification and plan catalog.
+func newLane(cfg Config, seed int64, mutate ...func(*core.ManagerConfig)) (*lane, error) {
 	cfg = cfg.withDefaults()
 	clk := clock.NewScaled(cfg.Scale, time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC))
 	bus := logging.NewBus()
@@ -213,7 +220,7 @@ func newLane(cfg Config, seed int64) (*lane, error) {
 	}
 	cloud := simaws.New(clk, profile, cloudOpts...)
 	cloud.Start()
-	mgr, err := core.NewManager(core.ManagerConfig{
+	mgrCfg := core.ManagerConfig{
 		Cloud:      cloud,
 		Bus:        bus,
 		LogTap:     logTap,
@@ -237,7 +244,11 @@ func newLane(cfg Config, seed int64) (*lane, error) {
 		StepTimeoutSlack:   cfg.StepTimeoutSlack,
 		DisableConformance: cfg.DisableConformance,
 		DisableAssertions:  cfg.DisableAssertions,
-	})
+	}
+	for _, m := range mutate {
+		m(&mgrCfg)
+	}
+	mgr, err := core.NewManager(mgrCfg)
 	if err != nil {
 		cloud.Stop()
 		bus.Close()
@@ -341,25 +352,7 @@ func (l *lane) runOne(ctx context.Context, spec RunSpec, appName string) (*RunRe
 	l.mgr.Remove(sess.ID())
 	injector.Heal()
 	_ = l.cloud.DeleteAutoScalingGroup(ctx, cluster.ASGName)
-	teardownDeadline := l.clk.Now().Add(5 * time.Minute)
-	for l.clk.Now().Before(teardownDeadline) {
-		insts, err := l.cloud.DescribeInstances(ctx)
-		if err != nil {
-			break
-		}
-		live := 0
-		for i := range insts {
-			if insts[i].Live() {
-				live++
-			}
-		}
-		if live == 0 {
-			break
-		}
-		if l.clk.Sleep(ctx, 5*time.Second) != nil {
-			break
-		}
-	}
+	l.awaitTeardown(ctx)
 	return res, nil
 }
 
@@ -439,7 +432,7 @@ func classify(res *RunResult, dets []core.Detection) {
 		}
 	}
 	res.FaultDiagnosed = faultEvents > 0
-	if res.Spec.Fault != 0 {
+	if res.Spec.Fault != 0 || len(res.Spec.ExpectedCauses) > 0 {
 		res.FaultDetected = faultEvents > 0 || unattributed > 0
 		if faultEvents == 0 && unattributed > 0 {
 			// One unattributed event stands in as the fault's (wrongly
@@ -483,6 +476,16 @@ func attribute(d core.Detection, spec RunSpec) string {
 	if spec.Fault != 0 {
 		for _, base := range spec.Fault.ExpectedRootCauses() {
 			if d.Diagnosis.HasCause(base) {
+				return "fault"
+			}
+		}
+	}
+	for _, base := range spec.ExpectedCauses {
+		if d.Diagnosis.HasCause(base) {
+			return "fault"
+		}
+		for _, s := range d.Diagnosis.Suspected {
+			if strings.HasPrefix(s.NodeID, base) {
 				return "fault"
 			}
 		}

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/faultinject"
+)
+
+func TestBlueGreenCleanRun(t *testing.T) {
+	res, err := RunBlueGreenOne(context.Background(), RunSpec{ID: 0, ClusterSize: 2, Seed: 11}, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpgradeErr != "" {
+		t.Fatalf("clean blue/green failed: %s", res.UpgradeErr)
+	}
+	if res.FaultDetected || res.FaultDiagnosed {
+		t.Error("fault flags set on clean run")
+	}
+	for _, d := range res.Detections {
+		if d.Attribution == "fault" {
+			t.Errorf("fault attribution on clean run: %+v", d)
+		}
+	}
+}
+
+func TestBlueGreenDiagnosesInjectedFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario fault runs are slow")
+	}
+	for i, kind := range []faultinject.Kind{faultinject.KindAMIChanged, faultinject.KindKeyPairUnavailable} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			res, err := RunBlueGreenOne(context.Background(), RunSpec{
+				ID: 10 + i, Fault: kind, ClusterSize: 2,
+				Seed: int64(50 + i), InjectDelay: time.Second,
+			}, fastCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.FaultDetected {
+				t.Fatalf("fault undetected; detections: %+v", res.Detections)
+			}
+			if !res.FaultDiagnosed {
+				t.Errorf("fault detected but not diagnosed; detections: %+v", res.Detections)
+			}
+		})
+	}
+}
+
+func TestSpotStormCleanRun(t *testing.T) {
+	// A storm of zero: the watch window passes with no interruptions.
+	res, err := RunSpotStormOne(context.Background(), RunSpec{
+		ID: 20, ClusterSize: 2, Seed: 21,
+		// InjectDelay beyond the watch window keeps the lane clean; the
+		// storm fires into an already-draining cloud.
+		InjectDelay: time.Hour,
+	}, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpgradeErr != "" {
+		t.Fatalf("clean watch failed: %s", res.UpgradeErr)
+	}
+	if res.FaultDiagnosed {
+		t.Errorf("termination diagnosed with no storm: %+v", res.Detections)
+	}
+}
+
+func TestSpotStormDiagnosedAsExternalTermination(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario fault runs are slow")
+	}
+	res, err := RunSpotStormOne(context.Background(), RunSpec{
+		ID: 21, ClusterSize: 3, Seed: 23, InjectDelay: 15 * time.Second,
+	}, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpgradeErr != "" {
+		t.Fatalf("watch failed to recover: %s", res.UpgradeErr)
+	}
+	if !res.FaultDetected {
+		t.Fatalf("storm undetected; detections: %+v", res.Detections)
+	}
+	if !res.FaultDiagnosed {
+		t.Errorf("storm not diagnosed as unexpected-termination; detections: %+v", res.Detections)
+	}
+	if res.BrokenEvidenceChains != 0 {
+		t.Errorf("%d broken evidence chains", res.BrokenEvidenceChains)
+	}
+}

@@ -178,9 +178,18 @@ func (inj *Injector) Heal() {
 }
 
 // flipLaunchConfig simulates a concurrent independent team switching the
-// ASG to a launch configuration that differs in one dimension.
+// ASG to a launch configuration that differs in one dimension. The group
+// may not exist yet when the flip fires — blue/green deploys create the
+// launch configuration first and the group moments later — so the
+// describe polls briefly for the group to appear.
 func (inj *Injector) flipLaunchConfig(ctx context.Context, dim string) error {
 	asg, err := inj.cloud.DescribeAutoScalingGroup(ctx, inj.cluster.ASGName)
+	for deadline := inj.clk.Now().Add(2 * time.Minute); err != nil && simaws.IsNotFound(err) && inj.clk.Now().Before(deadline); {
+		if serr := inj.clk.Sleep(ctx, time.Second); serr != nil {
+			return serr
+		}
+		asg, err = inj.cloud.DescribeAutoScalingGroup(ctx, inj.cluster.ASGName)
+	}
 	if err != nil {
 		return fmt.Errorf("faultinject: %w", err)
 	}
@@ -236,6 +245,59 @@ func (inj *Injector) waitThen(ctx context.Context, newLCName string, f func() er
 		}
 	}
 	return f()
+}
+
+// Storm models a spot-capacity interruption storm: after delay, count
+// in-service instances of the cluster's group are reclaimed, interval
+// apart. The terminations go through the plain TerminateInstance API —
+// the "operator" principal in the audit trail — so the
+// no-external-termination diagnosis test attributes them, exactly like
+// the paper's termination interference (§V.B). Storm is the ground truth
+// of the spot-rebalance scenario, not one of the 8 fault kinds.
+func (inj *Injector) Storm(ctx context.Context, count int, delay, interval time.Duration) error {
+	if err := inj.clk.Sleep(ctx, delay); err != nil {
+		return err
+	}
+	for i := 0; i < count; i++ {
+		if i > 0 {
+			if err := inj.clk.Sleep(ctx, interval); err != nil {
+				return err
+			}
+		}
+		// The reclamation service is external to the application's account:
+		// it rides out throttling instead of giving up.
+		instances, err := inj.cloud.DescribeInstances(ctx)
+		for err != nil && simaws.IsRetryable(err) {
+			if serr := inj.clk.Sleep(ctx, time.Second); serr != nil {
+				return serr
+			}
+			instances, err = inj.cloud.DescribeInstances(ctx)
+		}
+		if err != nil {
+			return fmt.Errorf("faultinject: %w", err)
+		}
+		var candidates []string
+		for _, inst := range instances {
+			if inst.ASGName == inj.cluster.ASGName && inst.State == simaws.StateInService {
+				candidates = append(candidates, inst.ID)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		victim := candidates[inj.rng.Intn(len(candidates))]
+		err = inj.cloud.TerminateInstance(ctx, victim)
+		for err != nil && simaws.IsRetryable(err) {
+			if serr := inj.clk.Sleep(ctx, time.Second); serr != nil {
+				return serr
+			}
+			err = inj.cloud.TerminateInstance(ctx, victim)
+		}
+		if err != nil {
+			return fmt.Errorf("faultinject: %w", err)
+		}
+	}
+	return nil
 }
 
 // Interference is a legitimate simultaneous operation used to confound

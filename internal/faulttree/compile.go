@@ -1,0 +1,104 @@
+package faulttree
+
+import (
+	"fmt"
+
+	"poddiagnosis/internal/diagplan"
+)
+
+// Compile lowers the fault tree into an equivalent diagnosis plan. The
+// tree shape is a special case of the DAG document model: the root
+// becomes the entry node, each parent/child link becomes a probability-
+// weighted edge, and node ids, checks, step scopes, and test classes
+// carry over unchanged. A compiled plan has no fan-in, so the plan walk
+// visits it exactly like the old tree walk did.
+func (t *Tree) Compile() (*diagplan.Plan, error) {
+	if t.Root == nil {
+		return nil, fmt.Errorf("faulttree %s: nil root", t.ID)
+	}
+	p := &diagplan.Plan{
+		ID:          t.ID,
+		AssertionID: t.AssertionID,
+		Description: t.Root.Description,
+		Entry:       t.Root.ID,
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		pn := &diagplan.Node{
+			ID:          n.ID,
+			Kind:        compiledKind(n, n == t.Root),
+			Description: n.Description,
+			CheckID:     n.CheckID,
+			CheckParams: n.CheckParams.Clone(),
+			TestClass:   n.TestClass,
+			Steps:       append([]string(nil), n.Steps...),
+		}
+		for _, c := range n.Children {
+			pn.Edges = append(pn.Edges, diagplan.Edge{To: c.ID, Prob: c.Prob})
+		}
+		p.Nodes = append(p.Nodes, pn)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	if err := p.Validate(nil); err != nil {
+		return nil, fmt.Errorf("faulttree %s: compiled plan invalid: %w", t.ID, err)
+	}
+	return p, nil
+}
+
+// compiledKind maps a tree node onto the plan kind vocabulary.
+func compiledKind(n *Node, isRoot bool) diagplan.Kind {
+	switch {
+	case isRoot:
+		return diagplan.KindEntry
+	case n.RootCause:
+		return diagplan.KindCause
+	case n.CheckID != "":
+		return diagplan.KindTest
+	default:
+		return diagplan.KindCollector
+	}
+}
+
+// Compile lowers every registered tree into a plan catalog. Plan ids
+// equal tree ids, so anything keyed by tree id (flight-recorder paths,
+// experiment attributions) keeps resolving.
+func (r *Repository) Compile() (*diagplan.Catalog, error) {
+	c := diagplan.NewCatalog()
+	for _, t := range r.All() {
+		p, err := t.Compile()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Register(p); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// DefaultCatalog compiles the rolling-upgrade fault-tree knowledge base
+// (the paper's Figure 5) into a diagnosis plan catalog. This is the
+// compatibility path: the diagnosis engine only walks plans, and the
+// legacy trees reach it through here.
+func DefaultCatalog() *diagplan.Catalog {
+	c, err := DefaultRepository().Compile()
+	if err != nil {
+		panic(err) // the shipped catalog is a build artifact
+	}
+	return c
+}
+
+// FullCatalog extends DefaultCatalog with the native DAG scenario plans
+// (blue/green deploy, spot rebalance). Scenario plan nodes are scoped to
+// bgstepN/ssstepN contexts, so rolling-upgrade diagnoses prune them away
+// and vice versa.
+func FullCatalog() *diagplan.Catalog {
+	c := DefaultCatalog()
+	for _, p := range diagplan.ScenarioPlans() {
+		c.MustRegister(p)
+	}
+	return c
+}

@@ -1,0 +1,147 @@
+package faulttree
+
+import (
+	"testing"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/diagplan"
+)
+
+func TestCompilePreservesStructure(t *testing.T) {
+	tree := versionCountTree()
+	p, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != tree.ID || p.AssertionID != tree.AssertionID || p.Entry != tree.Root.ID {
+		t.Fatalf("compiled header mismatch: %+v", p)
+	}
+	if err := p.Validate(assertion.DefaultRegistry()); err != nil {
+		t.Fatalf("compiled plan invalid: %v", err)
+	}
+
+	// Same causes, same visit order.
+	wantCauses := tree.PotentialRootCauses()
+	gotCauses := p.PotentialRootCauses()
+	if len(wantCauses) != len(gotCauses) {
+		t.Fatalf("cause count: tree %d, plan %d", len(wantCauses), len(gotCauses))
+	}
+	for i := range wantCauses {
+		if wantCauses[i].ID != gotCauses[i].ID {
+			t.Fatalf("cause %d: tree %s, plan %s", i, wantCauses[i].ID, gotCauses[i].ID)
+		}
+		if wantCauses[i].CheckID != gotCauses[i].CheckID {
+			t.Fatalf("cause %s check mismatch", wantCauses[i].ID)
+		}
+	}
+
+	// Sibling visit order under the entry matches SortedChildren.
+	wantKids := SortedChildren(tree.Root)
+	gotKids := p.Children(p.EntryNode())
+	if len(wantKids) != len(gotKids) {
+		t.Fatalf("child count mismatch")
+	}
+	for i := range wantKids {
+		if wantKids[i].ID != gotKids[i].ID {
+			t.Fatalf("child %d: tree %s, plan %s", i, wantKids[i].ID, gotKids[i].ID)
+		}
+	}
+
+	// Compiled kinds: root is the entry, root causes are causes, checked
+	// interiors are tests.
+	if p.EntryNode().Kind != diagplan.KindEntry {
+		t.Fatal("root should compile to entry")
+	}
+	if n := p.Node("wrong-ami"); n == nil || n.Kind != diagplan.KindCause {
+		t.Fatalf("wrong-ami kind = %v", n)
+	}
+	if n := p.Node("elb-problems"); n == nil || n.Kind != diagplan.KindTest {
+		t.Fatalf("elb-problems kind = %v", n)
+	}
+}
+
+func TestCompilePreservesPruning(t *testing.T) {
+	tree := versionCountTree()
+	p, err := tree.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []string{"step2", "step5", "step8", "", "bgstep4"} {
+		prunedTree := tree.Prune(step)
+		prunedPlan := p.Prune(step)
+		var want []string
+		if prunedTree != nil {
+			for _, c := range prunedTree.PotentialRootCauses() {
+				want = append(want, c.ID)
+			}
+		}
+		var got []string
+		for _, c := range prunedPlan.PotentialRootCauses() {
+			got = append(got, c.ID)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("step %q: tree causes %v, plan causes %v", step, want, got)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("step %q: tree causes %v, plan causes %v", step, want, got)
+			}
+		}
+	}
+}
+
+func TestDefaultCatalogParity(t *testing.T) {
+	repo := DefaultRepository()
+	cat := DefaultCatalog()
+	if len(cat.All()) != len(repo.All()) {
+		t.Fatalf("catalog has %d plans, repository %d trees", len(cat.All()), len(repo.All()))
+	}
+	for _, tree := range repo.All() {
+		p := cat.Get(tree.ID)
+		if p == nil {
+			t.Fatalf("no plan for tree %s", tree.ID)
+		}
+		if len(cat.Select(tree.AssertionID)) == 0 {
+			t.Fatalf("Select(%s) empty", tree.AssertionID)
+		}
+	}
+	if err := cat.Validate(assertion.DefaultRegistry()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullCatalogAddsScenarios(t *testing.T) {
+	cat := FullCatalog()
+	if err := cat.Validate(assertion.DefaultRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"plan-bluegreen", "plan-bluegreen-elb", "plan-bluegreen-lc", "plan-spot-rebalance", "ft-version-count"} {
+		if cat.Get(id) == nil {
+			t.Fatalf("FullCatalog missing %s", id)
+		}
+	}
+	// Scenario plans and compiled upgrade trees select on the same
+	// assertion ids but are disjoint under step pruning: in a rolling
+	// upgrade context the scenario plan reduces to its bare entry.
+	for _, p := range cat.Select(assertion.CheckASGVersionCount) {
+		pruned := p.Prune("step3")
+		causes := len(pruned.PotentialRootCauses())
+		if p.ID == "plan-bluegreen" && causes != 0 {
+			t.Fatalf("plan-bluegreen should prune to no causes under step3, got %d", causes)
+		}
+		if p.ID == "ft-version-count" && causes == 0 {
+			t.Fatal("ft-version-count lost its causes under step3")
+		}
+	}
+	// And vice versa under a blue/green step.
+	for _, p := range cat.Select(assertion.CheckASGVersionCount) {
+		pruned := p.Prune("bgstep4")
+		causes := len(pruned.PotentialRootCauses())
+		if p.ID == "plan-bluegreen" && causes == 0 {
+			t.Fatal("plan-bluegreen lost its causes under bgstep4")
+		}
+		if p.ID == "ft-version-count" && causes != 0 {
+			t.Fatalf("ft-version-count should prune to no causes under bgstep4, got %d", causes)
+		}
+	}
+}

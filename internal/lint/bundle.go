@@ -6,6 +6,7 @@ import (
 
 	"poddiagnosis/internal/assertion"
 	"poddiagnosis/internal/assertspec"
+	"poddiagnosis/internal/diagplan"
 	"poddiagnosis/internal/faulttree"
 	"poddiagnosis/internal/process"
 )
@@ -19,9 +20,9 @@ type NamedSpec struct {
 }
 
 // Bundle is one operation's complete artifact set: the process model, the
-// assertion specifications bound to it, the fault-tree repository consulted
+// assertion specifications bound to it, the diagnosis-plan catalog consulted
 // when those assertions fail, and the check registry everything references.
-// Trees and Registry are typically shared between bundles (the deployment
+// Plans and Registry are typically shared between bundles (the deployment
 // runs one diagnosis engine for all operations).
 type Bundle struct {
 	// Name labels the bundle in findings.
@@ -30,20 +31,20 @@ type Bundle struct {
 	Model *process.Model
 	// Specs are the assertion specifications triggered from the model.
 	Specs []NamedSpec
-	// Trees is the fault-tree repository.
-	Trees *faulttree.Repository
+	// Plans is the diagnosis-plan catalog.
+	Plans *diagplan.Catalog
 	// Registry is the assertion check registry.
 	Registry *assertion.Registry
 }
 
 // LintBundles cross-validates a set of operation bundles: each model, spec
-// and tree individually, the per-bundle trigger chain (XC001, XC002), and —
-// because fault trees are shared between operations — tree triggerability
-// (XC003) against the union of every bundle's specifications. Shared
-// repositories are linted once.
+// and plan individually, the per-bundle trigger chain (XC001, XC002), and —
+// because diagnosis plans are shared between operations — plan
+// triggerability (XC003) against the union of every bundle's
+// specifications. Shared catalogs are linted once.
 func LintBundles(bundles ...Bundle) []Finding {
 	var fs []Finding
-	seenRepo := make(map[*faulttree.Repository]bool)
+	seenCat := make(map[*diagplan.Catalog]bool)
 	allBound := make(map[string]bool) // checks bound by any spec of any bundle
 
 	for _, b := range bundles {
@@ -89,29 +90,27 @@ func LintBundles(bundles ...Bundle) []Finding {
 			}
 		}
 
-		// XC002: every spec-bound assertion needs a fault tree, or its
+		// XC002: every spec-bound assertion needs a diagnosis plan, or its
 		// failure is detected but undiagnosable.
-		if b.Trees != nil {
+		if b.Plans != nil {
 			for _, checkID := range sortedKeys(bound) {
-				if len(b.Trees.Select(checkID)) == 0 {
+				if len(b.Plans.Select(checkID)) == 0 {
 					fs = append(fs, finding(RuleCoverageAssertionNoTree, fmt.Sprintf("bundle:%s/check:%s", b.Name, checkID),
-						"assertion %q is bound by a specification but has no fault tree", checkID))
+						"assertion %q is bound by a specification but has no diagnosis plan", checkID))
 				}
 			}
 		}
 
-		if b.Trees != nil && !seenRepo[b.Trees] {
-			seenRepo[b.Trees] = true
-			trees := b.Trees.All()
-			sort.Slice(trees, func(i, j int) bool { return trees[i].ID < trees[j].ID })
-			for _, t := range trees {
-				fs = append(fs, LintTree(t, b.Registry)...)
-				// XC003: a tree whose assertion no specification binds can
+		if b.Plans != nil && !seenCat[b.Plans] {
+			seenCat[b.Plans] = true
+			for _, p := range b.Plans.All() {
+				fs = append(fs, LintPlan(p, b.Registry)...)
+				// XC003: a plan whose assertion no specification binds can
 				// only fire through on-demand diagnosis; in the normal
 				// trigger chain it is dead weight.
-				if !allBound[t.AssertionID] {
-					fs = append(fs, finding(RuleCoverageTreeNeverTrigger, treePos(t.ID, ""),
-						"assertion %q is bound by no specification; the tree never fires from monitoring", t.AssertionID))
+				if !allBound[p.AssertionID] {
+					fs = append(fs, finding(RuleCoverageTreeNeverTrigger, planPos(p.ID, ""),
+						"assertion %q is bound by no specification; the plan never fires from monitoring", p.AssertionID))
 				}
 			}
 		}
@@ -120,30 +119,53 @@ func LintBundles(bundles ...Bundle) []Finding {
 	return fs
 }
 
-// Builtins returns the bundles every shipped binary deploys: the
-// rolling-upgrade and scale-out operations over the default registry and
-// the shared fault-tree catalog. cmd/podlint lints these by default, and
-// the regression tests pin them to zero errors.
+// Builtins returns the bundles every shipped binary deploys: the built-in
+// operations over the default registry and the full diagnosis-plan catalog
+// (the compiled fault-tree knowledge base plus the scenario plans).
+// cmd/podlint lints these by default, and the regression tests pin them to
+// zero errors.
 func Builtins() ([]Bundle, error) {
 	reg := assertion.DefaultRegistry()
-	repo := faulttree.DefaultRepository()
+	cat := faulttree.FullCatalog()
 	soSpec, err := assertspec.Parse(process.ScaleOutSpecText, reg)
 	if err != nil {
 		return nil, fmt.Errorf("lint: parse scale-out spec: %w", err)
+	}
+	bgSpec, err := assertspec.Parse(process.BlueGreenSpecText, reg)
+	if err != nil {
+		return nil, fmt.Errorf("lint: parse blue/green spec: %w", err)
+	}
+	ssSpec, err := assertspec.Parse(process.SpotRebalanceSpecText, reg)
+	if err != nil {
+		return nil, fmt.Errorf("lint: parse spot-rebalance spec: %w", err)
 	}
 	return []Bundle{
 		{
 			Name:     "rolling-upgrade",
 			Model:    process.RollingUpgradeModel(),
 			Specs:    []NamedSpec{{Name: "default-spec", Spec: assertspec.DefaultSpec()}},
-			Trees:    repo,
+			Plans:    cat,
 			Registry: reg,
 		},
 		{
 			Name:     "scale-out",
 			Model:    process.ScaleOutModel(),
 			Specs:    []NamedSpec{{Name: "scale-out-spec", Spec: soSpec}},
-			Trees:    repo,
+			Plans:    cat,
+			Registry: reg,
+		},
+		{
+			Name:     "blue-green",
+			Model:    process.BlueGreenModel(),
+			Specs:    []NamedSpec{{Name: "blue-green-spec", Spec: bgSpec}},
+			Plans:    cat,
+			Registry: reg,
+		},
+		{
+			Name:     "spot-rebalance",
+			Model:    process.SpotRebalanceModel(),
+			Specs:    []NamedSpec{{Name: "spot-rebalance-spec", Spec: ssSpec}},
+			Plans:    cat,
 			Registry: reg,
 		},
 	}, nil

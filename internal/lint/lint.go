@@ -1,16 +1,17 @@
 // Package lint is the static-analysis suite guarding the correctness of
 // POD-Diagnosis's operator-authored artifacts and of the Go source itself.
 //
-// POD-Diagnosis is only as correct as its models: a fault tree with a
+// POD-Diagnosis is only as correct as its models: a diagnosis plan with a
 // dangling diagnosis-test reference, an assertion spec bound to a step the
 // process model does not define, or an unreachable root cause is silently
 // wrong until the exact failure that needs it. The package therefore lints
 // on two fronts:
 //
 //   - Model linting: process models (built or raw JSON documents),
-//     assertion specifications, and fault-tree catalogs are validated
+//     assertion specifications, and diagnosis-plan catalogs are validated
 //     individually and cross-validated as a Bundle — the paper's §IV
-//     trigger chain (process step → assertion → fault tree) must be closed.
+//     trigger chain (process step → assertion → diagnosis plan) must be
+//     closed.
 //
 //   - Source analyzers: go/ast passes over the repository enforce project
 //     invariants — no wall-clock reads outside internal/clock, metric
@@ -91,8 +92,9 @@ func (f Finding) String() string {
 
 // Rule IDs. The IDs are stable across releases: suppression comments,
 // CI dashboards and the documentation key off them. PM rules lint process
-// models, AS rules assertion specifications, FT rules fault trees, XC rules
-// the cross-artifact trigger chain, GO rules the Go source.
+// models, AS rules assertion specifications, DG rules diagnosis plans
+// (which replaced the retired tree-only FT rules), XC rules the
+// cross-artifact trigger chain, GO rules the Go source.
 const (
 	RuleModelUnreachable   = "PM001"
 	RuleModelDeadEnd       = "PM002"
@@ -106,15 +108,16 @@ const (
 	RuleSpecUnknownStep      = "AS002"
 	RuleSpecDuplicateBinding = "AS003"
 
-	RuleTreeDanglingCheck   = "FT001"
-	RuleTreeCycle           = "FT002"
-	RuleTreeDupSiblingProb  = "FT003"
-	RuleTreeZeroSiblingProb = "FT004"
-	RuleTreeDegenerateGate  = "FT005"
-	RuleTreeStepDisjoint    = "FT006"
-	RuleTreeUntestableCause = "FT007"
-	RuleTreeDuplicateNodeID = "FT008"
-	RuleTreeNoTestClass     = "FT009"
+	RulePlanDanglingCheck   = "DG001"
+	RulePlanCycle           = "DG002"
+	RulePlanDupSiblingProb  = "DG003"
+	RulePlanZeroSiblingProb = "DG004"
+	RulePlanUnreachable     = "DG005"
+	RulePlanStepDisjoint    = "DG006"
+	RulePlanUntestableCause = "DG007"
+	RulePlanFanInMass       = "DG008"
+	RulePlanNoTestClass     = "DG009"
+	RulePlanShape           = "DG010"
 
 	RuleCoverageStepNoAssertion  = "XC001"
 	RuleCoverageAssertionNoTree  = "XC002"
@@ -155,15 +158,16 @@ var ruleTable = map[string]RuleInfo{
 	RuleSpecUnknownStep:      {RuleSpecUnknownStep, SevError, "model", "assertion binding references a step the process model does not define"},
 	RuleSpecDuplicateBinding: {RuleSpecDuplicateBinding, SevWarning, "model", "identical assertion binding appears twice"},
 
-	RuleTreeDanglingCheck:   {RuleTreeDanglingCheck, SevError, "model", "fault-tree node references an unregistered diagnosis test"},
-	RuleTreeCycle:           {RuleTreeCycle, SevError, "model", "fault tree contains a cycle (node reachable from itself)"},
-	RuleTreeDupSiblingProb:  {RuleTreeDupSiblingProb, SevError, "model", "sibling fault probabilities tie — probability-ordered visit is underdetermined"},
-	RuleTreeZeroSiblingProb: {RuleTreeZeroSiblingProb, SevError, "model", "sibling with zero prior probability in a multi-child group"},
-	RuleTreeDegenerateGate:  {RuleTreeDegenerateGate, SevWarning, "model", "interior gate with a single child (degenerate OR)"},
-	RuleTreeStepDisjoint:    {RuleTreeStepDisjoint, SevWarning, "model", "node's step scope is disjoint from an ancestor's — unreachable under any step context"},
-	RuleTreeUntestableCause: {RuleTreeUntestableCause, SevWarning, "model", "root cause carries no diagnosis test and can never be confirmed"},
-	RuleTreeDuplicateNodeID: {RuleTreeDuplicateNodeID, SevError, "model", "duplicate node id within one fault tree"},
-	RuleTreeNoTestClass:     {RuleTreeNoTestClass, SevWarning, "model", "diagnosis test lacks a timeout/retry classification (TestClass) — the resilience layer cannot tell whether retrying is safe"},
+	RulePlanDanglingCheck:   {RulePlanDanglingCheck, SevError, "model", "diagnosis-plan node references an unregistered diagnosis test"},
+	RulePlanCycle:           {RulePlanCycle, SevError, "model", "diagnosis plan contains a cycle (node reachable from itself)"},
+	RulePlanDupSiblingProb:  {RulePlanDupSiblingProb, SevError, "model", "sibling edge probabilities tie — probability-ordered visit is underdetermined"},
+	RulePlanZeroSiblingProb: {RulePlanZeroSiblingProb, SevError, "model", "edge with zero prior probability in a multi-edge group"},
+	RulePlanUnreachable:     {RulePlanUnreachable, SevError, "model", "plan node unreachable from the entry (orphan — no walk ever visits it)"},
+	RulePlanStepDisjoint:    {RulePlanStepDisjoint, SevWarning, "model", "edge joins disjoint step scopes — dead under any non-empty step context"},
+	RulePlanUntestableCause: {RulePlanUntestableCause, SevWarning, "model", "cause carries no diagnosis test and can never be confirmed"},
+	RulePlanFanInMass:       {RulePlanFanInMass, SevWarning, "model", "fan-in node's incoming prior probabilities sum past 1"},
+	RulePlanNoTestClass:     {RulePlanNoTestClass, SevWarning, "model", "diagnosis test lacks a timeout/retry classification (testClass) — the resilience layer cannot tell whether retrying is safe"},
+	RulePlanShape:           {RulePlanShape, SevError, "model", "structural defect: duplicate id, missing/checked entry, cause with edges, dangling or duplicate edge, unknown kind"},
 
 	RuleCoverageStepNoAssertion:  {RuleCoverageStepNoAssertion, SevWarning, "model", "process step has no assertion bound (trigger chain gap)"},
 	RuleCoverageAssertionNoTree:  {RuleCoverageAssertionNoTree, SevError, "model", "spec-bound assertion has no fault tree — its failure cannot be diagnosed"},

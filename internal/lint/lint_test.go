@@ -8,7 +8,7 @@ import (
 
 	"poddiagnosis/internal/assertion"
 	"poddiagnosis/internal/assertspec"
-	"poddiagnosis/internal/faulttree"
+	"poddiagnosis/internal/diagplan"
 	"poddiagnosis/internal/process"
 )
 
@@ -37,6 +37,20 @@ func fixtureRegistry() *assertion.Registry {
 	reg := assertion.NewRegistry()
 	reg.Register(assertion.Check{ID: "known", Description: "fixture check"})
 	return reg
+}
+
+// neverFiresPlan is a well-formed plan whose assertion no spec binds (XC003).
+func neverFiresPlan() *diagplan.Plan {
+	return &diagplan.Plan{
+		ID: "never-fires", AssertionID: "unbound", Entry: "t",
+		Nodes: []*diagplan.Node{
+			{ID: "t", Kind: diagplan.KindEntry, Edges: []diagplan.Edge{
+				{To: "c1", Prob: 0.6}, {To: "c2", Prob: 0.4},
+			}},
+			{ID: "c1", Kind: diagplan.KindCause, CheckID: "known", TestClass: diagplan.TestClassRetryable},
+			{ID: "c2", Kind: diagplan.KindCause, CheckID: "known", TestClass: diagplan.TestClassRetryable},
+		},
+	}
 }
 
 // --- model rules ---------------------------------------------------------
@@ -124,37 +138,50 @@ on step1 assert missing
 	}
 }
 
-// --- fault-tree rules ----------------------------------------------------
+// --- diagnosis-plan rules -------------------------------------------------
 
-func TestLintTreeSeedsEveryFTRule(t *testing.T) {
-	reg := fixtureRegistry()
-
-	cyclic := &faulttree.Node{ID: "loop"}
-	cyclic.Children = []*faulttree.Node{cyclic}
-
-	tree := &faulttree.Tree{
-		ID:          "broken",
-		AssertionID: "known",
-		Root: &faulttree.Node{
-			ID:    "top",
-			Steps: []string{"step1"},
-			Children: []*faulttree.Node{
-				{ID: "dangling", CheckID: "missing", Prob: 0.4, RootCause: true},                          // FT001
-				{ID: "untestable", Prob: 0.3, RootCause: true},                                            // FT007
-				{ID: "zero", CheckID: "known", RootCause: true},                                           // FT004 (Prob 0); no TestClass → FT009
-				{ID: "tie-a", CheckID: "known", Prob: 0.1, RootCause: true},                               // FT003 with tie-b
-				{ID: "tie-b", CheckID: "known", Prob: 0.1, RootCause: true},                               //
-				{ID: "gate", Prob: 0.05, Children: []*faulttree.Node{cyclic}},                             // FT005, then FT002 below
-				{ID: "top", Prob: 0.02, CheckID: "known", RootCause: true},                                // FT008 (dup of root id)
-				{ID: "off-step", Steps: []string{"step9"}, Prob: 0.01, CheckID: "known", RootCause: true}, // FT006
-			},
+// brokenPlan seeds one violation for every DG rule.
+func brokenPlan() *diagplan.Plan {
+	retryable := diagplan.TestClassRetryable
+	return &diagplan.Plan{
+		ID: "broken", AssertionID: "known", Entry: "top",
+		Nodes: []*diagplan.Node{
+			{ID: "top", Kind: diagplan.KindEntry, Edges: []diagplan.Edge{
+				{To: "dangling", Prob: 0.4},
+				{To: "untestable", Prob: 0.3},
+				{To: "zero"},             // DG004 (zero prior)
+				{To: "tie-a", Prob: 0.1}, // DG003 with tie-b
+				{To: "tie-b", Prob: 0.1},
+				{To: "gate", Prob: 0.05},
+				{To: "shared", Prob: 0.62},
+				{To: "loop-a", Prob: 0.02},
+			}},
+			{ID: "dangling", Kind: diagplan.KindCause, CheckID: "missing"}, // DG001; no testClass → DG009
+			{ID: "untestable", Kind: diagplan.KindCause},                   // DG007
+			{ID: "zero", Kind: diagplan.KindCause, CheckID: "known", TestClass: retryable},
+			{ID: "tie-a", Kind: diagplan.KindCause, CheckID: "known", TestClass: retryable},
+			{ID: "tie-b", Kind: diagplan.KindCause, CheckID: "known", TestClass: retryable},
+			{ID: "gate", Kind: diagplan.KindCollector, Steps: []string{"step1"}, Edges: []diagplan.Edge{
+				{To: "off-step", Prob: 0.7},
+				{To: "shared", Prob: 0.62}, // DG008: shared accumulates 1.24
+			}},
+			{ID: "off-step", Kind: diagplan.KindCause, CheckID: "known", TestClass: retryable,
+				Steps: []string{"step9"}}, // DG006: disjoint from gate's scope
+			{ID: "shared", Kind: diagplan.KindCause, CheckID: "known", TestClass: retryable},
+			{ID: "loop-a", Kind: diagplan.KindCollector, Edges: []diagplan.Edge{{To: "loop-b", Prob: 1}}},
+			{ID: "loop-b", Kind: diagplan.KindCollector, Edges: []diagplan.Edge{{To: "loop-a", Prob: 1}}}, // DG002
+			{ID: "orphan", Kind: diagplan.KindCause, CheckID: "known", TestClass: retryable},              // DG005
+			{ID: "top", Kind: diagplan.KindCause, CheckID: "known", TestClass: retryable},                 // DG010 (dup id)
 		},
 	}
-	fs := LintTree(tree, reg)
+}
+
+func TestLintPlanSeedsEveryDGRule(t *testing.T) {
+	fs := LintPlan(brokenPlan(), fixtureRegistry())
 	for _, rule := range []string{
-		RuleTreeDanglingCheck, RuleTreeCycle, RuleTreeDupSiblingProb, RuleTreeZeroSiblingProb,
-		RuleTreeDegenerateGate, RuleTreeStepDisjoint, RuleTreeUntestableCause, RuleTreeDuplicateNodeID,
-		RuleTreeNoTestClass,
+		RulePlanDanglingCheck, RulePlanCycle, RulePlanDupSiblingProb, RulePlanZeroSiblingProb,
+		RulePlanUnreachable, RulePlanStepDisjoint, RulePlanUntestableCause, RulePlanFanInMass,
+		RulePlanNoTestClass, RulePlanShape,
 	} {
 		if !hasRule(fs, rule) {
 			t.Errorf("expected %s in:\n%s", rule, render(fs))
@@ -162,13 +189,35 @@ func TestLintTreeSeedsEveryFTRule(t *testing.T) {
 	}
 }
 
-func TestLintTreeTerminatesOnCycle(t *testing.T) {
-	a := &faulttree.Node{ID: "a"}
-	b := &faulttree.Node{ID: "b", Children: []*faulttree.Node{a}}
-	a.Children = []*faulttree.Node{b}
-	fs := LintTree(&faulttree.Tree{ID: "cyc", AssertionID: "known", Root: a}, nil)
-	if !hasRule(fs, RuleTreeCycle) {
-		t.Fatalf("want FT002, got %s", render(fs))
+func TestLintPlanTerminatesOnCycle(t *testing.T) {
+	p := &diagplan.Plan{
+		ID: "cyc", AssertionID: "known", Entry: "e",
+		Nodes: []*diagplan.Node{
+			{ID: "e", Kind: diagplan.KindEntry, Edges: []diagplan.Edge{{To: "a", Prob: 1}}},
+			{ID: "a", Kind: diagplan.KindCollector, Edges: []diagplan.Edge{{To: "b", Prob: 1}}},
+			{ID: "b", Kind: diagplan.KindCollector, Edges: []diagplan.Edge{{To: "a", Prob: 1}}},
+		},
+	}
+	fs := LintPlan(p, nil)
+	if !hasRule(fs, RulePlanCycle) {
+		t.Fatalf("want DG002, got %s", render(fs))
+	}
+}
+
+func TestLintPlanDocRejectsGarbage(t *testing.T) {
+	fs := LintPlanDoc("junk.json", []byte("{nope"))
+	if len(fs) != 1 || fs[0].Rule != RulePlanShape {
+		t.Fatalf("want one DG010, got %s", render(fs))
+	}
+}
+
+// The embedded scenario plan documents must lint clean through the raw-doc
+// path podlint uses for examples/ (registry-independent rules only).
+func TestScenarioPlanDocsLintClean(t *testing.T) {
+	for name, data := range diagplan.ScenarioPlanSources() {
+		if fs := LintPlanDoc(name, data); len(fs) != 0 {
+			t.Errorf("plan doc %s: unexpected findings:\n%s", name, render(fs))
+		}
 	}
 }
 
@@ -180,20 +229,13 @@ func TestLintBundlesSeedsEveryXCRule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	repo := faulttree.NewRepository()
-	repo.Register(&faulttree.Tree{
-		ID:          "never-fires",
-		AssertionID: "unbound",
-		Root: &faulttree.Node{ID: "top", Children: []*faulttree.Node{
-			{ID: "c1", Prob: 0.6, CheckID: "known", RootCause: true},
-			{ID: "c2", Prob: 0.4, CheckID: "known", RootCause: true},
-		}},
-	})
+	cat := diagplan.NewCatalog()
+	cat.MustRegister(neverFiresPlan())
 	fs := LintBundles(Bundle{
 		Name:     "fixture",
 		Model:    process.RollingUpgradeModel(),
 		Specs:    []NamedSpec{{Name: "fixture-spec", Spec: spec}},
-		Trees:    repo,
+		Plans:    cat,
 		Registry: reg,
 	})
 	if !hasRule(fs, RuleCoverageStepNoAssertion) { // steps beyond step1 are bare
@@ -443,37 +485,19 @@ func TestEveryRuleHasCoverage(t *testing.T) {
 	}
 	all = append(all, LintSpec("fixture", spec, process.RollingUpgradeModel(), fixtureRegistry())...)
 
-	cyclic := &faulttree.Node{ID: "loop"}
-	cyclic.Children = []*faulttree.Node{cyclic}
-	all = append(all, LintTree(&faulttree.Tree{ID: "broken", AssertionID: "known", Root: &faulttree.Node{
-		ID:    "top",
-		Steps: []string{"step1"},
-		Children: []*faulttree.Node{
-			{ID: "dangling", CheckID: "missing", Prob: 0.4, RootCause: true},
-			{ID: "untestable", Prob: 0.3, RootCause: true},
-			{ID: "zero", CheckID: "known", RootCause: true},
-			{ID: "tie-a", CheckID: "known", Prob: 0.1, RootCause: true},
-			{ID: "tie-b", CheckID: "known", Prob: 0.1, RootCause: true},
-			{ID: "gate", Prob: 0.05, Children: []*faulttree.Node{cyclic}},
-			{ID: "top", Prob: 0.02, CheckID: "known", RootCause: true},
-			{ID: "off-step", Steps: []string{"step9"}, Prob: 0.01, CheckID: "known", RootCause: true},
-		},
-	}}, fixtureRegistry())...)
+	all = append(all, LintPlan(brokenPlan(), fixtureRegistry())...)
 
 	boundSpec, err := assertspec.Parse("on step1 assert known", fixtureRegistry())
 	if err != nil {
 		t.Fatal(err)
 	}
-	repo := faulttree.NewRepository()
-	repo.Register(&faulttree.Tree{ID: "never-fires", AssertionID: "unbound", Root: &faulttree.Node{ID: "t", Children: []*faulttree.Node{
-		{ID: "c1", Prob: 0.6, CheckID: "known", RootCause: true},
-		{ID: "c2", Prob: 0.4, CheckID: "known", RootCause: true},
-	}}})
+	cat := diagplan.NewCatalog()
+	cat.MustRegister(neverFiresPlan())
 	all = append(all, LintBundles(Bundle{
 		Name:     "fixture",
 		Model:    process.RollingUpgradeModel(),
 		Specs:    []NamedSpec{{Name: "s", Spec: boundSpec}},
-		Trees:    repo,
+		Plans:    cat,
 		Registry: fixtureRegistry(),
 	})...)
 

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/diagplan"
+)
+
+// planPos renders the locus of a diagnosis-plan finding.
+func planPos(planID, nodeID string) string {
+	if nodeID == "" {
+		return "plan:" + planID
+	}
+	return fmt.Sprintf("plan:%s/node:%s", planID, nodeID)
+}
+
+// LintPlan validates one diagnosis plan. The registry may be nil, disabling
+// DG001 (dangling diagnosis-test references). Unlike diagplan.Validate —
+// which stops at the first defect — the linter reports every defect it can
+// find, and it accepts hand-constructed plans that Validate would reject:
+// the graph walk is cycle-safe, duplicate ids keep the first occurrence,
+// and dangling edges are skipped after being reported.
+func LintPlan(p *diagplan.Plan, reg *assertion.Registry) []Finding {
+	l := &planLinter{plan: p, reg: reg, byID: make(map[string]*diagplan.Node)}
+	l.lint()
+	return l.fs
+}
+
+// LintPlanDoc lints a raw JSON diagnosis-plan document. Unlike
+// diagplan.Parse it is lenient on entry: a document that unmarshals at all
+// is linted structurally, so authors see every defect at once rather than
+// the first one Validate trips over.
+func LintPlanDoc(name string, data []byte) []Finding {
+	var p diagplan.Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return []Finding{finding(RulePlanShape, "plandoc:"+name, "document does not parse: %v", err)}
+	}
+	if p.ID == "" {
+		p.ID = name
+	}
+	return LintPlan(&p, nil)
+}
+
+type planLinter struct {
+	plan *diagplan.Plan
+	reg  *assertion.Registry
+	byID map[string]*diagplan.Node
+	fs   []Finding
+}
+
+func (l *planLinter) report(rule, nodeID, format string, args ...any) {
+	l.fs = append(l.fs, finding(rule, planPos(l.plan.ID, nodeID), format, args...))
+}
+
+func (l *planLinter) lint() {
+	p := l.plan
+
+	// DG010 (shape): duplicate node ids. The first occurrence wins so the
+	// rest of the lint has a deterministic graph to walk.
+	for _, n := range p.Nodes {
+		if _, dup := l.byID[n.ID]; dup {
+			l.report(RulePlanShape, n.ID, "duplicate node id %q", n.ID)
+			continue
+		}
+		l.byID[n.ID] = n
+	}
+
+	// DG010: the entry must exist and be the plan's single declared entry.
+	switch {
+	case p.Entry == "":
+		l.report(RulePlanShape, "", "plan declares no entry node")
+	case l.byID[p.Entry] == nil:
+		l.report(RulePlanShape, "", "entry %q is not a node of the plan", p.Entry)
+	}
+
+	for _, n := range p.Nodes {
+		l.lintNode(n)
+	}
+	l.lintFanIn()
+	l.lintCycles()
+	l.lintReachability()
+}
+
+// lintNode checks one node's kind/shape binding, its diagnosis-test
+// reference and its outgoing edge group.
+func (l *planLinter) lintNode(n *diagplan.Node) {
+	p := l.plan
+
+	// DG010: the kind must be registered and agree with the node's shape —
+	// the walk semantics derive from structure, so a mismatch means the
+	// author's intent and the engine's behavior diverge.
+	switch n.Kind {
+	case diagplan.KindEntry:
+		if n.ID != p.Entry {
+			l.report(RulePlanShape, n.ID, "node %q has kind entry but the plan's entry is %q", n.ID, p.Entry)
+		}
+		if n.CheckID != "" {
+			l.report(RulePlanShape, n.ID, "entry node %q carries a diagnosis test; the entry is always descended into", n.ID)
+		}
+	case diagplan.KindCause:
+		if len(n.Edges) > 0 {
+			l.report(RulePlanShape, n.ID, "cause %q has outgoing edges; causes are sinks", n.ID)
+		}
+	case diagplan.KindCollector, diagplan.KindTest:
+		// Interior kinds; no extra shape constraints.
+	default:
+		l.report(RulePlanShape, n.ID, "unknown node kind %q", n.Kind)
+	}
+
+	// DG001: a dangling diagnosis-test reference is silently untestable —
+	// the evaluator returns StatusError for unknown checks, so the fault
+	// can be suspected but never confirmed or excluded.
+	if n.CheckID != "" && l.reg != nil {
+		if _, ok := l.reg.Lookup(n.CheckID); !ok {
+			l.report(RulePlanDanglingCheck, n.ID, "diagnosis test %q is not in the assertion registry", n.CheckID)
+		}
+	}
+
+	// DG009: every diagnosis test must classify its retry safety so the
+	// resilience layer knows whether throttle/timeout-class failures may
+	// be retried with backoff.
+	if n.CheckID != "" {
+		switch n.TestClass {
+		case diagplan.TestClassRetryable, diagplan.TestClassNoRetry:
+		case "":
+			l.report(RulePlanNoTestClass, n.ID,
+				"diagnosis test %q on node %q has no testClass (retryable/no-retry)", n.CheckID, n.ID)
+		default:
+			l.report(RulePlanNoTestClass, n.ID,
+				"diagnosis test %q on node %q has unknown testClass %q", n.CheckID, n.ID, n.TestClass)
+		}
+	}
+
+	// DG007: a root cause with no diagnosis test can only ever be
+	// suspected (the paper's "diagnosis cannot determine why" case);
+	// legal, but worth surfacing.
+	if n.IsCause() && n.CheckID == "" {
+		l.report(RulePlanUntestableCause, n.ID, "cause %q has no diagnosis test and can never be confirmed", n.ID)
+	}
+
+	// Edge group: dangling targets, duplicates, edges into the entry,
+	// step-scope compatibility, and sibling probability order.
+	seen := make(map[string]bool, len(n.Edges))
+	byProb := make(map[float64]string, len(n.Edges))
+	for _, e := range n.Edges {
+		tgt := l.byID[e.To]
+		if tgt == nil {
+			l.report(RulePlanShape, n.ID, "edge from %q to unknown node %q", n.ID, e.To)
+			continue
+		}
+		if seen[e.To] {
+			l.report(RulePlanShape, n.ID, "duplicate edge from %q to %q", n.ID, e.To)
+			continue
+		}
+		seen[e.To] = true
+		if e.To == p.Entry {
+			l.report(RulePlanShape, n.ID, "edge from %q into the entry %q", n.ID, e.To)
+		}
+
+		// DG006: pruning keeps a node only when it matches the step
+		// context. An edge whose two endpoints carry disjoint step scopes
+		// can never be traversed under a non-empty step: one endpoint is
+		// always pruned away first.
+		if len(n.Steps) > 0 && len(tgt.Steps) > 0 && !intersects(n.Steps, tgt.Steps) {
+			l.report(RulePlanStepDisjoint, e.To,
+				"edge %s -> %s joins disjoint step scopes [%s] and [%s]; it survives pruning only with an empty step context",
+				n.ID, e.To, strings.Join(n.Steps, " "), strings.Join(tgt.Steps, " "))
+		}
+
+		// DG003 / DG004: §III.B.4 orders sibling visits by fault
+		// probability. Ties and zero priors in a multi-edge group leave
+		// the order to the accident of declaration.
+		if len(n.Edges) >= 2 {
+			if e.Prob == 0 {
+				l.report(RulePlanZeroSiblingProb, e.To, "edge %s -> %s has no prior probability", n.ID, e.To)
+			} else if prev, ok := byProb[e.Prob]; ok {
+				l.report(RulePlanDupSiblingProb, e.To, "edges to %q and %q under %q tie at probability %g", prev, e.To, n.ID, e.Prob)
+			} else {
+				byProb[e.Prob] = e.To
+			}
+		}
+	}
+}
+
+// lintFanIn flags fan-in nodes whose incoming priors sum past certainty.
+// Per-edge priors are relative to the siblings under one parent, so the
+// sum across parents exceeding 1 is not ill-formed — but it usually means
+// an author copied a prior instead of conditioning it, and the walk will
+// chase the shared node from every side first.
+func (l *planLinter) lintFanIn() {
+	inMass := make(map[string]float64)
+	inCount := make(map[string]int)
+	for _, n := range l.plan.Nodes {
+		if l.byID[n.ID] != n {
+			continue // duplicate id, already reported
+		}
+		for _, e := range n.Edges {
+			if l.byID[e.To] == nil {
+				continue
+			}
+			inMass[e.To] += e.Prob
+			inCount[e.To]++
+		}
+	}
+	for _, n := range l.plan.Nodes {
+		if l.byID[n.ID] != n {
+			continue
+		}
+		if inCount[n.ID] >= 2 && inMass[n.ID] > 1+1e-9 {
+			l.report(RulePlanFanInMass, n.ID,
+				"fan-in node %q accumulates prior probability %.2f over %d incoming edges (> 1)",
+				n.ID, inMass[n.ID], inCount[n.ID])
+		}
+	}
+}
+
+// lintCycles runs a white/grey/black DFS over every node (not only those
+// reachable from the entry) and reports each node that closes a cycle.
+// The walk terminates on plans where diagplan.Validate or the diagnosis
+// engine would loop forever.
+func (l *planLinter) lintCycles() {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(l.byID))
+	reported := make(map[string]bool)
+	var visit func(id string)
+	visit = func(id string) {
+		color[id] = grey
+		for _, e := range l.byID[id].Edges {
+			tgt := l.byID[e.To]
+			if tgt == nil {
+				continue
+			}
+			switch color[e.To] {
+			case white:
+				visit(e.To)
+			case grey:
+				if !reported[e.To] {
+					reported[e.To] = true
+					l.report(RulePlanCycle, e.To, "node %q is reachable from itself (back edge from %q)", e.To, id)
+				}
+			}
+		}
+		color[id] = black
+	}
+	for _, n := range l.plan.Nodes {
+		if l.byID[n.ID] == n && color[n.ID] == white {
+			visit(n.ID)
+		}
+	}
+}
+
+// lintReachability reports orphan nodes: declared in the document but not
+// reachable from the entry, so no diagnosis walk ever visits them. Skipped
+// when the entry itself is missing (already a DG010).
+func (l *planLinter) lintReachability() {
+	entry := l.byID[l.plan.Entry]
+	if entry == nil {
+		return
+	}
+	reached := map[string]bool{entry.ID: true}
+	queue := []*diagplan.Node{entry}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Edges {
+			tgt := l.byID[e.To]
+			if tgt == nil || reached[e.To] {
+				continue
+			}
+			reached[e.To] = true
+			queue = append(queue, tgt)
+		}
+	}
+	for _, n := range l.plan.Nodes {
+		if l.byID[n.ID] == n && !reached[n.ID] {
+			l.report(RulePlanUnreachable, n.ID, "node %q is unreachable from the entry %q", n.ID, l.plan.Entry)
+		}
+	}
+}
+
+func intersects(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,74 @@
+package process
+
+import "testing"
+
+// The blue/green and spot-rebalance models must expose the exact step ids
+// the shipped diagnosis plan documents reference (bgstep2..bgstep7,
+// ssstep2..ssstep4): step-context pruning silently empties a plan whose
+// scopes drift from the model.
+func TestBlueGreenModelShape(t *testing.T) {
+	m := BlueGreenModel()
+	if m.ID() != BlueGreenModelID {
+		t.Errorf("id = %s", m.ID())
+	}
+	final := m.Node(NodeBGComplete)
+	if final == nil || !final.Final {
+		t.Error("completion activity not marked final")
+	}
+	for _, step := range []string{
+		StepBGStart, StepBGCreateLC, StepBGCreateGroup, StepBGJoined,
+		StepBGCutover, StepBGRetire, StepBGComplete,
+	} {
+		if m.ActivityByStep(step) == nil {
+			t.Errorf("no activity for step %s", step)
+		}
+	}
+	if BlueGreenSpecText == "" {
+		t.Fatal("no spec text")
+	}
+}
+
+func TestSpotRebalanceModelShape(t *testing.T) {
+	m := SpotRebalanceModel()
+	if m.ID() != SpotRebalanceModelID {
+		t.Errorf("id = %s", m.ID())
+	}
+	final := m.Node(NodeSSComplete)
+	if final == nil || !final.Final {
+		t.Error("completion activity not marked final")
+	}
+	for _, step := range []string{
+		StepSSStart, StepSSInterrupted, StepSSJoined, StepSSRestored, StepSSComplete,
+	} {
+		if m.ActivityByStep(step) == nil {
+			t.Errorf("no activity for step %s", step)
+		}
+	}
+	if SpotRebalanceSpecText == "" {
+		t.Fatal("no spec text")
+	}
+}
+
+// The scenario vocabularies must not leak into each other or into the
+// rolling-upgrade model: classification routes lines to sessions, and an
+// ambiguous line would attach one scenario's progress to another's walk.
+func TestScenarioModelVocabulariesDisjoint(t *testing.T) {
+	lines := map[string]string{
+		"blue-green":     "Instance i-1 joined green group g. 1 of 2 instances in service.",
+		"spot-rebalance": "Replacement i-2 joined group g. 2 of 2 instances in service.",
+		"scale-out":      "Instance i-3 joined group g. 1 of 2 instances in service.",
+	}
+	models := map[string]*Model{
+		"blue-green":     BlueGreenModel(),
+		"spot-rebalance": SpotRebalanceModel(),
+		"scale-out":      ScaleOutModel(),
+	}
+	for owner, line := range lines {
+		for id, m := range models {
+			_, found := m.Classify(line)
+			if found != (id == owner) {
+				t.Errorf("model %s classifies %q: %v", id, line, found)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"poddiagnosis/internal/conformance"
 	"poddiagnosis/internal/core"
 	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/diagplan"
 	"poddiagnosis/internal/obs/flight"
 )
 
@@ -81,6 +83,46 @@ func (c *Client) Instances(ctx context.Context) ([]string, error) {
 	var out []string
 	err := c.get(ctx, "/conformance/instances", &out)
 	return out, err
+}
+
+// Plans lists the diagnosis plans in the server's catalog.
+func (c *Client) Plans(ctx context.Context) ([]PlanSummary, error) {
+	var out []PlanSummary
+	err := c.get(ctx, "/diagnosis/plans", &out)
+	return out, err
+}
+
+// Plan fetches one diagnosis plan as its canonical JSON document.
+func (c *Client) Plan(ctx context.Context, id string) (*diagplan.Plan, error) {
+	var out diagplan.Plan
+	if err := c.get(ctx, "/diagnosis/plans/"+url.PathEscape(id), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PlanDOT fetches one diagnosis plan rendered as a Graphviz document.
+func (c *Client) PlanDOT(ctx context.Context, id string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/diagnosis/plans/"+url.PathEscape(id)+"?format=dot", nil)
+	if err != nil {
+		return "", fmt.Errorf("rest client: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("rest client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var eb ErrorBody
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		return "", fmt.Errorf("rest client: GET plan dot: status %d: %s", resp.StatusCode, eb.Error)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("rest client: %w", err)
+	}
+	return string(data), nil
 }
 
 // Resilience fetches the diagnosis-test retry/breaker posture and the

@@ -142,6 +142,8 @@ func NewServer(checker *conformance.Checker, eval *assertion.Evaluator, diag *di
 	s.route("POST /diagnosis", "diagnosis", s.handleDiagnose)
 	s.route("GET /diagnosis/config", "diagnosis_config", s.handleDiagnosisConfig)
 	s.route("GET /diagnosis/resilience", "diagnosis_resilience", s.handleDiagnosisResilience)
+	s.route("GET /diagnosis/plans", "diagnosis_plans", s.handlePlans)
+	s.route("GET /diagnosis/plans/{id}", "diagnosis_plan_get", s.handlePlanGet)
 	s.route("GET /model", "model", s.handleModel)
 	s.route("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -376,6 +378,68 @@ func (s *Server) handleDiagnosisResilience(w http.ResponseWriter, r *http.Reques
 		st.Reorder = &rs
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// PlanSummary is one row of GET /diagnosis/plans: the shape of one
+// diagnosis plan in the engine's catalog.
+type PlanSummary struct {
+	// ID is the plan id, the key of GET /diagnosis/plans/{id}.
+	ID string `json:"id"`
+	// AssertionID is the failing assertion the plan diagnoses.
+	AssertionID string `json:"assertionId"`
+	// Description explains the plan's top event.
+	Description string `json:"description,omitempty"`
+	// Nodes is the total node count.
+	Nodes int `json:"nodes"`
+	// Causes is the number of distinct diagnosable root causes.
+	Causes int `json:"causes"`
+}
+
+func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
+	if s.diag == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("diagnosis not configured"))
+		return
+	}
+	out := []PlanSummary{}
+	for _, p := range s.diag.Catalog().All() {
+		out = append(out, PlanSummary{
+			ID:          p.ID,
+			AssertionID: p.AssertionID,
+			Description: p.Description,
+			Nodes:       len(p.Nodes),
+			Causes:      len(p.PotentialRootCauses()),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePlanGet(w http.ResponseWriter, r *http.Request) {
+	if s.diag == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("diagnosis not configured"))
+		return
+	}
+	p := s.diag.Catalog().Get(r.PathValue("id"))
+	if p == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such plan: %s", r.PathValue("id")))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		data, err := p.Render()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	case "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, p.DOT())
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want json or dot)", format))
+	}
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {

@@ -53,7 +53,7 @@ func newRESTEnv(t *testing.T) *restEnv {
 	})
 	eval := assertion.NewEvaluator(client, assertion.DefaultRegistry(), nil)
 	checker := conformance.NewChecker(process.RollingUpgradeModel())
-	diag := diagnosis.NewEngine(faulttree.DefaultRepository(), eval, nil, diagnosis.Options{})
+	diag := diagnosis.NewEngine(faulttree.FullCatalog(), eval, nil, diagnosis.Options{})
 	srv := httptest.NewServer(NewServer(checker, eval, diag))
 	t.Cleanup(srv.Close)
 	return &restEnv{
@@ -245,6 +245,57 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if _, err := e.client.Stats(e.ctx, ""); err == nil {
 		t.Error("empty trace accepted")
+	}
+}
+
+func TestDiagnosisPlanEndpoints(t *testing.T) {
+	e := newRESTEnv(t)
+	plans, err := e.client.Plans(e.ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[string]PlanSummary, len(plans))
+	for _, p := range plans {
+		byID[p.ID] = p
+	}
+	bg, ok := byID["plan-bluegreen"]
+	if !ok {
+		t.Fatalf("plan-bluegreen missing from listing: %+v", plans)
+	}
+	if bg.AssertionID != "asg-version-count" || bg.Causes == 0 {
+		t.Fatalf("plan-bluegreen summary = %+v", bg)
+	}
+	if _, ok := byID["ft-version-count"]; !ok {
+		t.Fatal("compiled tree plans missing from listing")
+	}
+
+	p, err := e.client.Plan(e.ctx, "plan-bluegreen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != "bg-version-violated" || len(p.Nodes) != bg.Nodes {
+		t.Fatalf("plan body = entry %q, %d nodes", p.Entry, len(p.Nodes))
+	}
+
+	dot, err := e.client.PlanDOT(e.ctx, "plan-bluegreen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(dot, "digraph") || !strings.Contains(dot, "bg-version-violated") {
+		t.Fatalf("dot render = %.80q", dot)
+	}
+
+	if _, err := e.client.Plan(e.ctx, "no-such-plan"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown plan: err = %v, want 404", err)
+	}
+	resp, err := http.Get(e.srv.URL + "/diagnosis/plans/plan-bluegreen?format=yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format: status %d, want 400", resp.StatusCode)
 	}
 }
 

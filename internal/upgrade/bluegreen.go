@@ -1,0 +1,262 @@
+package upgrade
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"poddiagnosis/internal/simaws"
+)
+
+// BlueGreenSpec describes one blue/green deploy task: launch a complete
+// green fleet next to the blue group, shift the shared load balancer to
+// the green set, and retire the blue group.
+type BlueGreenSpec struct {
+	// TaskID is the process instance id.
+	TaskID string
+	// BlueASGName is the currently serving group.
+	BlueASGName string
+	// GreenASGName names the group to create. Defaults to BlueASGName +
+	// "-green".
+	GreenASGName string
+	// ELBName is the load balancer shared by both groups.
+	ELBName string
+	// NewImageID is the AMI of the green fleet.
+	NewImageID string
+	// NewVersion is the application version of that AMI (log line only).
+	NewVersion string
+	// GreenLCName names the launch configuration to create; generated
+	// from the green group and image when empty.
+	GreenLCName string
+	// KeyName and SGName are the shared supporting resources.
+	KeyName string
+	SGName  string
+	// Size is the green fleet size.
+	Size int
+	// LaunchGrace separates green-group creation (desired 0) from the
+	// scale-up to Size, mirroring Asgard's create-then-enable sequence.
+	// Defaults to 10 s.
+	LaunchGrace time.Duration
+	// WaitTimeout bounds the wait for each green instance. Defaults to
+	// 6 minutes.
+	WaitTimeout time.Duration
+	// CutoverTimeout bounds the wait for the load balancer to serve the
+	// green set. Defaults to 3 minutes.
+	CutoverTimeout time.Duration
+	// PollInterval is the polling cadence. Defaults to 5 s.
+	PollInterval time.Duration
+}
+
+func (s *BlueGreenSpec) withDefaults() BlueGreenSpec {
+	out := *s
+	if out.GreenASGName == "" {
+		out.GreenASGName = out.BlueASGName + "-green"
+	}
+	if out.GreenLCName == "" {
+		out.GreenLCName = fmt.Sprintf("%s-lc-%s", out.GreenASGName, out.NewImageID)
+	}
+	if out.LaunchGrace <= 0 {
+		out.LaunchGrace = 10 * time.Second
+	}
+	if out.WaitTimeout <= 0 {
+		out.WaitTimeout = 6 * time.Minute
+	}
+	if out.CutoverTimeout <= 0 {
+		out.CutoverTimeout = 3 * time.Minute
+	}
+	if out.PollInterval <= 0 {
+		out.PollInterval = 5 * time.Second
+	}
+	return out
+}
+
+// GreenCluster returns a Cluster describing the green resources the
+// deploy creates, suitable for pointing fault injectors at the green
+// group.
+func (s BlueGreenSpec) GreenCluster(appName, version string) *Cluster {
+	spec := s.withDefaults()
+	return &Cluster{
+		AppName: appName,
+		Size:    spec.Size,
+		ImageID: spec.NewImageID,
+		Version: version,
+		KeyName: spec.KeyName,
+		SGName:  spec.SGName,
+		LCName:  spec.GreenLCName,
+		ELBName: spec.ELBName,
+		ASGName: spec.GreenASGName,
+	}
+}
+
+// RunBlueGreen executes the blue/green deploy: create the green launch
+// configuration and group, scale the green fleet up after a short grace
+// window, wait for every green instance to come in service, shift the
+// load balancer to the green set, retire the blue group, and complete.
+// The emitted vocabulary matches process.BlueGreenModel.
+func (u *Upgrader) RunBlueGreen(ctx context.Context, spec BlueGreenSpec) *Report {
+	spec = spec.withDefaults()
+	rep := &Report{TaskID: spec.TaskID, Started: u.clk.Now()}
+	rep.Err = u.runBlueGreen(ctx, spec, rep)
+	rep.Finished = u.clk.Now()
+	return rep
+}
+
+func (u *Upgrader) runBlueGreen(ctx context.Context, spec BlueGreenSpec, rep *Report) error {
+	failBG := func(format string, args ...any) error {
+		msg := fmt.Sprintf(format, args...)
+		u.emit(spec.TaskID, "ERROR: %s", msg)
+		return fmt.Errorf("blue/green %s: %s", spec.TaskID, msg)
+	}
+
+	// bgstep1: start.
+	blue, err := u.inServiceSet(ctx, spec.BlueASGName)
+	if err != nil {
+		return failBG("listing blue group %s: %v", spec.BlueASGName, err)
+	}
+	u.emit(spec.TaskID, "Starting blue/green deploy of group %s to version %s", spec.GreenASGName, spec.NewVersion)
+
+	// bgstep2: green launch configuration.
+	if err := u.cloud.CreateLaunchConfiguration(ctx, simaws.LaunchConfig{
+		Name:           spec.GreenLCName,
+		ImageID:        spec.NewImageID,
+		KeyName:        spec.KeyName,
+		SecurityGroups: []string{spec.SGName},
+		InstanceType:   "m1.small",
+	}); err != nil {
+		return failBG("creating green launch configuration %s: %v", spec.GreenLCName, err)
+	}
+	u.emit(spec.TaskID, "Created green launch configuration %s", spec.GreenLCName)
+
+	// bgstep3: green group, attached to the shared load balancer. The
+	// group is created empty and scaled up after the grace window, so a
+	// concurrent configuration change lands before any launch consumes
+	// the launch configuration (Asgard's create-then-enable sequence).
+	if err := u.cloud.CreateAutoScalingGroup(ctx, simaws.ASG{
+		Name:             spec.GreenASGName,
+		LaunchConfigName: spec.GreenLCName,
+		Min:              0,
+		Max:              spec.Size * 3,
+		Desired:          0,
+		LoadBalancers:    []string{spec.ELBName},
+	}); err != nil {
+		return failBG("creating green group %s: %v", spec.GreenASGName, err)
+	}
+	u.emit(spec.TaskID, "Created green group %s behind %s", spec.GreenASGName, spec.ELBName)
+	if err := u.clk.Sleep(ctx, spec.LaunchGrace); err != nil {
+		return err
+	}
+	if err := u.cloud.SetDesiredCapacity(ctx, spec.GreenASGName, spec.Size); err != nil {
+		return failBG("scaling green group %s to %d: %v", spec.GreenASGName, spec.Size, err)
+	}
+
+	// bgstep4 loop: the whole green fleet boots in parallel; log each
+	// instance as it comes in service.
+	green := make(map[string]bool)
+	for len(green) < spec.Size {
+		id, err := u.waitForGreenJoin(ctx, spec, green)
+		if err != nil {
+			return failBG("waiting for green group %s to grow: %v", spec.GreenASGName, err)
+		}
+		green[id] = true
+		rep.NewInstances = append(rep.NewInstances, id)
+		u.emit(spec.TaskID, "Instance %s joined green group %s. %d of %d instances in service.",
+			id, spec.GreenASGName, len(green), spec.Size)
+		u.emit(spec.TaskID, "Blue/green status: %d of %d green instances in service", len(green), spec.Size)
+	}
+
+	// bgstep5: cutover — deregister the blue set, then wait until the
+	// load balancer serves every green instance.
+	blueIDs := make([]string, 0, len(blue))
+	for id := range blue {
+		blueIDs = append(blueIDs, id)
+	}
+	sort.Strings(blueIDs)
+	if len(blueIDs) > 0 {
+		if err := u.cloud.DeregisterInstancesFromLoadBalancer(ctx, spec.ELBName, blueIDs...); err != nil {
+			return failBG("deregistering blue instances from %s: %v", spec.ELBName, err)
+		}
+	}
+	registered, err := u.waitForCutover(ctx, spec, green)
+	if err != nil {
+		return failBG("shifting load balancer %s to green group %s: %v", spec.ELBName, spec.GreenASGName, err)
+	}
+	u.emit(spec.TaskID, "Shifted load balancer %s to green group %s. %d of %d instances registered.",
+		spec.ELBName, spec.GreenASGName, registered, spec.Size)
+
+	// bgstep6: retire the blue group.
+	if err := u.cloud.DeleteAutoScalingGroup(ctx, spec.BlueASGName); err != nil && !simaws.IsNotFound(err) {
+		return failBG("retiring blue group %s: %v", spec.BlueASGName, err)
+	}
+	for id := range blue {
+		rep.Replaced = append(rep.Replaced, id)
+	}
+	sort.Strings(rep.Replaced)
+	u.emit(spec.TaskID, "Retired blue group %s", spec.BlueASGName)
+
+	// bgstep7: completed.
+	u.emit(spec.TaskID, "Blue/green deploy of group %s completed", spec.GreenASGName)
+	return nil
+}
+
+// waitForGreenJoin polls until one new green instance is in service.
+// Registration with the shared load balancer is deliberately NOT part of
+// the join criterion: the balancer may be serving the blue set or be
+// degraded, and that is the cutover step's problem (and POD's detection
+// target), not the launch loop's.
+func (u *Upgrader) waitForGreenJoin(ctx context.Context, spec BlueGreenSpec, known map[string]bool) (string, error) {
+	deadline := u.clk.Now().Add(spec.WaitTimeout)
+	for {
+		if u.clk.Now().After(deadline) {
+			return "", fmt.Errorf("%w after %v", ErrTimeout, spec.WaitTimeout)
+		}
+		if err := u.clk.Sleep(ctx, spec.PollInterval); err != nil {
+			return "", err
+		}
+		instances, err := u.cloud.DescribeInstances(ctx)
+		if err != nil {
+			if simaws.IsRetryable(err) {
+				continue
+			}
+			return "", err
+		}
+		var fresh []string
+		for _, inst := range instances {
+			if inst.ASGName == spec.GreenASGName && !known[inst.ID] && inst.State == simaws.StateInService {
+				fresh = append(fresh, inst.ID)
+			}
+		}
+		if len(fresh) > 0 {
+			sort.Strings(fresh)
+			return fresh[0], nil
+		}
+	}
+}
+
+// waitForCutover polls until the load balancer serves every green
+// instance, returning the green registration count.
+func (u *Upgrader) waitForCutover(ctx context.Context, spec BlueGreenSpec, green map[string]bool) (int, error) {
+	deadline := u.clk.Now().Add(spec.CutoverTimeout)
+	for {
+		if u.clk.Now().After(deadline) {
+			return 0, fmt.Errorf("timed out after %v waiting for %s to serve the green set", spec.CutoverTimeout, spec.ELBName)
+		}
+		elb, err := u.cloud.DescribeLoadBalancer(ctx, spec.ELBName)
+		if err == nil {
+			count := 0
+			for _, id := range elb.Instances {
+				if green[id] {
+					count++
+				}
+			}
+			if count >= len(green) {
+				return count, nil
+			}
+		} else if !simaws.IsRetryable(err) && !simaws.IsNotFound(err) {
+			return 0, err
+		}
+		if err := u.clk.Sleep(ctx, spec.PollInterval); err != nil {
+			return 0, err
+		}
+	}
+}

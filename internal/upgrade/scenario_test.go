@@ -1,0 +1,201 @@
+package upgrade
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/conformance"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/process"
+)
+
+// replayAll feeds every captured operation line through a fresh
+// conformance checker for the model and fails on any unfit verdict. This
+// is stronger than per-line classification: it validates the control
+// flow (loops, the spot bypass) the scenario plans' step scopes rely on.
+func replayAll(t *testing.T, e *env, model *process.Model, instanceID string) {
+	t.Helper()
+	msgs := e.messages(t)
+	if len(msgs) == 0 {
+		t.Fatal("no logs captured")
+	}
+	checker := conformance.NewChecker(model)
+	var last conformance.Result
+	for _, raw := range msgs {
+		ts, _, body, ok := logging.ParseOperationLine(raw)
+		if !ok {
+			t.Fatalf("unparseable line %q", raw)
+		}
+		last = checker.Check(instanceID, body, ts)
+		if last.Verdict != conformance.VerdictFit {
+			t.Fatalf("line %q: verdict = %s", body, last.Verdict)
+		}
+	}
+	if !last.Completed {
+		t.Errorf("trace did not reach the end state")
+	}
+}
+
+func TestBlueGreenReplacesFleet(t *testing.T) {
+	e := newEnv(t, 2)
+	amiV2, err := e.cloud.RegisterImage(e.ctx, "pm-v2", "v2", AppServices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := NewUpgrader(e.cloud, e.bus)
+	spec := BlueGreenSpec{
+		TaskID:      "bg-task",
+		BlueASGName: e.cluster.ASGName,
+		ELBName:     e.cluster.ELBName,
+		NewImageID:  amiV2,
+		NewVersion:  "v2",
+		KeyName:     e.cluster.KeyName,
+		SGName:      e.cluster.SGName,
+		Size:        2,
+	}
+	rep := up.RunBlueGreen(e.ctx, spec)
+	if rep.Err != nil {
+		t.Fatalf("blue/green failed: %v", rep.Err)
+	}
+	if len(rep.NewInstances) != 2 || len(rep.Replaced) != 2 {
+		t.Fatalf("new %d, replaced %d", len(rep.NewInstances), len(rep.Replaced))
+	}
+	// The load balancer serves exactly the green fleet.
+	elb, err := e.cloud.DescribeLoadBalancer(e.ctx, e.cluster.ELBName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	green := map[string]bool{}
+	for _, id := range rep.NewInstances {
+		green[id] = true
+	}
+	if len(elb.Instances) != 2 {
+		t.Fatalf("elb serves %d instances: %v", len(elb.Instances), elb.Instances)
+	}
+	for _, id := range elb.Instances {
+		if !green[id] {
+			t.Errorf("blue instance %s still registered", id)
+		}
+	}
+	// Every green instance runs the new image; the blue group is gone.
+	instances, err := e.cloud.DescribeInstances(e.ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range instances {
+		if green[inst.ID] && inst.ImageID != amiV2 {
+			t.Errorf("green instance %s runs %s", inst.ID, inst.ImageID)
+		}
+	}
+	if _, err := e.cloud.DescribeAutoScalingGroup(e.ctx, e.cluster.ASGName); err == nil {
+		t.Error("blue group still exists after retire")
+	}
+	replayAll(t, e, process.BlueGreenModel(), "bg-task")
+}
+
+func TestBlueGreenFailsWhenGreenCannotLaunch(t *testing.T) {
+	e := newEnv(t, 1)
+	amiV2, err := e.cloud.RegisterImage(e.ctx, "pm-v2", "v2", AppServices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := NewUpgrader(e.cloud, e.bus)
+	// Pull the AMI once the green launch configuration exists — after LC
+	// validation, before the delayed scale-up launches the fleet.
+	greenLC := "pm--asg-green-lc-" + amiV2
+	go func() {
+		for {
+			if _, err := e.cloud.DescribeLaunchConfiguration(e.ctx, greenLC); err == nil {
+				break
+			}
+			if e.cloud.Clock().Sleep(e.ctx, time.Second) != nil {
+				return
+			}
+		}
+		_ = e.cloud.DeregisterImage(e.ctx, amiV2)
+	}()
+	rep := up.RunBlueGreen(e.ctx, BlueGreenSpec{
+		TaskID:      "bg-broken",
+		BlueASGName: e.cluster.ASGName,
+		ELBName:     e.cluster.ELBName,
+		NewImageID:  amiV2,
+		NewVersion:  "v2",
+		KeyName:     e.cluster.KeyName,
+		SGName:      e.cluster.SGName,
+		Size:        1,
+		LaunchGrace: 2 * time.Second,
+		WaitTimeout: 30 * time.Second,
+	})
+	if rep.Err == nil {
+		t.Fatal("blue/green succeeded without launchable AMI")
+	}
+	if !strings.Contains(rep.Err.Error(), "timed out") {
+		t.Errorf("err = %v", rep.Err)
+	}
+	// The blue group must be untouched by the failed deploy.
+	if _, err := e.cloud.DescribeAutoScalingGroup(e.ctx, e.cluster.ASGName); err != nil {
+		t.Errorf("blue group gone after failed deploy: %v", err)
+	}
+}
+
+func TestSpotRebalanceRecoversInterruptions(t *testing.T) {
+	e := newEnv(t, 3)
+	// Reclaim one instance shortly after the watch starts.
+	go func() {
+		_ = e.cloud.Clock().Sleep(e.ctx, 10*time.Second)
+		instances, err := e.cloud.DescribeInstances(e.ctx)
+		if err != nil {
+			return
+		}
+		for _, inst := range instances {
+			if inst.ASGName == e.cluster.ASGName {
+				_ = e.cloud.TerminateInstance(e.ctx, inst.ID)
+				return
+			}
+		}
+	}()
+	up := NewUpgrader(e.cloud, e.bus)
+	rep := up.RunSpotRebalance(e.ctx, SpotRebalanceSpec{
+		TaskID:  "ss-task",
+		ASGName: e.cluster.ASGName,
+		ELBName: e.cluster.ELBName,
+		Size:    3,
+		Window:  90 * time.Second,
+	})
+	if rep.Err != nil {
+		t.Fatalf("spot rebalance failed: %v", rep.Err)
+	}
+	if len(rep.NewInstances) != 1 {
+		t.Fatalf("replacements = %d", len(rep.NewInstances))
+	}
+	set, err := up.inServiceSet(e.ctx, e.cluster.ASGName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 3 {
+		t.Errorf("in service = %d", len(set))
+	}
+	replayAll(t, e, process.SpotRebalanceModel(), "ss-task")
+}
+
+func TestSpotRebalanceCleanWatchConforms(t *testing.T) {
+	e := newEnv(t, 2)
+	up := NewUpgrader(e.cloud, e.bus)
+	rep := up.RunSpotRebalance(e.ctx, SpotRebalanceSpec{
+		TaskID:  "ss-clean",
+		ASGName: e.cluster.ASGName,
+		ELBName: e.cluster.ELBName,
+		Size:    2,
+		Window:  30 * time.Second,
+	})
+	if rep.Err != nil {
+		t.Fatalf("clean watch failed: %v", rep.Err)
+	}
+	if len(rep.NewInstances) != 0 {
+		t.Errorf("clean watch replaced %d instances", len(rep.NewInstances))
+	}
+	// Zero loop iterations must still replay as a fit, completed trace
+	// (the model's bypass flow).
+	replayAll(t, e, process.SpotRebalanceModel(), "ss-clean")
+}

@@ -1,0 +1,211 @@
+package upgrade
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"poddiagnosis/internal/simaws"
+)
+
+// SpotRebalanceSpec describes one spot-rebalance watch: keep a group that
+// runs on interruptible capacity at Size in-service instances for the
+// watch window, replacing reclaimed instances as they disappear.
+type SpotRebalanceSpec struct {
+	// TaskID is the process instance id.
+	TaskID string
+	// ASGName is the group being watched.
+	ASGName string
+	// ELBName is the load balancer fronting the group (log/report only;
+	// replacements register themselves).
+	ELBName string
+	// Size is the capacity to hold.
+	Size int
+	// Window is how long the watch runs. Defaults to 5 minutes.
+	Window time.Duration
+	// WaitTimeout bounds the wait for each replacement. Defaults to
+	// 6 minutes.
+	WaitTimeout time.Duration
+	// PollInterval is the polling cadence. Defaults to 5 s.
+	PollInterval time.Duration
+}
+
+func (s *SpotRebalanceSpec) withDefaults() SpotRebalanceSpec {
+	out := *s
+	if out.Window <= 0 {
+		out.Window = 5 * time.Minute
+	}
+	if out.WaitTimeout <= 0 {
+		out.WaitTimeout = 6 * time.Minute
+	}
+	if out.PollInterval <= 0 {
+		out.PollInterval = 5 * time.Second
+	}
+	return out
+}
+
+// RunSpotRebalance executes the spot-rebalance watch: poll the group for
+// the watch window; each time in-service capacity drops below Size, log
+// the interruption and wait for the auto-scaling replacement to come in
+// service. The watch completes once the window has elapsed and capacity
+// is back at Size. The emitted vocabulary matches
+// process.SpotRebalanceModel.
+func (u *Upgrader) RunSpotRebalance(ctx context.Context, spec SpotRebalanceSpec) *Report {
+	spec = spec.withDefaults()
+	rep := &Report{TaskID: spec.TaskID, Started: u.clk.Now()}
+	rep.Err = u.runSpotRebalance(ctx, spec, rep)
+	rep.Finished = u.clk.Now()
+	return rep
+}
+
+func (u *Upgrader) runSpotRebalance(ctx context.Context, spec SpotRebalanceSpec, rep *Report) error {
+	failSS := func(format string, args ...any) error {
+		msg := fmt.Sprintf(format, args...)
+		u.emit(spec.TaskID, "ERROR: %s", msg)
+		return fmt.Errorf("spot-rebalance %s: %s", spec.TaskID, msg)
+	}
+
+	// ssstep1: start the watch.
+	known, err := u.inServiceSet(ctx, spec.ASGName)
+	if err != nil {
+		return failSS("listing group %s: %v", spec.ASGName, err)
+	}
+	u.emit(spec.TaskID, "Starting spot rebalance watch of group %s with %d instances", spec.ASGName, len(known))
+
+	// expected tracks the ids believed to be serving; an id in expected
+	// observed terminating/terminated is decisive evidence of a real
+	// interruption. A merely-short describe is not: an eventually-
+	// consistent stale read can underreport membership, but it can never
+	// invent a termination that has not happened.
+	expected := make(map[string]bool, len(known))
+	for id := range known {
+		expected[id] = true
+	}
+
+	windowEnd := u.clk.Now().Add(spec.Window)
+	for {
+		instances, err := u.listInstances(ctx, spec)
+		if err != nil {
+			return failSS("listing group %s: %v", spec.ASGName, err)
+		}
+		current := make(map[string]bool)
+		var victims []string
+		for _, inst := range instances {
+			if inst.ASGName != spec.ASGName {
+				continue
+			}
+			if inst.State == simaws.StateInService {
+				current[inst.ID] = true
+			}
+			if expected[inst.ID] && (inst.State == simaws.StateTerminating || inst.State == simaws.StateTerminated) {
+				victims = append(victims, inst.ID)
+			}
+		}
+		if len(victims) > 0 {
+			// ssstep2: instances were reclaimed — the provider interrupted
+			// spot capacity (or something else shrank the group; telling
+			// the difference is POD's job, not the operator's). Keyed off
+			// the persistent terminated states, not the transient capacity
+			// gap, so a reclamation the group replaces between two polls is
+			// still reported.
+			u.emit(spec.TaskID, "Waiting for group %s to replace %d interrupted instances", spec.ASGName, len(victims))
+			id, err := u.waitForReplacement(ctx, spec, known)
+			if err != nil {
+				return failSS("waiting for group %s to recover: %v", spec.ASGName, err)
+			}
+			known[id] = true
+			expected[id] = true
+			// Account one victim per loop iteration: the watch/join steps
+			// strictly alternate, so a multi-instance storm is drained one
+			// replacement at a time.
+			sort.Strings(victims)
+			delete(expected, victims[0])
+			rep.NewInstances = append(rep.NewInstances, id)
+			set, err := u.pollInService(ctx, spec)
+			if err != nil {
+				return failSS("listing group %s: %v", spec.ASGName, err)
+			}
+			// ssstep3: replacement joined.
+			u.emit(spec.TaskID, "Replacement %s joined group %s. %d of %d instances in service.",
+				id, spec.ASGName, len(set), spec.Size)
+			u.emit(spec.TaskID, "Spot rebalance status: %d of %d instances in service", len(set), spec.Size)
+			continue
+		}
+		if len(current) >= spec.Size && !u.clk.Now().Before(windowEnd) {
+			break
+		}
+		if err := u.clk.Sleep(ctx, spec.PollInterval); err != nil {
+			return err
+		}
+	}
+
+	// ssstep4 / ssstep5: capacity held through the window.
+	u.emit(spec.TaskID, "Capacity of group %s restored to %d instances", spec.ASGName, spec.Size)
+	u.emit(spec.TaskID, "Spot rebalance of group %s completed", spec.ASGName)
+	return nil
+}
+
+// listInstances snapshots the account's instance list, riding out
+// retryable API errors.
+func (u *Upgrader) listInstances(ctx context.Context, spec SpotRebalanceSpec) ([]simaws.Instance, error) {
+	for attempt := 0; ; attempt++ {
+		instances, err := u.cloud.DescribeInstances(ctx)
+		if err == nil {
+			return instances, nil
+		}
+		if !simaws.IsRetryable(err) || attempt >= 5 {
+			return nil, err
+		}
+		if err := u.clk.Sleep(ctx, time.Second); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// pollInService snapshots the group's in-service set, tolerating
+// retryable API errors by returning the last consistent read.
+func (u *Upgrader) pollInService(ctx context.Context, spec SpotRebalanceSpec) (map[string]bool, error) {
+	for attempt := 0; ; attempt++ {
+		set, err := u.inServiceSet(ctx, spec.ASGName)
+		if err == nil {
+			return set, nil
+		}
+		if !simaws.IsRetryable(err) || attempt >= 5 {
+			return nil, err
+		}
+		if err := u.clk.Sleep(ctx, time.Second); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// waitForReplacement polls until one instance not in known is in service.
+func (u *Upgrader) waitForReplacement(ctx context.Context, spec SpotRebalanceSpec, known map[string]bool) (string, error) {
+	deadline := u.clk.Now().Add(spec.WaitTimeout)
+	for {
+		if u.clk.Now().After(deadline) {
+			return "", fmt.Errorf("%w after %v", ErrTimeout, spec.WaitTimeout)
+		}
+		if err := u.clk.Sleep(ctx, spec.PollInterval); err != nil {
+			return "", err
+		}
+		instances, err := u.cloud.DescribeInstances(ctx)
+		if err != nil {
+			if simaws.IsRetryable(err) {
+				continue
+			}
+			return "", err
+		}
+		var fresh []string
+		for _, inst := range instances {
+			if inst.ASGName == spec.ASGName && !known[inst.ID] && inst.State == simaws.StateInService {
+				fresh = append(fresh, inst.ID)
+			}
+		}
+		if len(fresh) > 0 {
+			sort.Strings(fresh)
+			return fresh[0], nil
+		}
+	}
+}

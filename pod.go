@@ -44,6 +44,7 @@ import (
 	"poddiagnosis/internal/clock"
 	"poddiagnosis/internal/core"
 	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/diagplan"
 	"poddiagnosis/internal/faultinject"
 	"poddiagnosis/internal/faulttree"
 	"poddiagnosis/internal/logging"
@@ -205,6 +206,52 @@ const ScaleOutAssertionSpecText = process.ScaleOutSpecText
 
 // ScaleOutSpec describes one scale-out task for Upgrader.RunScaleOut.
 type ScaleOutSpec = upgrade.ScaleOutSpec
+
+// BlueGreenModel returns the process model of the blue/green deploy
+// operation: a green fleet is launched on the new version beside the blue
+// one, traffic is cut over at the load balancer, and the blue group is
+// retired.
+func BlueGreenModel() *ProcessModel { return process.BlueGreenModel() }
+
+// BlueGreenAssertionSpecText is the assertion specification for the
+// blue/green deploy operation.
+const BlueGreenAssertionSpecText = process.BlueGreenSpecText
+
+// BlueGreenSpec describes one blue/green deploy task for
+// Upgrader.RunBlueGreen.
+type BlueGreenSpec = upgrade.BlueGreenSpec
+
+// SpotRebalanceModel returns the process model of the spot-rebalance
+// operation: a capacity watch that waits out interruption storms while
+// the group replaces reclaimed instances.
+func SpotRebalanceModel() *ProcessModel { return process.SpotRebalanceModel() }
+
+// SpotRebalanceAssertionSpecText is the assertion specification for the
+// spot-rebalance operation.
+const SpotRebalanceAssertionSpecText = process.SpotRebalanceSpecText
+
+// SpotRebalanceSpec describes one spot-rebalance watch for
+// Upgrader.RunSpotRebalance.
+type SpotRebalanceSpec = upgrade.SpotRebalanceSpec
+
+// Declarative diagnosis plans (the DAG generalization of fault trees).
+type (
+	// DiagnosisPlan is one declarative diagnosis DAG, selected by
+	// assertion id and pruned by process-step context before walking.
+	DiagnosisPlan = diagplan.Plan
+	// DiagnosisPlanCatalog indexes plans by the assertion that triggers
+	// them.
+	DiagnosisPlanCatalog = diagplan.Catalog
+)
+
+// DefaultDiagnosisPlans returns the rolling-upgrade plan catalog: the
+// fault-tree knowledge base of DefaultFaultTrees compiled to DAG plans.
+func DefaultDiagnosisPlans() *DiagnosisPlanCatalog { return faulttree.DefaultCatalog() }
+
+// FullDiagnosisPlans returns the complete shipped catalog: the compiled
+// fault trees plus the declarative scenario plans (blue/green deploy,
+// spot-interruption storms).
+func FullDiagnosisPlans() *DiagnosisPlanCatalog { return faulttree.FullCatalog() }
 
 // DefaultAssertions returns the pre-defined assertion library.
 func DefaultAssertions() *AssertionRegistry { return assertion.DefaultRegistry() }
