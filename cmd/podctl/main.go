@@ -7,6 +7,8 @@
 //	podctl [-size N] [-fault kind] [-interfere kind] [-scale X] [-seed S] [-v]
 //	podctl -fault key-pair-changed -timeline   # render the causal evidence timeline
 //	podctl -fault wrong-ami -spans             # print the operation's tracer spans (/traces?op= view)
+//	podctl -fault ami-changed -remediate-mode auto -remediations   # heal the fault and print the audit
+//	podctl -fault sg-changed -remediate-mode approve -approve      # hold actions, then approve them
 //	podctl -plans                        # list the diagnosis-plan catalog
 //	podctl -show-plan ft-version-count   # print one plan (the Figure 5 DAG)
 //	podctl -list-faults                  # list injectable fault kinds
@@ -38,6 +40,7 @@ import (
 	"poddiagnosis/internal/obs/flight"
 	"poddiagnosis/internal/offline"
 	"poddiagnosis/internal/process"
+	"poddiagnosis/internal/remediate"
 	"poddiagnosis/internal/simaws"
 	"poddiagnosis/internal/upgrade"
 )
@@ -62,8 +65,17 @@ func run() int {
 		timeline  = flag.Bool("timeline", false, "render the operation's causal flight-recorder timeline after the run")
 		tlKinds   = flag.String("timeline-kind", "", "comma-separated entry kinds to keep in -timeline output (empty = all)")
 		spans     = flag.Bool("spans", false, "print the operation's completed tracer spans after the run (the GET /traces?op= view)")
+		remMode   = flag.String("remediate-mode", "off", "closed-loop remediation policy: off, dry-run, approve or auto")
+		remList   = flag.Bool("remediations", false, "print the remediation audit trail after the run")
+		approve   = flag.Bool("approve", false, "approve pending (approve-mode) remediations after the run")
 	)
 	flag.Parse()
+
+	mode, err := remediate.ParseMode(*remMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	var kinds []flight.Kind
 	for _, part := range strings.Split(*tlKinds, ",") {
@@ -156,7 +168,9 @@ func run() int {
 			SGName:       cluster.SGName,
 			InstanceType: "m1.small",
 			ClusterSize:  *size,
+			OldLCName:    cluster.LCName,
 		},
+		Remediation: remediate.SuggestedPolicy(mode),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -189,6 +203,20 @@ func run() int {
 	rep := upgrade.NewUpgrader(cloud, bus).Run(ctx, spec)
 	_ = clk.Sleep(ctx, 30*time.Second)
 	mon.Drain(ctx, 5*time.Minute)
+	rem := mon.Manager().Remediator()
+	if rem != nil && *approve {
+		for _, rm := range rem.List(mon.Session().ID()) {
+			if rm.State != remediate.StatePending {
+				continue
+			}
+			res, err := rem.Approve(ctx, rm.ID)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "approve %s: %v\n", rm.ID, err)
+				continue
+			}
+			fmt.Printf("approved %s: %s -> %s\n", res.ID, res.Action, res.State)
+		}
+	}
 	mon.Stop()
 
 	if rep.Err != nil {
@@ -227,6 +255,20 @@ func run() int {
 			}
 			for _, c := range d.Diagnosis.Suspected {
 				fmt.Printf("      suspected:  %s — %s\n", c.NodeID, c.Description)
+			}
+		}
+	}
+	if *remList && rem != nil {
+		rms := rem.List(mon.Session().ID())
+		fmt.Printf("\n%d remediation(s):\n", len(rms))
+		for _, rm := range rms {
+			fmt.Printf("  %-6s %-24s mode=%-8s state=%-9s cause=%s\n",
+				rm.ID, rm.Action, rm.Mode, rm.State, rm.CauseNode)
+			if rm.Detail != "" {
+				fmt.Printf("         %s\n", rm.Detail)
+			}
+			if rm.Error != "" {
+				fmt.Printf("         error: %s\n", rm.Error)
 			}
 		}
 	}

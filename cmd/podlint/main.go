@@ -1,7 +1,8 @@
 // Command podlint is the static-analysis gate for POD-Diagnosis. It lints
 // on two fronts: the registered diagnosis artifacts (process models,
-// assertion specifications, the diagnosis-plan catalog, and the trigger
-// chain connecting them) and the Go source tree (wall-clock reads, metric
+// assertion specifications, the diagnosis-plan catalog, the remediation
+// action↔cause bindings, and the trigger chain connecting them) and the
+// Go source tree (wall-clock reads, metric
 // naming, mutexes held across blocking sends, context.Background on
 // request paths).
 //
@@ -82,6 +83,7 @@ func run(args []string, stdout, stderr *os.File) int {
 			return 2
 		}
 		findings = append(findings, lint.LintBundles(bundles...)...)
+		findings = append(findings, lint.BuiltinRemediation()...)
 		for _, doc := range docs {
 			data, err := os.ReadFile(doc)
 			if err != nil {

@@ -23,6 +23,8 @@
 //	GET  /operations/{id}        one session's summary
 //	GET  /operations/{id}/detections
 //	GET  /operations/{id}/timeline  causal flight-recorder evidence chain (?kind= filters)
+//	GET  /operations/{id}/remediations  remediation audit trail (needs -remediate-mode)
+//	POST /remediations/{id}/approve     execute a pending approve-mode remediation
 //	DELETE /operations/{id}      end and remove a session
 //	GET  /model
 //	GET  /healthz
@@ -61,6 +63,7 @@ import (
 	"poddiagnosis/internal/diagnosis"
 	"poddiagnosis/internal/logging"
 	"poddiagnosis/internal/obs"
+	"poddiagnosis/internal/remediate"
 	"poddiagnosis/internal/rest"
 	"poddiagnosis/internal/simaws"
 	"poddiagnosis/internal/upgrade"
@@ -80,8 +83,14 @@ func run() int {
 		diagWorkers = flag.Int("diag-workers", 0, "parallel fault-tree walk width per diagnosis (0 = worker-pool size, 1 = sequential)")
 		chaosName   = flag.String("chaos-profile", "", "self-chaos profile (off, light, lossy, storm, full)")
 		traceCap    = flag.Int("trace-capacity", 4096, "completed spans retained for GET /traces")
+		remMode     = flag.String("remediate-mode", "off", "closed-loop remediation policy: off, dry-run, approve or auto")
 	)
 	flag.Parse()
+	mode, err := remediate.ParseMode(*remMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 	if *clusters < 1 {
 		*clusters = 1
 	}
@@ -121,9 +130,10 @@ func run() int {
 	}
 	mgr, err := core.NewManager(core.ManagerConfig{
 		Cloud: cloud, Bus: bus, Retention: 24 * time.Hour,
-		Diagnosis:  diagnosis.Options{Workers: *diagWorkers},
-		LogTap:     logTap,
-		ChaosLabel: chaosLabel,
+		Diagnosis:   diagnosis.Options{Workers: *diagWorkers},
+		LogTap:      logTap,
+		ChaosLabel:  chaosLabel,
+		Remediation: remediate.SuggestedPolicy(mode),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -162,6 +172,7 @@ func run() int {
 			SGName:       cluster.SGName,
 			InstanceType: "m1.small",
 			ClusterSize:  cluster.Size,
+			OldLCName:    cluster.LCName,
 		}, core.BindInstance(taskID), core.WithSessionID(app)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1

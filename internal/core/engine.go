@@ -31,6 +31,7 @@ import (
 	"poddiagnosis/internal/logstore"
 	"poddiagnosis/internal/obs"
 	"poddiagnosis/internal/process"
+	"poddiagnosis/internal/remediate"
 	"poddiagnosis/internal/simaws"
 )
 
@@ -72,6 +73,9 @@ type Expectation struct {
 	NewVersion string `json:"newVersion,omitempty"`
 	// NewLCName is the launch configuration the upgrade creates.
 	NewLCName string `json:"newLcName,omitempty"`
+	// OldLCName is the pre-upgrade launch configuration — the rollback
+	// target when remediation finds the intended one unlaunchable.
+	OldLCName string `json:"oldLcName,omitempty"`
 	// KeyName, SGName and InstanceType are the expected (unchanged)
 	// launch settings.
 	KeyName      string `json:"keyName,omitempty"`
@@ -141,6 +145,13 @@ type Config struct {
 	// Workers sizes the shared worker pool. Defaults to
 	// runtime.GOMAXPROCS(0), minimum 2.
 	Workers int
+	// Remediation is the closed-loop remediation policy (zero = off).
+	Remediation remediate.Policy
+	// RemediationCatalog overrides the action↔cause catalog.
+	RemediationCatalog *remediate.Catalog
+	// RemediationController steers the operation during remediation
+	// (retry step, abort); optional.
+	RemediationController remediate.OperationController
 }
 
 // Detection is one detected anomaly with its diagnosis.
@@ -202,11 +213,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 		Diagnosis:          cfg.Diagnosis,
 		MaxDetections:      cfg.MaxDetections,
 		Workers:            cfg.Workers,
+		Remediation:        cfg.Remediation,
+		RemediationCatalog: cfg.RemediationCatalog,
 	})
 	if err != nil {
 		return nil, err
 	}
-	sess, err := mgr.Watch(cfg.Expect, MatchAnyInstance())
+	watchOpts := []WatchOption{MatchAnyInstance()}
+	if cfg.RemediationController != nil {
+		watchOpts = append(watchOpts, WithRemediationController(cfg.RemediationController))
+	}
+	sess, err := mgr.Watch(cfg.Expect, watchOpts...)
 	if err != nil {
 		return nil, err
 	}

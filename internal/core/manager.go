@@ -25,6 +25,7 @@ import (
 	"poddiagnosis/internal/obs/flight"
 	"poddiagnosis/internal/pipeline"
 	"poddiagnosis/internal/process"
+	"poddiagnosis/internal/remediate"
 	"poddiagnosis/internal/simaws"
 )
 
@@ -122,6 +123,13 @@ type ManagerConfig struct {
 	// histograms, so chaos-run latencies are distinguishable from clean
 	// ones. Empty means "none".
 	ChaosLabel string
+	// Remediation is the closed-loop remediation policy. The zero value
+	// (all classes off) disables remediation entirely, so existing
+	// deployments are unaffected unless they opt in.
+	Remediation remediate.Policy
+	// RemediationCatalog overrides the action↔cause catalog. Nil means
+	// remediate.DefaultCatalog when Remediation is enabled.
+	RemediationCatalog *remediate.Catalog
 }
 
 // Manager owns the shared POD-Diagnosis substrate — bus subscriptions, the
@@ -142,7 +150,8 @@ type Manager struct {
 	store       *logstore.Store
 	central     *logstore.CentralProcessor
 	timers      *assertion.TimerSet
-	flight      *flight.Recorder // nil when DisableFlight
+	flight      *flight.Recorder  // nil when DisableFlight
+	rem         *remediate.Engine // nil unless cfg.Remediation is enabled
 	workers     int
 
 	opSub      *logging.Subscription
@@ -274,6 +283,9 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	}
 	if !cfg.DisableFlight {
 		m.flight = flight.NewRecorder(m.clk, cfg.FlightCapacity)
+	}
+	if cfg.Remediation.Enabled() {
+		m.rem = remediate.NewEngine(cfg.RemediationCatalog, cfg.Remediation, m.clk)
 	}
 	for i := range m.shards {
 		m.shards[i].owner = make(map[string]*Session)
@@ -420,6 +432,7 @@ type watchOptions struct {
 	periodicInterval time.Duration
 	stepSlack        float64
 	maxDetections    int
+	remCtl           remediate.OperationController
 }
 
 // WithSessionID names the session; default ids are op-1, op-2, ...
@@ -461,6 +474,14 @@ func WithStepTimeoutSlack(slack float64) WatchOption {
 // WithMaxDetections overrides the per-session detection cap.
 func WithMaxDetections(n int) WatchOption {
 	return func(o *watchOptions) { o.maxDetections = n }
+}
+
+// WithRemediationController attaches the controller remediation uses to
+// steer the operation itself (retry the failed step, abort). Sessions
+// without one still run environment-level actions; operation-level ones
+// are recorded as skipped.
+func WithRemediationController(rc remediate.OperationController) WatchOption {
+	return func(o *watchOptions) { o.remCtl = rc }
 }
 
 // Watch registers a new monitoring session for one operation and returns
@@ -506,6 +527,7 @@ func (m *Manager) Watch(x Expectation, opts ...WatchOption) (*Session, error) {
 		periodicInterval: o.periodicInterval,
 		stepSlack:        o.stepSlack,
 		maxDetections:    o.maxDetections,
+		remCtl:           o.remCtl,
 		matchAny:         o.matchAny,
 		matchASG:         o.matchASG,
 		state:            SessionActive,
@@ -711,8 +733,13 @@ func (m *Manager) drop(victims []*Session) {
 	m.order = kept
 	m.mu.Unlock()
 	for _, s := range victims {
-		// Evidence rings share session retention: GC'd together.
+		// Evidence rings and remediation records share session retention:
+		// GC'd together. Pending approvals for dropped operations become
+		// not-found, matching the vanished session.
 		m.flight.Drop(s.id)
+		if m.rem != nil {
+			m.rem.Drop(s.id)
+		}
 	}
 	for i := range m.shards {
 		sh := &m.shards[i]
@@ -779,6 +806,10 @@ func (m *Manager) ReorderStats() pipeline.ReorderStats { return m.reorder.Stats(
 
 // Flight returns the causal flight recorder (nil when disabled).
 func (m *Manager) Flight() *flight.Recorder { return m.flight }
+
+// Remediator returns the closed-loop remediation engine, or nil when the
+// manager's remediation policy is disabled.
+func (m *Manager) Remediator() *remediate.Engine { return m.rem }
 
 // Clock returns the manager's (simulated) clock.
 func (m *Manager) Clock() clock.Clock { return m.clk }

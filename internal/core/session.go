@@ -16,6 +16,7 @@ import (
 	"poddiagnosis/internal/logging"
 	"poddiagnosis/internal/obs/flight"
 	"poddiagnosis/internal/process"
+	"poddiagnosis/internal/remediate"
 )
 
 // SessionState is the lifecycle phase of a monitoring session.
@@ -52,6 +53,9 @@ type Session struct {
 	maxDetections    int
 	matchAny         bool
 	matchASG         bool
+	// remCtl steers the operation itself during remediation (retry step,
+	// abort); nil when the harness attached none. Immutable after Watch.
+	remCtl remediate.OperationController
 
 	pending atomic.Int64 // queued + in-flight work items for this session
 
@@ -457,9 +461,6 @@ func (s *Session) OnProcessStart(instanceID string, ev logging.Event) {
 		Source:            assertion.TriggerTimer,
 		ProcessInstanceID: instanceID,
 	}
-	// Periodic detections chain back to the process-start line that
-	// armed the timer; the fire time is the SLO origin.
-	anchor := s.lastEntryOf(instanceID)
 	cancels := make([]func(), 0, 1)
 	for _, pb := range s.spec.Periodic() {
 		params, ok := pb.Resolve(base, vars)
@@ -476,6 +477,14 @@ func (s *Session) OnProcessStart(instanceID string, ev logging.Event) {
 		cancels = append(cancels, s.mgr.timers.Every(interval, func() {
 			mTimerFires.With("periodic").Inc()
 			fireAt := s.mgr.clk.Now()
+			// Each fire chains back to the instance's latest observed line
+			// — the evidence the capacity check judges against. Resolved at
+			// fire time, not arming time: this hook runs before the
+			// process-start line itself is anchored in the flight ring, so
+			// an arming-time anchor would be empty and every periodic
+			// detection's evidence chain would dead-end short of a log
+			// event.
+			anchor := s.lastEntryOf(instanceID)
 			s.submit(instanceID, func() {
 				s.evaluateAndMaybeDiagnose(checkID, params, trig, anchor, fireAt)
 			})
@@ -589,6 +598,12 @@ func (s *Session) evaluateAndMaybeDiagnose(checkID string, p assertion.Params,
 	cancel()
 	if res.Passed() {
 		return
+	}
+	if anchor == 0 {
+		// A timer armed before the instance's first line was anchored
+		// resolves to no parent; fall back to the latest line now so the
+		// evidence chain still bottoms out at a real log event.
+		anchor = s.lastEntryOf(trig.ProcessInstanceID)
 	}
 	assertEntry := s.flight.Record(flight.Entry{
 		Kind:    flight.KindAssertion,
@@ -745,14 +760,51 @@ func (s *Session) record(d Detection, dedupKey string) {
 	mDetections.With(string(d.Source)).Inc()
 	mOpDetections.With(s.id).Inc()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if d.Diagnosis != nil && d.Diagnosis.Conclusion == diagnosis.ConclusionIdentified && dedupKey != "" {
 		s.identified[dedupKey] = true
 	}
-	if len(s.detections) >= s.maxDetections {
+	if len(s.detections) < s.maxDetections {
+		s.detections = append(s.detections, d)
+	}
+	s.mu.Unlock()
+	// Remediation runs outside s.mu: auto-mode actions call the simulated
+	// cloud synchronously, and the engine's idempotency keys make the
+	// unlocked window race-free (a re-diagnosed cause dedupes).
+	s.maybeRemediate(d)
+}
+
+// maybeRemediate offers each confirmed root cause of the detection's
+// diagnosis to the manager's remediation engine, closing the
+// detect → diagnose → repair loop. Causes over the detection cap still
+// remediate — the cap bounds the audit list, not recovery.
+func (s *Session) maybeRemediate(d Detection) {
+	eng := s.mgr.rem
+	if eng == nil || d.Diagnosis == nil || d.Diagnosis.Conclusion != diagnosis.ConclusionIdentified {
 		return
 	}
-	s.detections = append(s.detections, d)
+	target := remediate.Target{
+		Cloud:       s.mgr.cfg.Cloud,
+		ASGName:     s.expect.ASGName,
+		ELBName:     s.expect.ELBName,
+		NewLCName:   s.expect.NewLCName,
+		OldLCName:   s.expect.OldLCName,
+		ClusterSize: s.expect.ClusterSize,
+		Op:          s.remCtl,
+	}
+	for _, c := range d.Diagnosis.RootCauses {
+		if !c.Confirmed {
+			continue
+		}
+		eng.Trigger(context.Background(), remediate.Trigger{
+			Operation:  s.id,
+			CauseNode:  c.NodeID,
+			CausePath:  c.Path,
+			CauseEntry: c.EvidenceID,
+			StepID:     d.StepID,
+			Flight:     s.flight,
+			Target:     target,
+		})
+	}
 }
 
 // SessionSummary is the serializable view of a session (GET /operations).

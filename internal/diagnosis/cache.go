@@ -65,6 +65,10 @@ type SharedCache struct {
 
 	mu      sync.Mutex
 	entries map[string]*entry
+	// lastSweep is when the last full expiry sweep ran. Lazy same-key
+	// eviction alone lets one-off (check, params) keys accumulate for
+	// the life of the Manager; the periodic sweep bounds that growth.
+	lastSweep time.Time
 
 	hits      atomic.Uint64
 	coalesced atomic.Uint64
@@ -79,7 +83,7 @@ func NewSharedCache(clk clock.Clock, ttl time.Duration) *SharedCache {
 	if ttl < 0 {
 		ttl = 0
 	}
-	return &SharedCache{clk: clk, ttl: ttl, entries: make(map[string]*entry)}
+	return &SharedCache{clk: clk, ttl: ttl, entries: make(map[string]*entry), lastSweep: clk.Now()}
 }
 
 // TTL returns the cache's effective time-to-live.
@@ -92,6 +96,7 @@ func (c *SharedCache) TTL() time.Duration { return c.ttl }
 // OutcomeRejected with a zero Result and eval is not run.
 func (c *SharedCache) Do(key string, reserve func() bool, eval func() assertion.Result) (assertion.Result, Outcome) {
 	c.mu.Lock()
+	c.sweepLocked()
 	if en, ok := c.entries[key]; ok {
 		select {
 		case <-en.ready:
@@ -120,7 +125,6 @@ func (c *SharedCache) Do(key string, reserve func() bool, eval func() assertion.
 	}
 	en := &entry{ready: make(chan struct{}), at: c.clk.Now()}
 	c.entries[key] = en
-	c.sweepLocked()
 	c.mu.Unlock()
 
 	en.res = eval()
@@ -138,12 +142,20 @@ func (c *SharedCache) Do(key string, reserve func() bool, eval func() assertion.
 	return en.res, OutcomeEvaluated
 }
 
-// sweepLocked drops expired completed entries once the map grows past
-// sweepThreshold. Caller must hold mu.
+// sweepLocked drops expired completed entries. It runs opportunistically
+// from Do: always once the map grows past sweepThreshold, and otherwise
+// at most once per TTL period, so a burst of one-off keys (which lazy
+// same-key eviction never revisits) is reclaimed within one consistency
+// window instead of accumulating for the life of the Manager. Caller
+// must hold mu.
 func (c *SharedCache) sweepLocked() {
-	if len(c.entries) < sweepThreshold {
+	if len(c.entries) == 0 {
 		return
 	}
+	if len(c.entries) < sweepThreshold && (c.ttl <= 0 || c.clk.Since(c.lastSweep) < c.ttl) {
+		return
+	}
+	c.lastSweep = c.clk.Now()
 	for key, en := range c.entries {
 		select {
 		case <-en.ready:

@@ -202,3 +202,28 @@ func TestSharedCacheReserveRejected(t *testing.T) {
 		t.Fatalf("post-rejection outcome %v", out)
 	}
 }
+
+// Regression for unbounded growth: one-off keys are never requested
+// again, so lazy same-key eviction alone kept them for the life of the
+// Manager. The opportunistic sweep must reclaim them within one TTL
+// period even when the map never reaches sweepThreshold, and a later
+// request on an unrelated key is enough to trigger it.
+func TestSharedCacheSweepsOneOffKeysAfterTTL(t *testing.T) {
+	clk := newManualClock()
+	c := NewSharedCache(clk, time.Minute)
+	for i := 0; i < 100; i++ {
+		key := "one-off-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		c.Do(key, nil, func() assertion.Result { return passResult("v") })
+	}
+	if got := c.Stats().Size; got != 100 {
+		t.Fatalf("size before TTL = %d, want 100", got)
+	}
+	clk.Advance(2 * time.Minute)
+	c.Do("fresh", nil, func() assertion.Result { return passResult("v") })
+	if got := c.Stats().Size; got != 1 {
+		t.Fatalf("size after TTL sweep = %d, want 1 (only the fresh entry)", got)
+	}
+	if ev := c.Stats().Evictions; ev < 100 {
+		t.Fatalf("evictions = %d, want >= 100", ev)
+	}
+}

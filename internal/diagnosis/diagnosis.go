@@ -146,6 +146,13 @@ type Cause struct {
 	// false means the fault is suspected but untestable or the test was
 	// inconclusive.
 	Confirmed bool `json:"confirmed"`
+	// Path is the plan-qualified DAG path that reached this cause
+	// ("planID:entry/…/node"), as cited by the evidence entry. Consumers
+	// (remediation's audit trail) repeat it verbatim.
+	Path string `json:"path,omitempty"`
+	// EvidenceID is the flight-recorder entry recording this cause
+	// (0 when the recorder is disabled).
+	EvidenceID uint64 `json:"evidenceId,omitempty"`
 }
 
 // Conclusion classifies the outcome of a diagnosis.
@@ -706,14 +713,14 @@ func (e *Engine) commit(r *run, br *branch) {
 	}
 	for _, c := range br.causes {
 		if !hasCause(d.RootCauses, c) {
+			c.EvidenceID, c.Path = r.recordCause(c, true)
 			d.RootCauses = append(d.RootCauses, c)
-			r.recordCause(c, true)
 		}
 	}
 	for _, c := range br.suspects {
 		if !hasCause(d.Suspected, c) {
+			c.EvidenceID, c.Path = r.recordCause(c, false)
 			d.Suspected = append(d.Suspected, c)
-			r.recordCause(c, false)
 		}
 	}
 }
@@ -726,9 +733,18 @@ func (e *Engine) commit(r *run, br *branch) {
 // never during the walk: parallel branches merged after the first
 // confirmation are discarded, and speculative causes must not leave
 // evidence behind.
-func (r *run) recordCause(c Cause, confirmed bool) {
+func (r *run) recordCause(c Cause, confirmed bool) (entryID uint64, path string) {
+	for _, p := range r.plans {
+		if !p.Has(c.NodeID) {
+			continue
+		}
+		if pt := p.PathTo(c.NodeID); pt != "" {
+			path = p.ID + ":" + pt
+		}
+		break
+	}
 	if r.op == nil {
-		return
+		return 0, path
 	}
 	r.mu.Lock()
 	te := r.testEntry[c.NodeID]
@@ -737,12 +753,12 @@ func (r *run) recordCause(c Cause, confirmed bool) {
 		"node":      c.NodeID,
 		"confirmed": strconv.FormatBool(confirmed),
 	}
+	if path != "" {
+		attrs["path"] = path
+	}
 	for _, p := range r.plans {
 		if !p.Has(c.NodeID) {
 			continue
-		}
-		if path := p.PathTo(c.NodeID); path != "" {
-			attrs["path"] = p.ID + ":" + path
 		}
 		if parents := p.Parents(c.NodeID); len(parents) > 0 {
 			attrs["parents"] = strings.Join(parents, ",")
@@ -753,12 +769,13 @@ func (r *run) recordCause(c Cause, confirmed bool) {
 	if !confirmed {
 		msg = "suspected cause: " + c.Description
 	}
-	r.op.Record(flight.Entry{
+	entryID = r.op.Record(flight.Entry{
 		Kind:    flight.KindCause,
 		Parents: parentsOf(te, r.diagEntry),
 		Message: msg,
 		Attrs:   attrs,
 	})
+	return entryID, path
 }
 
 // hasCause reports whether list already carries the cause, by node id or

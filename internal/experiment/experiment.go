@@ -26,6 +26,7 @@ import (
 	"poddiagnosis/internal/faultinject"
 	"poddiagnosis/internal/logging"
 	"poddiagnosis/internal/obs/flight"
+	"poddiagnosis/internal/remediate"
 	"poddiagnosis/internal/simaws"
 	"poddiagnosis/internal/upgrade"
 )
@@ -178,6 +179,20 @@ type RunResult struct {
 	BrokenEvidenceChains int `json:"brokenEvidenceChains,omitempty"`
 	// SimDuration is the simulated length of the run.
 	SimDuration time.Duration `json:"simDuration"`
+
+	// Healed reports that a heal-lane run ended with the upgrade task
+	// completed and the cluster converged onto the intended launch
+	// configuration after closed-loop remediation (RunHealOne only).
+	Healed bool `json:"healed,omitempty"`
+	// HealErr explains a failed heal (empty when Healed).
+	HealErr string `json:"healErr,omitempty"`
+	// Remediations is the remediation audit trail of a heal-lane run.
+	Remediations []remediate.Remediation `json:"remediations,omitempty"`
+	// RemediationChains counts executed remediations whose outcome entry
+	// chains through the flight recorder back to a raw log event;
+	// BrokenRemediationChains counts those that do not.
+	RemediationChains       int `json:"remediationChains,omitempty"`
+	BrokenRemediationChains int `json:"brokenRemediationChains,omitempty"`
 }
 
 // lane is one execution slot of a campaign: a simulated cloud with a
@@ -185,11 +200,41 @@ type RunResult struct {
 // each run registers its own monitoring session instead of rebuilding the
 // whole engine stack (the paper's shared-services deployment, §IV).
 type lane struct {
-	cfg   Config
-	clk   *clock.Scaled
-	bus   *logging.Bus
-	cloud *simaws.Cloud
-	mgr   *core.Manager
+	cfg     Config
+	clk     *clock.Scaled
+	bus     *logging.Bus
+	cloud   *simaws.Cloud
+	mgr     *core.Manager
+	profile simaws.Profile
+}
+
+// replacementBudget derives the orchestrator's wait deadline from the
+// lane's cloud profile instead of a fixed constant. Under the scaled
+// clock, simulated time is a pure function of wall time, so every
+// simulated deadline is effectively a wall deadline: at acceptance scale
+// a fixed 5-minute budget left under 300ms of wall slack over the
+// worst-case terminate+boot path, and a GC pause or a scheduler stall on
+// an oversubscribed CPU turned into a spurious ErrTimeout. Three
+// worst-case replacement cycles (terminate, boot, consistency window,
+// reconciler tick) keep the deadline meaningful for real hangs while
+// making the tolerable stall a multiple of the worst-case path.
+func replacementBudget(p simaws.Profile) time.Duration {
+	per := p.TerminateTime.Max + p.BootTime.Max + p.ConsistencyWindow() + p.TickInterval
+	if budget := 3 * per; budget > 5*time.Minute {
+		return budget
+	}
+	return 5 * time.Minute
+}
+
+// teardownBudget bounds the post-run wait for every instance to die,
+// derived from the profile's terminate-time parameters like
+// replacementBudget.
+func teardownBudget(p simaws.Profile) time.Duration {
+	per := p.TerminateTime.Max + p.ConsistencyWindow() + p.TickInterval
+	if budget := 3 * per; budget > 5*time.Minute {
+		return budget
+	}
+	return 5 * time.Minute
 }
 
 // newLane builds the lane's cloud and Manager. seed drives the cloud's
@@ -255,7 +300,7 @@ func newLane(cfg Config, seed int64, mutate ...func(*core.ManagerConfig)) (*lane
 		return nil, err
 	}
 	mgr.Start()
-	return &lane{cfg: cfg, clk: clk, bus: bus, cloud: cloud, mgr: mgr}, nil
+	return &lane{cfg: cfg, clk: clk, bus: bus, cloud: cloud, mgr: mgr, profile: profile}, nil
 }
 
 // close tears the lane down.
@@ -287,7 +332,7 @@ func (l *lane) runOne(ctx context.Context, spec RunSpec, appName string) (*RunRe
 	taskID := fmt.Sprintf("pushing %s run-%d", cluster.ASGName, spec.ID)
 	upSpec := cluster.UpgradeSpec(taskID, newAMI)
 	upSpec.NewLCName = fmt.Sprintf("%s-lc-%s", cluster.ASGName, newAMI)
-	upSpec.WaitTimeout = 5 * time.Minute
+	upSpec.WaitTimeout = replacementBudget(l.profile)
 	upSpec.PollInterval = 5 * time.Second
 
 	sess, err := l.mgr.Watch(core.Expectation{

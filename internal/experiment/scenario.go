@@ -73,7 +73,7 @@ func (l *lane) runBlueGreen(ctx context.Context, spec RunSpec, appName string) (
 		KeyName:     cluster.KeyName,
 		SGName:      cluster.SGName,
 		Size:        spec.ClusterSize,
-		WaitTimeout: 5 * time.Minute,
+		WaitTimeout: replacementBudget(l.profile),
 	}
 	green := bgSpec.GreenCluster(appName, "v2")
 
@@ -209,13 +209,19 @@ func (l *lane) runSpotStorm(ctx context.Context, spec RunSpec, appName string) (
 		_ = injector.Storm(ctx, stormSize(spec), delay, 15*time.Second)
 	}()
 
+	// The rebalance watch window must outlast the worst-case replacement
+	// of the storm's reclaimed instances; see replacementBudget.
+	window := 4 * time.Minute
+	if b := replacementBudget(l.profile); b > window {
+		window = b
+	}
 	up := upgrade.NewUpgrader(l.cloud, l.bus)
 	rep := up.RunSpotRebalance(ctx, upgrade.SpotRebalanceSpec{
 		TaskID:  taskID,
 		ASGName: cluster.ASGName,
 		ELBName: cluster.ELBName,
 		Size:    spec.ClusterSize,
-		Window:  4 * time.Minute,
+		Window:  window,
 	})
 	<-stormDone
 
@@ -239,7 +245,7 @@ func (l *lane) runSpotStorm(ctx context.Context, spec RunSpec, appName string) (
 // awaitTeardown waits until every instance of the lane's cloud is dead,
 // freeing the account-wide instance limit for the next run.
 func (l *lane) awaitTeardown(ctx context.Context) {
-	deadline := l.clk.Now().Add(5 * time.Minute)
+	deadline := l.clk.Now().Add(teardownBudget(l.profile))
 	for l.clk.Now().Before(deadline) {
 		insts, err := l.cloud.DescribeInstances(ctx)
 		if err != nil {

@@ -94,7 +94,8 @@ func (f Finding) String() string {
 // CI dashboards and the documentation key off them. PM rules lint process
 // models, AS rules assertion specifications, DG rules diagnosis plans
 // (which replaced the retired tree-only FT rules), XC rules the
-// cross-artifact trigger chain, GO rules the Go source.
+// cross-artifact trigger chain, RM rules the remediation-catalog
+// bindings against the plan causes, GO rules the Go source.
 const (
 	RuleModelUnreachable   = "PM001"
 	RuleModelDeadEnd       = "PM002"
@@ -122,6 +123,10 @@ const (
 	RuleCoverageStepNoAssertion  = "XC001"
 	RuleCoverageAssertionNoTree  = "XC002"
 	RuleCoverageTreeNeverTrigger = "XC003"
+
+	RuleRemediateDanglingCause = "RM001"
+	RuleRemediateUncovered     = "RM002"
+	RuleRemediateStaleManual   = "RM003"
 
 	RuleSrcWallClock         = "GO001"
 	RuleSrcMetricName        = "GO002"
@@ -172,6 +177,10 @@ var ruleTable = map[string]RuleInfo{
 	RuleCoverageStepNoAssertion:  {RuleCoverageStepNoAssertion, SevWarning, "model", "process step has no assertion bound (trigger chain gap)"},
 	RuleCoverageAssertionNoTree:  {RuleCoverageAssertionNoTree, SevError, "model", "spec-bound assertion has no fault tree — its failure cannot be diagnosed"},
 	RuleCoverageTreeNeverTrigger: {RuleCoverageTreeNeverTrigger, SevWarning, "model", "fault tree's assertion is bound by no specification (tree never fires)"},
+
+	RuleRemediateDanglingCause: {RuleRemediateDanglingCause, SevError, "model", "auto-mode remediation action binds a cause no diagnosis plan defines (action can never fire)"},
+	RuleRemediateUncovered:     {RuleRemediateUncovered, SevError, "model", "rolling-upgrade plan cause neither binds a remediation action nor carries an explicit manual marker"},
+	RuleRemediateStaleManual:   {RuleRemediateStaleManual, SevWarning, "model", "manual-remediation marker names a cause no diagnosis plan defines"},
 
 	RuleSrcWallClock:         {RuleSrcWallClock, SevError, "source", "time.Now/time.Since outside internal/clock — use clock.Wall or an injected clock.Clock"},
 	RuleSrcMetricName:        {RuleSrcMetricName, SevError, "source", "metric name does not match ^pod_[a-z_]+$"},

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"poddiagnosis/internal/assertspec"
 	"poddiagnosis/internal/diagplan"
 	"poddiagnosis/internal/process"
+	"poddiagnosis/internal/remediate"
 )
 
 // --- helpers -------------------------------------------------------------
@@ -51,6 +53,25 @@ func neverFiresPlan() *diagplan.Plan {
 			{ID: "c2", Kind: diagplan.KindCause, CheckID: "known", TestClass: diagplan.TestClassRetryable},
 		},
 	}
+}
+
+// brokenRemediation seeds one violation for every RM rule against the
+// neverFiresPlan catalog: an auto action bound to a cause no plan defines
+// (RM001), the plan's causes left without bindings or markers (RM002 for
+// c1; c2 gets a stale-free marker so both paths are exercised), and a
+// marker naming a cause that does not exist (RM003).
+func brokenRemediation() []Finding {
+	cat := remediate.NewCatalog()
+	cat.MustAdd(remediate.Action{
+		Name: "fix-nothing", Description: "fixture", Class: remediate.ClassConfig,
+		Causes: []string{"no-such-cause"},
+		Run:    func(context.Context, *remediate.Target) (string, error) { return "", nil },
+	})
+	cat.MarkManual("c2", "fixture: operator handles c2")
+	cat.MarkManual("ghost-cause", "fixture: stale marker")
+	plans := diagplan.NewCatalog()
+	plans.MustRegister(neverFiresPlan())
+	return LintRemediation(cat, remediate.Policy{Default: remediate.ModeAuto}, plans, []string{"never-fires"})
 }
 
 // --- model rules ---------------------------------------------------------
@@ -471,6 +492,50 @@ func TestRepositoryLintsClean(t *testing.T) {
 	}
 }
 
+// --- remediation rules ---------------------------------------------------
+
+func TestLintRemediationRules(t *testing.T) {
+	fs := brokenRemediation()
+	rm1 := findingsFor(fs, RuleRemediateDanglingCause)
+	if len(rm1) != 1 || !strings.Contains(rm1[0].Message, "no-such-cause") {
+		t.Fatalf("RM001 = %v, want one finding for no-such-cause", rm1)
+	}
+	rm2 := findingsFor(fs, RuleRemediateUncovered)
+	if len(rm2) != 1 || !strings.Contains(rm2[0].Message, `"c1"`) {
+		t.Fatalf("RM002 = %v, want exactly the unmarked cause c1", rm2)
+	}
+	rm3 := findingsFor(fs, RuleRemediateStaleManual)
+	if len(rm3) != 1 || !strings.Contains(rm3[0].Message, "ghost-cause") {
+		t.Fatalf("RM003 = %v, want one stale marker for ghost-cause", rm3)
+	}
+}
+
+func TestLintRemediationApproveModeNotDangling(t *testing.T) {
+	cat := remediate.NewCatalog()
+	cat.MustAdd(remediate.Action{
+		Name: "held", Description: "fixture", Class: remediate.ClassEscalation,
+		Causes: []string{"no-such-cause"},
+		Run:    func(context.Context, *remediate.Target) (string, error) { return "", nil },
+	})
+	plans := diagplan.NewCatalog()
+	plans.MustRegister(neverFiresPlan())
+	policy := remediate.Policy{Default: remediate.ModeAuto,
+		ByClass: map[string]remediate.Mode{remediate.ClassEscalation: remediate.ModeApprove}}
+	if fs := LintRemediation(cat, policy, plans, nil); hasRule(fs, RuleRemediateDanglingCause) {
+		t.Fatalf("RM001 fired for an approve-mode action: %v", fs)
+	}
+}
+
+// TestBuiltinRemediationClean pins the acceptance criterion: the shipped
+// action catalog resolves cleanly against the full diagnosis-plan catalog
+// — every auto-capable binding lands on a real cause and every compiled
+// rolling-upgrade cause is either actionable or explicitly manual.
+func TestBuiltinRemediationClean(t *testing.T) {
+	if fs := BuiltinRemediation(); len(fs) != 0 {
+		t.Fatalf("builtin remediation surface has %d finding(s):\n%s", len(fs), render(fs))
+	}
+}
+
 // TestEveryRuleHasCoverage cross-checks the registry against the fixtures
 // above: every registered rule must fire somewhere in this test file's
 // fixtures, so a rule added to the table without a seeded violation fails
@@ -486,6 +551,8 @@ func TestEveryRuleHasCoverage(t *testing.T) {
 	all = append(all, LintSpec("fixture", spec, process.RollingUpgradeModel(), fixtureRegistry())...)
 
 	all = append(all, LintPlan(brokenPlan(), fixtureRegistry())...)
+
+	all = append(all, brokenRemediation()...)
 
 	boundSpec, err := assertspec.Parse("on step1 assert known", fixtureRegistry())
 	if err != nil {

@@ -48,6 +48,14 @@ const (
 	KindTest Kind = "diagnosis.test"
 	// KindCause is a confirmed root cause committed by a diagnosis run.
 	KindCause Kind = "diagnosis.cause"
+	// KindRemediationAction is a remediation action admitted for a
+	// confirmed cause (fired, pending approval, or dry-run); it cites
+	// the cause's plan path and chains to the cause entry.
+	KindRemediationAction Kind = "remediation.action"
+	// KindRemediationOutcome is the terminal result of a remediation
+	// action (executed, failed, dry-run, or skipped), chained to its
+	// remediation.action entry.
+	KindRemediationOutcome Kind = "remediation.outcome"
 )
 
 // Kinds returns every registered kind, in causal pipeline order.
@@ -55,6 +63,7 @@ func Kinds() []Kind {
 	return []Kind{
 		KindLogEvent, KindStreamGap, KindConformance, KindAssertion,
 		KindDetection, KindDiagnosis, KindTest, KindCause,
+		KindRemediationAction, KindRemediationOutcome,
 	}
 }
 

@@ -11,26 +11,47 @@ import (
 	"time"
 
 	"poddiagnosis/internal/assertion"
+	"poddiagnosis/internal/clock"
 	"poddiagnosis/internal/conformance"
 	"poddiagnosis/internal/core"
 	"poddiagnosis/internal/diagnosis"
 	"poddiagnosis/internal/diagplan"
 	"poddiagnosis/internal/obs/flight"
+	"poddiagnosis/internal/remediate"
 )
 
 // Client talks to a POD REST server.
 type Client struct {
 	base string
 	http *http.Client
+	clk  clock.Clock
+}
+
+// ClientOption tunes a Client.
+type ClientOption func(*Client)
+
+// WithClientClock injects the clock governing the retry backoff. The
+// default is the wall clock; harnesses running under a scaled clock pass
+// theirs so the backoff scales with the rest of the simulation.
+func WithClientClock(clk clock.Clock) ClientOption {
+	return func(c *Client) {
+		if clk != nil {
+			c.clk = clk
+		}
+	}
 }
 
 // NewClient returns a client for the server at base (e.g.
 // "http://localhost:8077"). A nil httpClient uses a 30s-timeout default.
-func NewClient(base string, httpClient *http.Client) *Client {
+func NewClient(base string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &Client{base: base, http: httpClient}
+	c := &Client{base: base, http: httpClient, clk: clock.Wall}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // CheckConformance posts one log line for token replay.
@@ -189,6 +210,22 @@ func (c *Client) OperationTimeline(ctx context.Context, id string, kinds ...stri
 	return out, err
 }
 
+// Remediations fetches the remediations admitted for one operation's
+// confirmed causes (pending approvals, dry-run records, outcomes).
+func (c *Client) Remediations(ctx context.Context, id string) ([]remediate.Remediation, error) {
+	var out []remediate.Remediation
+	err := c.get(ctx, "/operations/"+url.PathEscape(id)+"/remediations", &out)
+	return out, err
+}
+
+// ApproveRemediation executes one pending (approve-mode) remediation and
+// returns its resolved record.
+func (c *Client) ApproveRemediation(ctx context.Context, id string) (remediate.Remediation, error) {
+	var out remediate.Remediation
+	err := c.post(ctx, "/remediations/"+url.PathEscape(id)+"/approve", struct{}{}, &out)
+	return out, err
+}
+
 // RemoveOperation ends and deletes one monitoring session.
 func (c *Client) RemoveOperation(ctx context.Context, id string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
@@ -229,14 +266,14 @@ func (c *Client) do(req *http.Request, out any) error {
 		// Idempotent GETs retry exactly once after a short backoff: a
 		// connection refused (server restarting) or a 5xx is routinely
 		// transient, and a GET repeated carries no side effects. The
+		// backoff runs on the injected clock — a scaled harness clock
+		// compresses it with the rest of the simulation — and the
 		// caller's context still governs the whole exchange.
 		if resp != nil {
 			resp.Body.Close()
 		}
-		select {
-		case <-req.Context().Done():
-			return fmt.Errorf("rest client: %w", req.Context().Err())
-		case <-time.After(retryDelay):
+		if serr := c.clk.Sleep(req.Context(), retryDelay); serr != nil {
+			return fmt.Errorf("rest client: %w", serr)
 		}
 		resp, err = c.http.Do(req.Clone(req.Context()))
 	}

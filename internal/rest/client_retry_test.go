@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"poddiagnosis/internal/clock"
 )
 
 // flaky500 serves a 500 for the first n hits of each path, then succeeds.
@@ -119,6 +121,41 @@ func TestClientHonoursContextDeadline(t *testing.T) {
 	dead, cancel2 := context.WithCancel(context.Background())
 	cancel2()
 	if err := c.get(dead, "/healthz", nil); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+}
+
+// countingClock counts Sleep calls so tests can prove the retry backoff
+// runs on the injected clock, not a bare time.After.
+type countingClock struct {
+	clock.Clock
+	sleeps atomic.Int32
+}
+
+func (c *countingClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.sleeps.Add(1)
+	return c.Clock.Sleep(ctx, d)
+}
+
+func TestClientRetryBackoffUsesInjectedClock(t *testing.T) {
+	fastRetry(t)
+	h := &flaky500{fails: 1}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	clk := &countingClock{Clock: clock.Wall}
+	c := NewClient(srv.URL, srv.Client(), WithClientClock(clk))
+	if _, err := c.Checks(context.Background()); err != nil {
+		t.Fatalf("GET after one 500: %v", err)
+	}
+	if got := clk.sleeps.Load(); got != 1 {
+		t.Fatalf("injected clock slept %d times, want 1 (the retry backoff)", got)
+	}
+	// A cancelled context aborts the backoff through the same clock.
+	atomic.StoreInt32(&h.hits, 0)
+	atomic.StoreInt32(&h.fails, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.get(ctx, "/healthz", nil); err == nil {
 		t.Fatal("cancelled context accepted")
 	}
 }

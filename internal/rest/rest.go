@@ -134,6 +134,8 @@ func NewServer(checker *conformance.Checker, eval *assertion.Evaluator, diag *di
 	s.route("GET /operations/{id}", "operations_get", s.handleOperationGet)
 	s.route("GET /operations/{id}/detections", "operations_detections", s.handleOperationDetections)
 	s.route("GET /operations/{id}/timeline", "operations_timeline", s.handleOperationTimeline)
+	s.route("GET /operations/{id}/remediations", "operations_remediations", s.handleOperationRemediations)
+	s.route("POST /remediations/{id}/approve", "remediations_approve", s.handleRemediationApprove)
 	s.route("DELETE /operations/{id}", "operations_delete", s.handleOperationDelete)
 	s.route("GET /conformance/instances", "conformance_instances", s.handleInstances)
 	s.route("GET /conformance/stats", "conformance_stats", s.handleStats)

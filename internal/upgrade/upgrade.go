@@ -150,7 +150,14 @@ func (u *Upgrader) run(ctx context.Context, spec Spec, rep *Report) error {
 		InstanceType:   oldLC.InstanceType,
 	}
 	if err := u.cloud.CreateLaunchConfiguration(ctx, newLC); err != nil {
-		return u.fail(spec, "creating launch configuration %s: %v", newLC.Name, err)
+		// A retried task finds its own launch configuration from the first
+		// attempt; recreating it is a no-op as long as the existing one
+		// carries the intended image (a name collision with a different
+		// image is still a failure — some other actor owns the name).
+		existing, derr := u.cloud.DescribeLaunchConfiguration(ctx, newLC.Name)
+		if simaws.ErrorCode(err) != simaws.ErrCodeAlreadyExists || derr != nil || existing.ImageID != newLC.ImageID {
+			return u.fail(spec, "creating launch configuration %s: %v", newLC.Name, err)
+		}
 	}
 	u.emit(spec.TaskID, "Created launch configuration %s with image %s", newLC.Name, spec.NewImageID)
 	if err := u.cloud.UpdateAutoScalingGroup(ctx, spec.ASGName, newLC.Name, -1, -1, -1); err != nil {
