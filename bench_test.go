@@ -107,6 +107,7 @@ func BenchmarkLogPipeline(b *testing.B) {
 			Message: logging.FormatOperationLine(ts, "t", body),
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, ev := range events {
@@ -200,6 +201,7 @@ func BenchmarkDiagnosisTime(b *testing.B) {
 	}
 	var sim time.Duration
 	var tests int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := engine.Diagnose(ctx, req)

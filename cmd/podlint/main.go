@@ -1,10 +1,12 @@
 // Command podlint is the static-analysis gate for POD-Diagnosis. It lints
-// on two fronts: the registered diagnosis artifacts (process models,
+// on three fronts: the registered diagnosis artifacts (process models,
 // assertion specifications, the diagnosis-plan catalog, the remediation
-// action↔cause bindings, and the trigger chain connecting them) and the
-// Go source tree (wall-clock reads, metric
-// naming, mutexes held across blocking sends, context.Background on
-// request paths).
+// action↔cause bindings, and the trigger chain connecting them), the Go
+// source tree (wall-clock reads, metric naming, mutexes held across
+// blocking sends, context.Background on request paths, goroutine leaks,
+// lock ordering, timers in loops, hot-path allocation discipline), and —
+// with -ratchet — benchmark performance against the committed BENCH_*.json
+// baselines.
 //
 // Usage:
 //
@@ -19,12 +21,25 @@
 //
 // Flags:
 //
-//	-json         emit findings as a JSON array instead of text
-//	-rules        print the rule registry and exit
-//	-fix          EXPERIMENTAL: rewrite time.Now/time.Since to use an
-//	              in-scope clock.Clock parameter, then re-lint
-//	-source-only  skip the built-in model/spec/tree bundles
-//	-models-only  skip the Go source analyzers
+//	-json            emit findings as a JSON array instead of text
+//	-rules PATTERN   print the matching rules of the registry and exit;
+//	                 comma-separated globs over rule IDs ("GO0*", "DG001"),
+//	                 plus the aliases "all" (or "*"), "ratchet" (RT*),
+//	                 "source" (GO*) and "model"
+//	-escape          also run the compiler-assisted escape-budget check
+//	                 (GO011): shells out to go build -gcflags=-m
+//	-hotpath-report  measure the //podlint:hotpath functions and dump the
+//	                 per-function escape budget table as JSON, then exit
+//	-ratchet FILE    compare raw `go test -bench -benchmem` output (FILE,
+//	                 or "-" for stdin) against the committed baselines and
+//	                 exit; RT001/RT002 regressions are error findings
+//	-baseline LIST   comma-separated baseline JSON files for -ratchet
+//	                 (default: BENCH_ingest.json,BENCH_diagnosis.json at
+//	                 the module root)
+//	-fix             EXPERIMENTAL: rewrite time.Now/time.Since to use an
+//	                 in-scope clock.Clock parameter, then re-lint
+//	-source-only     skip the built-in model/spec/tree bundles
+//	-models-only     skip the Go source analyzers
 //
 // Exit status is 0 when no findings of severity error remain (warnings do
 // not fail the build), 1 when at least one error finding is reported, and
@@ -35,7 +50,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path"
 	"path/filepath"
 	"strings"
 
@@ -46,12 +63,16 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("podlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		jsonOut    = fs.Bool("json", false, "emit findings as JSON")
-		rulesOut   = fs.Bool("rules", false, "print the rule registry and exit")
+		rulesPat   = fs.String("rules", "", "print matching rules and exit (globs over IDs; aliases: all, ratchet, source, model)")
+		escape     = fs.Bool("escape", false, "also run the compiler-assisted escape-budget check (GO011)")
+		hotReport  = fs.Bool("hotpath-report", false, "dump the per-function escape budget table as JSON and exit")
+		ratchet    = fs.String("ratchet", "", "compare bench output (file, or - for stdin) against baselines and exit")
+		baselines  = fs.String("baseline", "", "comma-separated baseline JSON files for -ratchet (default BENCH_ingest.json,BENCH_diagnosis.json)")
 		fix        = fs.Bool("fix", false, "experimental: rewrite wall-clock reads onto an in-scope clock.Clock")
 		sourceOnly = fs.Bool("source-only", false, "lint only Go source, skip the built-in bundles")
 		modelsOnly = fs.Bool("models-only", false, "lint only models/specs/trees, skip Go source")
@@ -59,8 +80,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *rulesOut {
-		return printRules(stdout, *jsonOut)
+	if *rulesPat != "" {
+		return printRules(stdout, stderr, *jsonOut, *rulesPat)
 	}
 	if *sourceOnly && *modelsOnly {
 		fmt.Fprintln(stderr, "podlint: -source-only and -models-only are mutually exclusive")
@@ -73,6 +94,13 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 	dirs, docs := splitTargets(fs.Args(), root)
+
+	if *ratchet != "" {
+		return runRatchet(stdout, stderr, root, *ratchet, *baselines, *jsonOut)
+	}
+	if *hotReport {
+		return runHotpathReport(stdout, stderr, root, dirs)
+	}
 
 	var findings []lint.Finding
 
@@ -111,6 +139,14 @@ func run(args []string, stdout, stderr *os.File) int {
 			return 2
 		}
 		findings = append(findings, srcFindings...)
+		if *escape {
+			_, escFindings, err := lint.EscapeAnalysis(root, dirs)
+			if err != nil {
+				fmt.Fprintln(stderr, "podlint:", err)
+				return 2
+			}
+			findings = append(findings, escFindings...)
+		}
 	}
 
 	lint.Sort(findings)
@@ -152,9 +188,19 @@ func lintDoc(name string, data []byte) []lint.Finding {
 	return lint.LintModelDoc(name, data)
 }
 
-// printRules writes the rule registry.
-func printRules(stdout *os.File, asJSON bool) int {
-	rules := lint.Rules()
+// printRules writes the rules matching the pattern: comma-separated globs
+// over rule IDs, with series aliases.
+func printRules(stdout, stderr io.Writer, asJSON bool, pattern string) int {
+	var rules []lint.RuleInfo
+	for _, r := range lint.Rules() {
+		if ruleMatches(r, pattern) {
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) == 0 {
+		fmt.Fprintf(stderr, "podlint: no rules match %q\n", pattern)
+		return 2
+	}
 	if asJSON {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -165,6 +211,139 @@ func printRules(stdout *os.File, asJSON bool) int {
 	}
 	for _, r := range rules {
 		fmt.Fprintf(stdout, "%s  %-7s  %-6s  %s\n", r.ID, r.Severity, r.Front, r.Summary)
+	}
+	return 0
+}
+
+// ruleMatches applies one comma-separated pattern list to a rule. Each
+// element is a glob over the rule ID ("GO0*", "DG001") or an alias: "all"
+// or "*" (everything), "ratchet" (the RT series), "source" (the GO
+// series), "model" (the model front).
+func ruleMatches(r lint.RuleInfo, pattern string) bool {
+	for _, p := range strings.Split(pattern, ",") {
+		p = strings.TrimSpace(p)
+		switch p {
+		case "":
+			continue
+		case "all", "*":
+			return true
+		case "ratchet":
+			if strings.HasPrefix(r.ID, "RT") {
+				return true
+			}
+			continue
+		case "source":
+			if strings.HasPrefix(r.ID, "GO") {
+				return true
+			}
+			continue
+		case "model":
+			if r.Front == "model" {
+				return true
+			}
+			continue
+		}
+		if ok, err := path.Match(p, r.ID); err == nil && ok {
+			return true
+		}
+	}
+	return false
+}
+
+// runHotpathReport measures the annotated hot-path functions with the
+// compiler and dumps the budget table as JSON.
+func runHotpathReport(stdout, stderr io.Writer, root string, dirs []string) int {
+	infos, findings, err := lint.EscapeAnalysis(root, dirs)
+	if err != nil {
+		fmt.Fprintln(stderr, "podlint:", err)
+		return 2
+	}
+	if infos == nil {
+		infos = []lint.HotFuncInfo{}
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(infos); err != nil {
+		fmt.Fprintln(stderr, "podlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stderr, f)
+	}
+	if lint.CountErrors(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runRatchet compares raw benchmark output against the committed
+// baselines and reports RT findings.
+func runRatchet(stdout, stderr io.Writer, root, benchPath, baselineList string, asJSON bool) int {
+	var in io.Reader
+	if benchPath == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(benchPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "podlint:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := lint.ParseBenchOutput(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "podlint:", err)
+		return 2
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(stderr, "podlint: no benchmark results in input")
+		return 2
+	}
+	var paths []string
+	if baselineList == "" {
+		paths = []string{filepath.Join(root, "BENCH_ingest.json"), filepath.Join(root, "BENCH_diagnosis.json")}
+	} else {
+		for _, p := range strings.Split(baselineList, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				paths = append(paths, p)
+			}
+		}
+	}
+	base, err := lint.LoadBaselines(paths)
+	if err != nil {
+		fmt.Fprintln(stderr, "podlint:", err)
+		return 2
+	}
+	findings := lint.CompareRatchet(results, base)
+	lint.Sort(findings)
+	if asJSON {
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "podlint:", err)
+			return 2
+		}
+	} else {
+		for _, r := range results {
+			fmt.Fprintf(stdout, "podlint: ratchet %s: %.0f ns/op, %d allocs/op (best of %d)\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.Runs)
+		}
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if n := lint.CountErrors(findings); n > 0 {
+		if !asJSON {
+			fmt.Fprintf(stdout, "podlint: ratchet FAILED: %d regression(s)\n", n)
+		}
+		return 1
+	}
+	if !asJSON {
+		fmt.Fprintln(stdout, "podlint: ratchet ok")
 	}
 	return 0
 }

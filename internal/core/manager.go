@@ -384,7 +384,9 @@ func (m *Manager) Start() {
 			}
 		}()
 	}
-	// Session GC: sweep ended sessions past the retention window.
+	// Session GC: sweep ended sessions past the retention window. One
+	// ticker for the loop's lifetime — clk.After per iteration left the
+	// previous timer live (uncollectable until it fired) every pass.
 	m.gc.Add(1)
 	go func() {
 		defer m.gc.Done()
@@ -392,11 +394,13 @@ func (m *Manager) Start() {
 		if interval <= 0 {
 			interval = time.Minute
 		}
+		ticker := clock.NewTicker(m.clk, interval)
+		defer ticker.Stop()
 		for {
 			select {
 			case <-m.stop:
 				return
-			case <-m.clk.After(interval):
+			case <-ticker.C:
 				m.sweep()
 			}
 		}

@@ -304,6 +304,31 @@ func TestSessionLifecycleAndGC(t *testing.T) {
 	}
 }
 
+// TestRetentionSweepTickerRepeats pins the GC loop's timer discipline: the
+// retention sweep must keep firing interval after interval. The loop runs
+// on one clock.NewTicker for its lifetime — the clk.After-per-iteration
+// shape it replaced left a dead timer live every pass, and a regression to
+// a one-shot timer would collect the first ended session but never the
+// second.
+func TestRetentionSweepTickerRepeats(t *testing.T) {
+	r := newMultiRig(t, func(c *ManagerConfig) { c.Retention = 30 * time.Second })
+	for i := 1; i <= 2; i++ {
+		s, err := r.mgr.Watch(Expectation{ASGName: fmt.Sprintf("g%d--asg", i), ClusterSize: 2},
+			BindInstance(fmt.Sprintf("t%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.End()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) && r.mgr.Session(s.ID()) != nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if r.mgr.Session(s.ID()) != nil {
+			t.Fatalf("sweep %d never collected the ended session — the GC ticker stopped firing", i)
+		}
+	}
+}
+
 // TestLazyRegistrationCallback exercises OnUnknownInstance: an unclaimed
 // process instance triggers session creation bound to that instance.
 func TestLazyRegistrationCallback(t *testing.T) {

@@ -26,6 +26,35 @@ func healKinds() []faultinject.Kind {
 	}
 }
 
+// onlyDegradedConfirmations reports whether every detection that
+// confirmed any root cause did so on evidence the monitoring plane
+// itself flagged Degraded (gaps declared while the diagnosis ran). A run
+// with no confirmations at all is vacuously true.
+func onlyDegradedConfirmations(res *RunResult) bool {
+	for _, d := range res.Detections {
+		if len(d.Causes) > 0 && !d.Degraded {
+			return false
+		}
+	}
+	return true
+}
+
+// executedCleanly reports whether the run executed at least one
+// remediation and every executed one resolved without error.
+func executedCleanly(res *RunResult) bool {
+	executed := 0
+	for _, r := range res.Remediations {
+		if r.State != remediate.StateExecuted {
+			continue
+		}
+		executed++
+		if r.Error != "" {
+			return false
+		}
+	}
+	return executed > 0
+}
+
 // TestChaosInjectedFaultsHealed is the heal acceptance gate (run by the
 // CI chaos heal job with -race): under the acceptance chaos regime, every
 // configuration fault must end with the operation healed — the upgrade
@@ -50,13 +79,25 @@ func TestChaosInjectedFaultsHealed(t *testing.T) {
 			InjectDelay: time.Second,
 		}
 		t.Run(kind.String(), func(t *testing.T) {
-			// A run that ends unhealed with a clean upgrade and zero
-			// detections and remediations means the concurrent flip landed
-			// after the operation completed — the injector goroutine lost a
-			// scheduling race under CPU oversubscription, so the monitored
-			// operation never saw the fault. Such a run is vacuous, not a
-			// heal failure; retry it. A genuine remediation regression
-			// reproduces on every attempt and still fails the gate.
+			// The pinned seeds guarantee a run where the injected cause is
+			// confirmed on sound (non-degraded) evidence — but only when the
+			// goroutines pacing the simulation get scheduled on time. Under
+			// CPU oversubscription a run can instead end with the injected
+			// cause never confirmed and nothing but degraded-evidence
+			// conclusions to show: the flip landed after the instances it was
+			// meant to corrupt had already launched (the run heals
+			// trivially), or the starved diagnosis probes ran outside their
+			// evidence windows and concluded nothing, or gaps declared during
+			// the storm left only Degraded-flagged neighbor confirmations.
+			// Such a run carries no information about the closed loop — the
+			// plane itself marked its evidence untrustworthy — so it is
+			// retried. The same goes for a run where the loop did everything
+			// right — injected cause confirmed, every executed remediation
+			// resolved clean — and the only failure is the simulated cloud
+			// not delivering the relaunched replacements within the budget
+			// while an API storm raged. A genuine detection or remediation
+			// regression reproduces on every attempt and still fails the
+			// gate; any other shape is judged as-is.
 			var res *RunResult
 			var err error
 			for attempt := 0; attempt < 3; attempt++ {
@@ -64,12 +105,16 @@ func TestChaosInjectedFaultsHealed(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				vacuous := !res.Healed && res.UpgradeErr == "" &&
-					len(res.Detections) == 0 && len(res.Remediations) == 0
-				if !vacuous {
+				noConfirmation := res.UpgradeErr == "" && !res.FaultDiagnosed &&
+					onlyDegradedConfirmations(res)
+				timedOut := strings.Contains(res.UpgradeErr, "timed out") ||
+					strings.Contains(res.HealErr, "did not converge")
+				starvedCloud := !res.Healed && timedOut && res.FaultDiagnosed && executedCleanly(res)
+				if !noConfirmation && !starvedCloud {
 					break
 				}
-				t.Logf("attempt %d: injection missed the operation window; rerunning", attempt+1)
+				t.Logf("attempt %d: uninformative run (healed=%v, faultDiagnosed=%v, %d detections, %d remediation records, healErr=%q); rerunning",
+					attempt+1, res.Healed, res.FaultDiagnosed, len(res.Detections), len(res.Remediations), res.HealErr)
 			}
 			if !res.Healed {
 				t.Fatalf("fault not healed: %s (upgradeErr=%q, remediations=%+v)",

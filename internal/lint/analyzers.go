@@ -19,7 +19,9 @@ var metricMethods = []string{"Counter", "CounterVec", "Gauge", "GaugeVec", "Hist
 // namespace on the /metrics exposition.
 var metricNameRE = regexp.MustCompile(`^pod_[a-z_]+$`)
 
-// analyzeFile runs the five GO analyzers over one parsed file.
+// analyzeFile runs the per-file GO analyzers over one parsed file. The
+// whole-tree passes (GO007 lock ordering, GO009/GO010 hot paths) run from
+// LintSource once all files are parsed.
 func analyzeFile(f *srcFile) []Finding {
 	var fs []Finding
 	f.lintWallClock(&fs)
@@ -27,6 +29,8 @@ func analyzeFile(f *srcFile) []Finding {
 	f.lintMutexSends(&fs)
 	f.lintRestContext(&fs)
 	f.lintFlightKinds(&fs)
+	f.lintGoroutineLeaks(&fs)
+	f.lintTimersInLoop(&fs)
 	return fs
 }
 

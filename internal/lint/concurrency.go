@@ -1,0 +1,406 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Concurrency analyzers: goroutine-leak shapes (GO006), the global
+// lock-ordering graph (GO007) and per-iteration timer channels (GO008).
+// Like the rest of the suite these are syntactic — go/ast with no type
+// information — so each rule targets a shape that is near-unambiguous in
+// this codebase and documents its approximation.
+
+// lintGoroutineLeaks implements GO006: a `go func() { ... }()` whose body
+// is an unconditional `for` loop performing channel operations with no
+// return or break can never exit; once its peer stops draining, the
+// goroutine parks forever. The fix shape is a `select` that also watches a
+// stop/ctx.Done channel and returns. Loops with a loop condition, or any
+// lexical return/break inside, are assumed to terminate (approximation:
+// a break targeting an inner select still counts as an exit path — false
+// negatives are preferred over noise).
+func (f *srcFile) lintGoroutineLeaks(fs *[]Finding) {
+	ast.Inspect(f.file, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		fl, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			loop, ok := m.(*ast.ForStmt)
+			if !ok || loop.Cond != nil || loop.Init != nil || loop.Post != nil {
+				return true
+			}
+			if loopHasExit(loop.Body) || !loopTouchesChannels(loop.Body) {
+				return true
+			}
+			f.report(fs, RuleSrcGoroutineLeak, loop,
+				"goroutine loops forever on channel operations with no return or break — add a stop/ctx.Done case that returns")
+			return false
+		})
+		return true
+	})
+}
+
+// loopHasExit reports whether the loop body lexically contains a return or
+// break (function literals excluded: their returns do not exit the loop).
+func loopHasExit(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if v.Tok.String() == "break" || v.Tok.String() == "goto" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopTouchesChannels reports whether the loop body performs channel
+// operations: a send, a unary receive, or a select.
+func loopTouchesChannels(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if v.Op.String() == "<-" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// lintTimersInLoop implements GO008: creating a timer channel per loop
+// iteration. `time.After` (and the injected clock's `.After`) allocates a
+// timer the runtime cannot collect until it fires — in a tight loop that
+// is an unbounded pile of live timers; in a slow loop it is still one
+// garbage timer per pass. `time.Tick` leaks its ticker outright, and a
+// `NewTimer`/`NewTicker` constructed inside a loop without a `.Stop()` in
+// the same body leaks likewise. internal/clock itself is exempt — it is
+// the one place allowed to wrap the runtime timers.
+func (f *srcFile) lintTimersInLoop(fs *[]Finding) {
+	if f.rel == "internal/clock" || strings.HasPrefix(f.rel, "internal/clock/") {
+		return
+	}
+	timeName := f.importName("time")
+	var inLoop func(body *ast.BlockStmt)
+	inLoop = func(body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				if fn := pkgCall(v, timeName, "After", "Tick"); fn != "" {
+					f.report(fs, RuleSrcTimerInLoop, v,
+						"time.%s in a loop creates an uncollectable timer per iteration — hoist a Ticker and defer Stop", fn)
+					return true
+				}
+				if fn := pkgCall(v, timeName, "NewTimer", "NewTicker"); fn != "" {
+					if !stoppedInBody(body, v) {
+						f.report(fs, RuleSrcTimerInLoop, v,
+							"time.%s in a loop with no Stop in the loop body — the timer leaks every iteration", fn)
+					}
+					return true
+				}
+				// Injected-clock variant: a receive-shaped `x.After(d)` call
+				// with one argument. Method calls named After with one arg on
+				// non-time receivers are overwhelmingly clock implementations
+				// here; time.Time.After takes one arg too but returns bool and
+				// never appears as `<-t.After(u)`.
+			case *ast.UnaryExpr:
+				if v.Op.String() != "<-" {
+					return true
+				}
+				call, ok := v.X.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "After" {
+					return true
+				}
+				f.report(fs, RuleSrcTimerInLoop, v,
+					"<-%s.After(...) in a loop creates a timer channel per iteration — hoist a Ticker (clock.NewTicker) and defer Stop", exprString(sel.X))
+			}
+			return true
+		})
+	}
+	ast.Inspect(f.file, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ForStmt:
+			inLoop(v.Body)
+			walkNestedBodies(v.Body, inLoop)
+			return false
+		case *ast.RangeStmt:
+			inLoop(v.Body)
+			walkNestedBodies(v.Body, inLoop)
+			return false
+		}
+		return true
+	})
+}
+
+// walkNestedBodies re-runs the loop check on loops nested inside an already
+// flagged-scope body, so each loop reports against its own body for the
+// Stop() containment test.
+func walkNestedBodies(body *ast.BlockStmt, fn func(*ast.BlockStmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ForStmt:
+			fn(v.Body)
+		case *ast.RangeStmt:
+			fn(v.Body)
+		}
+		return true
+	})
+}
+
+// stoppedInBody reports whether any `.Stop()` call (direct or deferred)
+// appears in the body after the given constructor call.
+func stoppedInBody(body *ast.BlockStmt, after *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call == after || call.Pos() < after.Pos() {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Stop" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ---- GO007: lock-ordering graph --------------------------------------
+
+// lockEdge is one observed "acquired b while holding a" ordering.
+type lockEdge struct {
+	from, to string
+	f        *srcFile
+	line     int    // line of the inner acquisition
+	pos      string // position of the inner acquisition
+	fn       string // function the ordering was observed in
+}
+
+// lintLockOrder implements GO007: build the global lock-acquisition graph
+// across every walked file — an edge a→b for each acquisition of b at a
+// program point where a is lexically held — and flag every cycle. A cycle
+// means two code paths can take the same two locks in opposite orders,
+// which is the textbook ABBA deadlock.
+//
+// Lock identity is normalized as pkgdir.Recv.fieldpath: the receiver
+// identifier of a method is replaced by its type name, so (*Manager).run
+// holding m.mu and (*Manager).sweep holding m.mu refer to one lock
+// "internal/core.Manager.mu". Non-receiver expressions keep their
+// rendering prefixed with the package dir — a per-package approximation
+// that cannot confuse locks across packages.
+func lintLockOrder(files []*srcFile) []Finding {
+	var edges []lockEdge
+	for _, f := range files {
+		for _, decl := range f.file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &orderWalker{f: f, fnName: funcName(fd), recv: recvIdent(fd), edges: &edges}
+			w.walkFuncBody(fd.Body)
+		}
+	}
+	return lockCycleFindings(edges)
+}
+
+// recvIdent returns the receiver identifier name and bare type name of a
+// method ("" for plain functions).
+func recvIdent(fd *ast.FuncDecl) [2]string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return [2]string{}
+	}
+	t := exprString(fd.Recv.List[0].Type)
+	return [2]string{fd.Recv.List[0].Names[0].Name, strings.TrimPrefix(t, "*")}
+}
+
+// orderWalker threads a held-lock set through one function body, emitting
+// ordering edges. Same structural approximations as lockWalker: deferred
+// unlocks hold to function end, branches fork a copy, function literals
+// are separate scopes.
+type orderWalker struct {
+	f      *srcFile
+	fnName string
+	recv   [2]string
+	edges  *[]lockEdge
+}
+
+// lockID normalizes a lock receiver expression to its global identity.
+func (w *orderWalker) lockID(expr string) string {
+	if w.recv[0] != "" {
+		if expr == w.recv[0] {
+			expr = w.recv[1]
+		} else if rest, ok := strings.CutPrefix(expr, w.recv[0]+"."); ok {
+			expr = w.recv[1] + "." + rest
+		}
+	}
+	return w.f.pkgDir() + "." + expr
+}
+
+func (w *orderWalker) walkFuncBody(body *ast.BlockStmt) {
+	w.stmts(body.List, map[string]bool{})
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, fl)
+			return false
+		}
+		return true
+	})
+	for _, fl := range lits {
+		w.walkFuncBody(fl.Body)
+	}
+}
+
+func (w *orderWalker) stmts(list []ast.Stmt, held map[string]bool) map[string]bool {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *orderWalker) stmt(s ast.Stmt, held map[string]bool) map[string]bool {
+	switch v := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := v.X.(*ast.CallExpr); ok {
+			if recv, op := lockOp(call); op != "" {
+				id := w.lockID(recv)
+				held = cloneSet(held)
+				if op == "lock" {
+					for h := range held {
+						if h != id {
+							*w.edges = append(*w.edges, lockEdge{from: h, to: id,
+								f: w.f, line: w.f.line(call), pos: w.f.pos(call), fn: w.fnName})
+						}
+					}
+					held[id] = true
+				} else {
+					delete(held, id)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock(): held until return — keep it in the set.
+	case *ast.LabeledStmt:
+		return w.stmt(v.Stmt, held)
+	case *ast.BlockStmt:
+		return w.stmts(v.List, held)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			held = w.stmt(v.Init, held)
+		}
+		w.stmts(v.Body.List, cloneSet(held))
+		if v.Else != nil {
+			w.stmt(v.Else, cloneSet(held))
+		}
+	case *ast.ForStmt:
+		h := cloneSet(held)
+		if v.Init != nil {
+			h = w.stmt(v.Init, h)
+		}
+		w.stmts(v.Body.List, h)
+	case *ast.RangeStmt:
+		w.stmts(v.Body.List, cloneSet(held))
+	case *ast.SwitchStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, cloneSet(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, cloneSet(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, cloneSet(held))
+			}
+		}
+	}
+	return held
+}
+
+// lockCycleFindings detects cycles in the ordering graph and reports one
+// finding per distinct cycle (canonicalized by its sorted lock set),
+// positioned at the first contributing edge.
+func lockCycleFindings(edges []lockEdge) []Finding {
+	succ := make(map[string]map[string]lockEdge)
+	for _, e := range edges {
+		if succ[e.from] == nil {
+			succ[e.from] = make(map[string]lockEdge)
+		}
+		if _, dup := succ[e.from][e.to]; !dup {
+			succ[e.from][e.to] = e
+		}
+	}
+	// reaches reports whether `to` is reachable from `from`.
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for next := range succ[n] {
+				if next == to {
+					return true
+				}
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		return false
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].pos != edges[j].pos {
+			return edges[i].pos < edges[j].pos
+		}
+		return edges[i].to < edges[j].to
+	})
+	var fs []Finding
+	reported := make(map[string]bool)
+	for _, e := range edges {
+		if e.from == e.to || !reaches(e.to, e.from) {
+			continue
+		}
+		key := e.from + "\x00" + e.to
+		if e.to < e.from {
+			key = e.to + "\x00" + e.from
+		}
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		if e.f.suppressed(RuleSrcLockOrder, e.line) {
+			continue
+		}
+		fs = append(fs, finding(RuleSrcLockOrder, e.pos,
+			"lock-order cycle: %s acquires %s while holding %s, but another path orders them oppositely — ABBA deadlock",
+			e.fn, e.to, e.from))
+	}
+	return fs
+}

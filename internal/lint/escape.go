@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"fmt"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Compiler-assisted allocation budgets (GO011). The AST pass (GO010) sees
+// construct shapes; what it cannot see — interface boxing through ...any,
+// closures the compiler fails to stack-allocate, copy-on-write value
+// chains — the compiler's own escape analysis can. podlint shells out to
+//
+//	go build -gcflags=-m <packages>
+//
+// parses the "escapes to heap" / "moved to heap" diagnostics, attributes
+// each site to the enclosing //podlint:hotpath function by file and line
+// range, and fails any function whose site count exceeds its declared
+// budget=N. The Go build cache replays compiler diagnostics on cache hits,
+// so repeated runs stay cheap and deterministic.
+
+// escapeSite is one parsed escape diagnostic.
+type escapeSite struct {
+	file string // module-relative path
+	line int
+	msg  string
+}
+
+// escapeLineRE matches one compiler diagnostic line: path:line:col: message.
+var escapeLineRE = regexp.MustCompile(`^(\S+\.go):(\d+):(\d+): (.+)$`)
+
+// parseEscapeDiagnostics extracts heap-escape sites from `go build
+// -gcflags=-m` output. Only the two diagnostics that mean a heap
+// allocation are kept: "escapes to heap" and "moved to heap". The
+// inlining/leaking chatter (-m also reports "can inline", "leaking param")
+// is dropped — parameters that leak are the caller's allocation, not this
+// function's.
+func parseEscapeDiagnostics(out string) []escapeSite {
+	var sites []escapeSite
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeLineRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		if constStringEscape(msg) {
+			continue
+		}
+		n, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		sites = append(sites, escapeSite{file: m[1], line: n, msg: msg})
+	}
+	return sites
+}
+
+// constStringEscape reports whether the diagnostic is a bare string
+// constant "escaping" — e.g. `"obs: counter cannot decrease" escapes to
+// heap`, the boxed argument of an inlined panic path. The constant lives
+// in read-only data; no per-operation allocation happens unless the panic
+// fires, so these sites do not count against a budget. A concatenation
+// (`"a" + x escapes to heap`) is a real allocation and is kept.
+func constStringEscape(msg string) bool {
+	lit, ok := strings.CutSuffix(msg, " escapes to heap")
+	if !ok {
+		return false
+	}
+	return len(lit) >= 2 && lit[0] == '"' && lit[len(lit)-1] == '"' && !strings.Contains(lit, `" + `)
+}
+
+// applyEscapes attributes escape sites to hot functions and produces the
+// budget table plus GO011 findings for every function over budget. A hot
+// function with no declared budget is reported in the table but never
+// flagged — the annotation alone opts into the construct rules only.
+func applyEscapes(hot []*hotFunc, sites []escapeSite) ([]HotFuncInfo, []Finding) {
+	infos := make([]HotFuncInfo, 0, len(hot))
+	var fs []Finding
+	for _, h := range hot {
+		from := h.f.line(h.decl)
+		to := h.f.fset.Position(h.decl.End()).Line
+		info := HotFuncInfo{
+			Package:  h.f.pkgDir(),
+			Function: h.name,
+			Pos:      fmt.Sprintf("%s:%d", h.f.rel, from),
+			Budget:   h.budget,
+			Escapes:  0,
+		}
+		for _, s := range sites {
+			if s.file == h.f.rel && s.line >= from && s.line <= to {
+				info.Escapes++
+				info.Sites = append(info.Sites, fmt.Sprintf("%s:%d: %s", s.file, s.line, s.msg))
+			}
+		}
+		sort.Strings(info.Sites)
+		if h.budget != noBudget && info.Escapes > h.budget {
+			if !h.f.suppressed(RuleSrcEscapeBudget, from) {
+				fs = append(fs, finding(RuleSrcEscapeBudget, info.Pos,
+					"%s has %d heap-escape sites, over its declared budget=%d — e.g. %s",
+					h.name, info.Escapes, h.budget, firstSite(info.Sites)))
+			}
+		}
+		infos = append(infos, info)
+	}
+	Sort(fs)
+	return infos, fs
+}
+
+func firstSite(sites []string) string {
+	if len(sites) == 0 {
+		return "(no sites)"
+	}
+	return sites[0]
+}
+
+// EscapeAnalysis runs the compiler-assisted budget check: parse the
+// targets, resolve the hot functions, build their packages with
+// -gcflags=-m and compare measured escape sites against declared budgets.
+// It returns the per-function budget table (for -hotpath-report) and the
+// GO011 findings. root must be the module root — the compiler prints
+// module-relative paths, and the hot-function table is keyed the same way.
+func EscapeAnalysis(root string, targets []string) ([]HotFuncInfo, []Finding, error) {
+	files, err := loadSources(root, targets)
+	if err != nil {
+		return nil, nil, err
+	}
+	hot := hotFuncsOf(files)
+	if len(hot) == 0 {
+		return nil, nil, nil
+	}
+	pkgSet := make(map[string]bool)
+	for _, h := range hot {
+		pkgSet[h.f.pkgDir()] = true
+	}
+	pkgs := make([]string, 0, len(pkgSet))
+	for p := range pkgSet {
+		pkgs = append(pkgs, "./"+p)
+	}
+	sort.Strings(pkgs)
+	out, err := runEscapeBuild(root, pkgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	infos, fs := applyEscapes(hot, parseEscapeDiagnostics(out))
+	return infos, fs, nil
+}
+
+// runEscapeBuild invokes the Go toolchain and returns the combined
+// diagnostic output. A build failure surfaces as an error carrying the
+// compiler output — podlint must not mistake "does not compile" for
+// "within budget".
+func runEscapeBuild(root string, pkgs []string) (string, error) {
+	args := append([]string{"build", "-gcflags=-m"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("lint: go build -gcflags=-m failed: %w\n%s", err, out)
+	}
+	return string(out), nil
+}

@@ -133,6 +133,16 @@ const (
 	RuleSrcMutexChannelSend  = "GO003"
 	RuleSrcContextBackground = "GO004"
 	RuleSrcFlightKind        = "GO005"
+	RuleSrcGoroutineLeak     = "GO006"
+	RuleSrcLockOrder         = "GO007"
+	RuleSrcTimerInLoop       = "GO008"
+	RuleSrcDeferInHotLoop    = "GO009"
+	RuleSrcHotAlloc          = "GO010"
+	RuleSrcEscapeBudget      = "GO011"
+
+	RuleRatchetNs       = "RT001"
+	RuleRatchetAllocs   = "RT002"
+	RuleRatchetBaseline = "RT003"
 )
 
 // RuleInfo documents one rule.
@@ -187,6 +197,16 @@ var ruleTable = map[string]RuleInfo{
 	RuleSrcMutexChannelSend:  {RuleSrcMutexChannelSend, SevError, "source", "blocking channel send while a mutex is held"},
 	RuleSrcContextBackground: {RuleSrcContextBackground, SevError, "source", "context.Background/TODO on a request path under internal/rest"},
 	RuleSrcFlightKind:        {RuleSrcFlightKind, SevError, "source", "timeline entry kind string is not a registered flight.Kind"},
+	RuleSrcGoroutineLeak:     {RuleSrcGoroutineLeak, SevError, "source", "goroutine loops on channel operations with no return/break — it can never exit and leaks"},
+	RuleSrcLockOrder:         {RuleSrcLockOrder, SevError, "source", "mutex acquisition cycle: two code paths take the same locks in opposite orders (deadlock)"},
+	RuleSrcTimerInLoop:       {RuleSrcTimerInLoop, SevError, "source", "timer channel created per loop iteration (time.After/clk.After in a loop) — hoist a Ticker"},
+	RuleSrcDeferInHotLoop:    {RuleSrcDeferInHotLoop, SevError, "source", "defer inside a loop of a hot-path function — defers pile up until function return"},
+	RuleSrcHotAlloc:          {RuleSrcHotAlloc, SevError, "source", "allocation-prone construct in a //podlint:hotpath function (fmt.Sprintf, unsized make, map literal, per-iteration closure)"},
+	RuleSrcEscapeBudget:      {RuleSrcEscapeBudget, SevError, "source", "hot-path function exceeds its declared heap-escape budget (compiler -gcflags=-m diagnostics)"},
+
+	RuleRatchetNs:       {RuleRatchetNs, SevError, "bench", "benchmark ns/op regressed past the ratchet threshold against the committed baseline"},
+	RuleRatchetAllocs:   {RuleRatchetAllocs, SevError, "bench", "benchmark allocs/op regressed against the committed baseline (any growth fails)"},
+	RuleRatchetBaseline: {RuleRatchetBaseline, SevWarning, "bench", "benchmark has no ratchet baseline in BENCH_*.json — its performance is unguarded"},
 }
 
 // Rules returns the rule registry sorted by ID.

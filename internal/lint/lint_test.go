@@ -612,6 +612,13 @@ func k() flight.Kind { return flight.Kind("nope") }
 	}
 	all = append(all, srcFindings...)
 
+	// Concurrency + hot-path rules (GO006–GO010), escape budgets (GO011)
+	// and the bench ratchet (RT001–RT003) — fixtures in hotpath_test.go.
+	all = append(all, hotpathFixtureFindings(t)...)
+	_, escFindings := escapeFixture(t)
+	all = append(all, escFindings...)
+	all = append(all, ratchetFixtureFindings()...)
+
 	fired := make(map[string]bool)
 	for _, f := range all {
 		fired[f.Rule] = true

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The CI performance ratchet: a benchstat-lite comparator that reads raw
+// `go test -bench -benchmem` output and compares it against the committed
+// baselines in BENCH_ingest.json / BENCH_diagnosis.json ("ratchet"
+// section). The ratchet only tightens: ns/op may drift up to the declared
+// tolerance (noise allowance), allocs/op may never grow at all — an
+// allocation is a deterministic compiler/runtime fact, not a noisy
+// measurement, so any increase is a real regression.
+//
+// With -count=N the comparator takes the best (minimum) run per benchmark:
+// the minimum is the least-noise estimate of the code's cost — scheduler
+// preemption and cache pollution only ever add time.
+
+// BenchResult is one benchmark measurement parsed from `go test -bench`
+// output (best-of-count when the benchmark ran multiple times).
+type BenchResult struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is heap bytes per operation (-benchmem); -1 when absent.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// AllocsPerOp is heap allocations per operation (-benchmem); -1 when absent.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Runs counts how many runs were folded into this result.
+	Runs int `json:"runs"`
+}
+
+// ParseBenchOutput parses raw `go test -bench` output, folding repeated
+// runs of one benchmark (from -count=N) into a best-of result. Non-bench
+// lines (PASS, ok, log output) are ignored.
+func ParseBenchOutput(r io.Reader) ([]BenchResult, error) {
+	byName := make(map[string]*BenchResult)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		res, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		prev, seen := byName[res.Name]
+		if !seen {
+			r := res
+			r.Runs = 1
+			byName[res.Name] = &r
+			order = append(order, res.Name)
+			continue
+		}
+		prev.Runs++
+		if res.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = res.NsPerOp
+		}
+		if res.AllocsPerOp >= 0 && (prev.AllocsPerOp < 0 || res.AllocsPerOp < prev.AllocsPerOp) {
+			prev.AllocsPerOp = res.AllocsPerOp
+		}
+		if res.BytesPerOp >= 0 && (prev.BytesPerOp < 0 || res.BytesPerOp < prev.BytesPerOp) {
+			prev.BytesPerOp = res.BytesPerOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lint: read bench output: %w", err)
+	}
+	out := make([]BenchResult, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one benchmark result line of the form
+//
+//	BenchmarkLogPipeline-8   1000   1133000 ns/op   245760 B/op   1376 allocs/op
+func parseBenchLine(line string) (BenchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return BenchResult{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res := BenchResult{Name: name, BytesPerOp: -1, AllocsPerOp: -1}
+	found := false
+	for i := 2; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			found = true
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		}
+	}
+	return res, found
+}
+
+// BenchBaseline is one committed per-benchmark baseline.
+type BenchBaseline struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// RatchetBaseline is the "ratchet" section of a BENCH_*.json file.
+type RatchetBaseline struct {
+	// MaxNsRegressionPct is the ns/op noise tolerance in percent (default
+	// 10 when the section leaves it zero).
+	MaxNsRegressionPct float64 `json:"max_ns_regression_pct"`
+	// Benchmarks maps benchmark name to its committed baseline.
+	Benchmarks map[string]BenchBaseline `json:"benchmarks"`
+}
+
+// defaultNsTolerancePct is the ns/op regression tolerance when no baseline
+// file declares one.
+const defaultNsTolerancePct = 10
+
+// LoadBaselines reads and merges the "ratchet" sections of the given JSON
+// files. Files without a ratchet section contribute nothing; duplicate
+// benchmark names across files are an error (the baselines would be
+// ambiguous). The strictest (smallest nonzero) ns tolerance wins.
+func LoadBaselines(paths []string) (RatchetBaseline, error) {
+	merged := RatchetBaseline{Benchmarks: make(map[string]BenchBaseline)}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return merged, fmt.Errorf("lint: read baseline %s: %w", path, err)
+		}
+		var doc struct {
+			Ratchet *RatchetBaseline `json:"ratchet"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return merged, fmt.Errorf("lint: parse baseline %s: %w", path, err)
+		}
+		if doc.Ratchet == nil {
+			continue
+		}
+		if p := doc.Ratchet.MaxNsRegressionPct; p > 0 && (merged.MaxNsRegressionPct == 0 || p < merged.MaxNsRegressionPct) {
+			merged.MaxNsRegressionPct = p
+		}
+		for name, b := range doc.Ratchet.Benchmarks {
+			if _, dup := merged.Benchmarks[name]; dup {
+				return merged, fmt.Errorf("lint: benchmark %s has baselines in more than one file", name)
+			}
+			merged.Benchmarks[name] = b
+		}
+	}
+	if merged.MaxNsRegressionPct == 0 {
+		merged.MaxNsRegressionPct = defaultNsTolerancePct
+	}
+	return merged, nil
+}
+
+// CompareRatchet compares measured results against the merged baseline:
+// RT001 when ns/op regresses past the tolerance, RT002 when allocs/op
+// grows at all, RT003 (warning) for a measured benchmark with no
+// committed baseline. Benchmarks present only in the baseline are ignored
+// — CI scopes which benchmarks it runs.
+func CompareRatchet(results []BenchResult, base RatchetBaseline) []Finding {
+	var fs []Finding
+	sorted := append([]BenchResult(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, r := range sorted {
+		b, ok := base.Benchmarks[r.Name]
+		if !ok {
+			fs = append(fs, finding(RuleRatchetBaseline, r.Name,
+				"no ratchet baseline committed — add it to a BENCH_*.json ratchet section"))
+			continue
+		}
+		if limit := b.NsPerOp * (1 + base.MaxNsRegressionPct/100); b.NsPerOp > 0 && r.NsPerOp > limit {
+			fs = append(fs, finding(RuleRatchetNs,
+				r.Name, "ns/op regressed %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+				b.NsPerOp, r.NsPerOp, (r.NsPerOp/b.NsPerOp-1)*100, base.MaxNsRegressionPct))
+		}
+		if b.AllocsPerOp >= 0 && r.AllocsPerOp > b.AllocsPerOp {
+			fs = append(fs, finding(RuleRatchetAllocs,
+				r.Name, "allocs/op regressed %d -> %d — any allocation growth on a ratcheted benchmark fails",
+				b.AllocsPerOp, r.AllocsPerOp))
+		}
+	}
+	return fs
+}

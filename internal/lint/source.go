@@ -21,12 +21,17 @@ type srcFile struct {
 	fset    *token.FileSet
 	file    *ast.File
 	ignores map[int][]string // comment line -> suppressed rule ids ("" = all)
+	// hotBudgets maps the line of each //podlint:hotpath annotation to its
+	// declared heap-escape budget (noBudget when the annotation gives none).
+	hotBudgets map[int]int
 }
 
 // LintSource parses every non-test Go file under the target directories
 // (testdata, vendor and dot-directories are skipped) and runs the GO
-// analyzers. root is the module root; findings are positioned relative to
-// it. Suppressed findings are dropped before returning.
+// analyzers — the per-file passes plus the whole-tree ones (lock-ordering
+// graph, hot-path manifest). root is the module root; findings are
+// positioned relative to it. Suppressed findings are dropped before
+// returning.
 func LintSource(root string, targets []string) ([]Finding, error) {
 	files, err := loadSources(root, targets)
 	if err != nil {
@@ -36,6 +41,8 @@ func LintSource(root string, targets []string) ([]Finding, error) {
 	for _, f := range files {
 		fs = append(fs, analyzeFile(f)...)
 	}
+	fs = append(fs, lintLockOrder(files)...)
+	fs = append(fs, lintHotPaths(files)...)
 	Sort(fs)
 	return fs, nil
 }
@@ -88,11 +95,16 @@ func parseSource(root, path string) (*srcFile, error) {
 	if err != nil {
 		rel = path
 	}
-	sf := &srcFile{rel: filepath.ToSlash(rel), path: path, fset: fset, file: file, ignores: make(map[int][]string)}
+	sf := &srcFile{rel: filepath.ToSlash(rel), path: path, fset: fset, file: file,
+		ignores: make(map[int][]string), hotBudgets: make(map[int]int)}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
 			text = strings.TrimSpace(text)
+			if rest, ok := strings.CutPrefix(text, "podlint:hotpath"); ok {
+				sf.hotBudgets[fset.Position(c.Pos()).Line] = parseHotBudget(rest)
+				continue
+			}
 			rest, ok := strings.CutPrefix(text, "podlint:ignore")
 			if !ok {
 				continue

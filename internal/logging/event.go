@@ -97,6 +97,24 @@ func (e Event) WithField(key, value string) Event {
 	return out
 }
 
+// SetField sets the field in place. It is the hot-path counterpart of
+// WithField: after one Clone, a pipeline stage may mutate its private copy
+// without paying a further full-event copy per annotation.
+func (e *Event) SetField(key, value string) {
+	if e.Fields == nil {
+		e.Fields = make(map[string]string, 8)
+	}
+	e.Fields[key] = value
+}
+
+// AddTag appends the tag in place if not already present — the hot-path
+// counterpart of WithTag, for use on a Clone the caller owns.
+func (e *Event) AddTag(tag string) {
+	if !e.HasTag(tag) {
+		e.Tags = append(e.Tags, tag)
+	}
+}
+
 // HasTag reports whether the event carries tag.
 func (e Event) HasTag(tag string) bool {
 	for _, t := range e.Tags {

@@ -10,10 +10,16 @@ import (
 )
 
 // Reorder-buffer metrics: how much repair the lossy shipping fabric needed.
+// The labelled dispositions are resolved once — CounterVec.With allocates
+// per call, which the per-event Offer path cannot afford.
 var (
 	mReorder = obs.Default.CounterVec("pod_reorder_events_total",
 		"Sequenced events through the reorder/dedup buffer by disposition.", "disposition")
-	mReorderGaps = obs.Default.Counter("pod_reorder_gaps_total",
+	mReorderUnseq     = mReorder.With("unsequenced")
+	mReorderInOrder   = mReorder.With("in_order")
+	mReorderDuplicate = mReorder.With("duplicate")
+	mReorderHeld      = mReorder.With("held")
+	mReorderGaps      = obs.Default.Counter("pod_reorder_gaps_total",
 		"Sequence gaps declared after the watermark expired or the window overflowed.")
 	mReorderPending = obs.Default.Gauge("pod_reorder_pending",
 		"Out-of-order events currently held by reorder buffers.")
@@ -68,7 +74,7 @@ type ReorderBuffer struct {
 	deliver func(Delivery)
 
 	mu          sync.Mutex
-	sources     map[string]*reorderSource
+	sources     map[sourceKey]*reorderSource
 	flushCancel func()
 	gaps        uint64
 	duplicates  uint64
@@ -97,30 +103,42 @@ func NewReorderBuffer(clk clock.Clock, opts ReorderOptions, deliver func(Deliver
 		clk:     clk,
 		opts:    opts,
 		deliver: deliver,
-		sources: make(map[string]*reorderSource),
+		sources: make(map[sourceKey]*reorderSource),
 	}
 }
 
-func sourceKey(e logging.Event) string {
-	return e.Source + "|" + e.SourceHost + "|" + e.Type
+// sourceKey identifies one sequenced stream. A struct key hashes the three
+// components directly — the string concatenation it replaces allocated a
+// fresh key per offered event.
+type sourceKey struct {
+	src, host, typ string
+}
+
+func keyOf(e logging.Event) sourceKey {
+	return sourceKey{src: e.Source, host: e.SourceHost, typ: e.Type}
 }
 
 // Offer feeds one event into the buffer. In-order events (and unsequenced
 // ones) are delivered synchronously; duplicates are dropped; out-of-order
 // events are held until their predecessors arrive, the watermark expires,
 // or the window overflows.
+//
+// Budget note: both admitted sites are the per-source state created on
+// the first event of a new stream, not per-event work.
+//
+//podlint:hotpath budget=2
 func (b *ReorderBuffer) Offer(ev logging.Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if ev.Seq == 0 {
-		mReorder.With("unsequenced").Inc()
+		mReorderUnseq.Inc()
 		b.deliver(Delivery{Event: ev})
 		return
 	}
-	key := sourceKey(ev)
+	key := keyOf(ev)
 	src, ok := b.sources[key]
 	if !ok {
-		src = &reorderSource{pending: make(map[uint64]heldEvent)}
+		src = &reorderSource{pending: make(map[uint64]heldEvent, 8)}
 		b.sources[key] = src
 	}
 	switch {
@@ -128,24 +146,24 @@ func (b *ReorderBuffer) Offer(ev logging.Event) {
 		// The expected next event arrived (bus streams start at 1, which
 		// also sets the baseline). Deliver and drain any consecutive held
 		// successors.
-		mReorder.With("in_order").Inc()
+		mReorderInOrder.Inc()
 		src.next = ev.Seq + 1
 		b.deliver(Delivery{Event: ev})
 		b.drain(src, false)
 	case src.next != 0 && ev.Seq < src.next:
 		// Already delivered (or declared lost): a duplicate.
 		b.duplicates++
-		mReorder.With("duplicate").Inc()
+		mReorderDuplicate.Inc()
 	default:
 		// Out of order — including a stream whose first observed event is
 		// not seq 1: earlier events may still be in flight, so it is held
 		// rather than taken as the baseline.
 		if _, dup := src.pending[ev.Seq]; dup {
 			b.duplicates++
-			mReorder.With("duplicate").Inc()
+			mReorderDuplicate.Inc()
 			return
 		}
-		mReorder.With("held").Inc()
+		mReorderHeld.Inc()
 		mReorderPending.Inc()
 		src.pending[ev.Seq] = heldEvent{ev: ev, at: b.clk.Now()}
 		for len(src.pending) > b.opts.MaxPending {
