@@ -9,6 +9,8 @@
 // Usage:
 //
 //	podserve [-addr :8077] [-clusters N] [-size N] [-scale X] [-diag-workers N] [-chaos-profile NAME] [-trace-capacity N] [-pprof addr]
+//	podserve -federation N ...          federated mode: N in-process members behind a routing front
+//	podserve -join URL -advertise URL   member mode: join the front at URL as a REST member
 //
 // Endpoints:
 //
@@ -39,6 +41,18 @@
 // With -pprof ADDR, net/http/pprof is served on a second listener at
 // ADDR (e.g. -pprof localhost:6060).
 //
+// With -federation N (N >= 2), the monitoring plane itself is
+// fault-tolerant: N in-process Manager members stand behind a
+// consistent-hash routing front with lease-based membership, the demo
+// sessions spread across the member ring, and the /operations surface is
+// proxied through the front (plus /federation/members and
+// /federation/route/{id} for the membership view). With -join URL the
+// process instead runs as a single member of a remote front: it
+// advertises -advertise (its own reachable base URL) under -member-id,
+// heartbeats lease renewals carrying session snapshots, and serves the
+// member-side handoff endpoints (GET /operations/{id}/export, POST
+// /operations/restore).
+//
 // With -chaos-profile NAME (light, lossy, storm, full), the server runs
 // its own chaos harness: the demo clusters' log streams are dropped,
 // duplicated, reordered and delayed before they reach the monitoring
@@ -61,6 +75,7 @@ import (
 	"poddiagnosis/internal/clock"
 	"poddiagnosis/internal/core"
 	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/federate"
 	"poddiagnosis/internal/logging"
 	"poddiagnosis/internal/obs"
 	"poddiagnosis/internal/remediate"
@@ -84,8 +99,20 @@ func run() int {
 		chaosName   = flag.String("chaos-profile", "", "self-chaos profile (off, light, lossy, storm, full)")
 		traceCap    = flag.Int("trace-capacity", 4096, "completed spans retained for GET /traces")
 		remMode     = flag.String("remediate-mode", "off", "closed-loop remediation policy: off, dry-run, approve or auto")
+		federation  = flag.Int("federation", 0, "run N in-process manager members behind a routing front (0 = single manager)")
+		joinURL     = flag.String("join", "", "run as a federation member of the front at this base URL")
+		memberID    = flag.String("member-id", "member-1", "federation identity in -join mode")
+		advertise   = flag.String("advertise", "", "this member's reachable base URL in -join mode (default derived from -addr)")
 	)
 	flag.Parse()
+	if *federation != 0 && *joinURL != "" {
+		fmt.Fprintln(os.Stderr, "-federation and -join are mutually exclusive")
+		return 1
+	}
+	if *federation == 1 || *federation < 0 {
+		fmt.Fprintln(os.Stderr, "-federation needs at least 2 members")
+		return 1
+	}
 	mode, err := remediate.ParseMode(*remMode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -128,22 +155,123 @@ func run() int {
 	if cp.Enabled() {
 		chaosLabel = cp.Name
 	}
-	mgr, err := core.NewManager(core.ManagerConfig{
-		Cloud: cloud, Bus: bus, Retention: 24 * time.Hour,
-		Diagnosis:   diagnosis.Options{Workers: *diagWorkers},
-		LogTap:      logTap,
-		ChaosLabel:  chaosLabel,
-		Remediation: remediate.SuggestedPolicy(mode),
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+	newManager := func() (*core.Manager, error) {
+		m, err := core.NewManager(core.ManagerConfig{
+			Cloud: cloud, Bus: bus, Retention: 24 * time.Hour,
+			Diagnosis:   diagnosis.Options{Workers: *diagWorkers},
+			LogTap:      logTap,
+			ChaosLabel:  chaosLabel,
+			Remediation: remediate.SuggestedPolicy(mode),
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.Start()
+		return m, nil
 	}
-	mgr.Start()
-	defer mgr.Stop()
 
-	fmt.Fprintf(os.Stderr, "deploying %d demo clusters of %d instances...\n", *clusters, *size)
-	for i := 1; i <= *clusters; i++ {
+	// watchOp registers one demo operation; server is the HTTP surface.
+	// Both depend on the serving mode: single manager (default), an
+	// in-process federation behind a front, or one member of a remote
+	// front.
+	var (
+		watchOp func(app string, x core.Expectation, taskID string) error
+		server  *rest.Server
+	)
+	switch {
+	case *federation >= 2:
+		front := federate.NewFront(clk, federate.Config{})
+		heartbeat := front.Config().LeaseTTL / 3
+		for i := 1; i <= *federation; i++ {
+			member, err := federate.NewLocalMember(federate.LocalConfig{
+				ID: fmt.Sprintf("member-%d", i), NewManager: newManager,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if err := member.JoinFront(front); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			member.StartHeartbeats(heartbeat)
+		}
+		front.Start()
+		defer front.Stop()
+		fmt.Fprintf(os.Stderr, "federation of %d members behind the front (lease TTL %s)\n",
+			*federation, front.Config().LeaseTTL)
+		watchOp = func(app string, x core.Expectation, taskID string) error {
+			_, owner, err := front.Watch(ctx, federate.WatchRequest{
+				ID: app, Expect: x, InstanceIDs: []string{taskID},
+			})
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "operation %s placed on member %s\n", app, owner)
+			}
+			return err
+		}
+		server = rest.NewServer(nil, nil, nil, rest.WithFront(front))
+	case *joinURL != "":
+		mgr, err := newManager()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer mgr.Stop()
+		base := *advertise
+		if base == "" {
+			// A bare ":port" listen address needs a reachable host; an
+			// addr that already names one is used as-is.
+			host := *addr
+			if len(host) > 0 && host[0] == ':' {
+				host = "127.0.0.1" + host
+			}
+			base = "http://" + host
+		}
+		frontCl := rest.NewClient(*joinURL, nil, rest.WithClientClock(clk))
+		agent := &rest.FederationAgent{ID: *memberID, Base: base, Manager: mgr, Front: frontCl}
+		if err := agent.Join(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "join %s: %v\n", *joinURL, err)
+			return 1
+		}
+		go agent.Run(ctx, 3*time.Second)
+		fmt.Fprintf(os.Stderr, "joined front %s as %s (advertising %s), epoch %d\n",
+			*joinURL, *memberID, base, agent.Epoch())
+		watchOp = func(app string, x core.Expectation, taskID string) error {
+			_, err := frontCl.CreateOperation(ctx, rest.OperationRequest{
+				ID: app, Expect: x, InstanceIDs: []string{taskID},
+			})
+			return err
+		}
+		server = rest.NewServer(mgr.Checker(), mgr.Evaluator(), mgr.Diagnoser(),
+			rest.WithManager(mgr))
+	default:
+		mgr, err := newManager()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer mgr.Stop()
+		watchOp = func(app string, x core.Expectation, taskID string) error {
+			_, err := mgr.Watch(x, core.BindInstance(taskID), core.WithSessionID(app))
+			return err
+		}
+		server = rest.NewServer(mgr.Checker(), mgr.Evaluator(), mgr.Diagnoser(),
+			rest.WithManager(mgr))
+	}
+
+	// A joining member brings handoff capacity, not workload: its
+	// simulated cloud is process-local, so deploying demo clusters here
+	// and registering them through the front would collide with the
+	// front's own pmN names and route watches onto members that cannot
+	// see this cloud.
+	demoClusters := *clusters
+	if *joinURL != "" {
+		demoClusters = 0
+		fmt.Fprintln(os.Stderr, "member mode: no demo clusters, serving as handoff capacity")
+	} else {
+		fmt.Fprintf(os.Stderr, "deploying %d demo clusters of %d instances...\n", demoClusters, *size)
+	}
+	for i := 1; i <= demoClusters; i++ {
 		app := fmt.Sprintf("pm%d", i)
 		cluster, err := upgrade.Deploy(ctx, cloud, app, *size, "v1")
 		if err != nil {
@@ -162,7 +290,7 @@ func run() int {
 		taskID := "pushing " + cluster.ASGName
 		spec := cluster.UpgradeSpec(taskID, newAMI)
 		spec.NewLCName = cluster.ASGName + "-lc-" + newAMI
-		if _, err := mgr.Watch(core.Expectation{
+		if err := watchOp(app, core.Expectation{
 			ASGName:      cluster.ASGName,
 			ELBName:      cluster.ELBName,
 			NewImageID:   newAMI,
@@ -173,7 +301,7 @@ func run() int {
 			InstanceType: "m1.small",
 			ClusterSize:  cluster.Size,
 			OldLCName:    cluster.LCName,
-		}, core.BindInstance(taskID), core.WithSessionID(app)); err != nil {
+		}, taskID); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -191,9 +319,6 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "cluster %s ready behind %s; session %s watching %q\n",
 			cluster.ASGName, cluster.ELBName, app, taskID)
 	}
-
-	server := rest.NewServer(mgr.Checker(), mgr.Evaluator(), mgr.Diagnoser(),
-		rest.WithManager(mgr))
 
 	if *pprofAddr != "" {
 		go servePprof(*pprofAddr)

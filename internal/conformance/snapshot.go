@@ -1,0 +1,88 @@
+package conformance
+
+import (
+	"sort"
+	"time"
+)
+
+// InstanceSnapshot is the portable replay state of one process
+// instance: everything the checker needs to resume token replay on
+// another manager mid-operation. The marking serializes place ids
+// directly (sequence-flow and virtual-output place encodings are
+// stable properties of the model, not of the checker instance); the
+// last valid activity is carried by node id and re-resolved against
+// the adopting checker's model on import.
+type InstanceSnapshot struct {
+	InstanceID string         `json:"instanceId"`
+	Marking    map[string]int `json:"marking,omitempty"`
+	LastValid  string         `json:"lastValid,omitempty"`
+	Completed  bool           `json:"completed,omitempty"`
+	Fired      map[string]int `json:"fired,omitempty"`
+	LastAt     time.Time      `json:"lastAt,omitempty"`
+	Events     int            `json:"events,omitempty"`
+	Fit        int            `json:"fit,omitempty"`
+}
+
+// Export snapshots every instance's replay state, sorted by instance
+// id for deterministic round-trips.
+func (c *Checker) Export() []InstanceSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]InstanceSnapshot, 0, len(c.instances))
+	for id, st := range c.instances {
+		snap := InstanceSnapshot{
+			InstanceID: id,
+			Marking:    make(map[string]int, len(st.m)),
+			Completed:  st.completed,
+			Fired:      make(map[string]int, len(st.fired)),
+			LastAt:     st.lastAt,
+			Events:     st.events,
+			Fit:        st.fit,
+		}
+		for p, n := range st.m {
+			snap.Marking[p] = n
+		}
+		for a, n := range st.fired {
+			snap.Fired[a] = n
+		}
+		if st.lastValid != nil {
+			snap.LastValid = st.lastValid.ID
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].InstanceID < out[j].InstanceID })
+	return out
+}
+
+// Import installs exported replay states, replacing any same-named
+// instances. Unknown last-valid node ids (a model mismatch between the
+// exporting and importing managers) degrade to a nil last-valid
+// activity rather than failing the restore: the next fit line
+// re-anchors it.
+func (c *Checker) Import(snaps []InstanceSnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, snap := range snaps {
+		st := &instanceState{
+			m:         make(marking, len(snap.Marking)),
+			completed: snap.Completed,
+			fired:     make(map[string]int, len(snap.Fired)),
+			lastAt:    snap.LastAt,
+			events:    snap.Events,
+			fit:       snap.Fit,
+		}
+		for p, n := range snap.Marking {
+			st.m[p] = n
+		}
+		for a, n := range snap.Fired {
+			st.fired[a] = n
+		}
+		if snap.LastValid != "" {
+			st.lastValid = c.model.Node(snap.LastValid)
+		}
+		if len(st.m) == 0 {
+			st.m = (&replayer{model: c.model}).initialMarking()
+		}
+		c.instances[snap.InstanceID] = st
+	}
+}

@@ -41,6 +41,8 @@ var (
 		"Recorded detections by operation (session id).", "operation")
 	mRouted = obs.Default.CounterVec("pod_manager_routed_total",
 		"Annotated events routed to sessions by outcome.", "outcome")
+	mDrainStranded = obs.Default.Counter("pod_manager_drain_stranded_total",
+		"Backlog items (buffered events plus queued and in-flight work) still outstanding when a Drain timed out.")
 )
 
 // numShards is the number of process-instance shards the manager routes
@@ -527,6 +529,7 @@ func (m *Manager) Watch(x Expectation, opts ...WatchOption) (*Session, error) {
 		mgr:              m,
 		expect:           x,
 		spec:             spec,
+		specText:         o.specText,
 		checker:          conformance.NewChecker(m.cfg.Model),
 		periodicInterval: o.periodicInterval,
 		stepSlack:        o.stepSlack,
@@ -762,8 +765,30 @@ func (m *Manager) drop(victims []*Session) {
 // consecutive polls, or until the (simulated-clock) timeout elapses or ctx
 // is cancelled. It reports whether quiescence was reached. Harnesses use
 // it to collect straggling evaluations and diagnoses after an operation
-// ends.
+// ends. Callers that need to know WHAT was left behind use
+// DrainStranded.
 func (m *Manager) Drain(ctx context.Context, timeout time.Duration) bool {
+	ok, _ := m.DrainStranded(ctx, timeout)
+	return ok
+}
+
+// DrainStranded is Drain returning the stranded backlog alongside the
+// verdict: on timeout the second return is the queue snapshot at the
+// moment the drain gave up (its Depth is also added to
+// pod_manager_drain_stranded_total), so callers report exactly what
+// was abandoned instead of proceeding on a silent false. A successful
+// drain returns a zero-backlog snapshot.
+func (m *Manager) DrainStranded(ctx context.Context, timeout time.Duration) (bool, ManagerQueue) {
+	if m.drainQuiesced(ctx, timeout) {
+		return true, ManagerQueue{}
+	}
+	q := m.QueueDepth()
+	mDrainStranded.Add(float64(q.Depth()))
+	return false, q
+}
+
+// drainQuiesced polls for quiescence until the timeout.
+func (m *Manager) drainQuiesced(ctx context.Context, timeout time.Duration) bool {
 	deadline := m.clk.Now().Add(timeout)
 	poll := timeout / 200
 	if poll < 5*time.Millisecond {

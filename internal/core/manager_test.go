@@ -115,8 +115,12 @@ func (r *multiRig) runAll(t *testing.T, ops []*op) {
 		}()
 	}
 	wg.Wait()
-	if !r.mgr.Drain(r.ctx, 2*time.Minute) {
-		t.Log("manager did not fully drain (continuing with snapshot)")
+	// A generous simulated budget: Drain returns as soon as the manager
+	// goes quiet, but under -race on an oversubscribed box the backlog
+	// can legitimately need several simulated minutes to empty.
+	if ok, stranded := r.mgr.DrainStranded(r.ctx, 10*time.Minute); !ok {
+		t.Logf("manager did not fully drain; %d backlog items stranded (continuing with snapshot): %+v",
+			stranded.Depth(), stranded)
 	}
 }
 

@@ -41,9 +41,13 @@ type Session struct {
 	id  string
 	mgr *Manager
 
-	expect  Expectation
-	spec    *assertspec.Spec
-	checker *conformance.Checker
+	expect Expectation
+	spec   *assertspec.Spec
+	// specText is the spec override Watch parsed spec from ("" when the
+	// session uses the manager default); carried by snapshots so the
+	// adopting manager can re-parse the same spec. Immutable after Watch.
+	specText string
+	checker  *conformance.Checker
 	// flight is the operation's evidence ring; nil (a no-op) when the
 	// manager's recorder is disabled. Immutable after Watch.
 	flight *flight.Op

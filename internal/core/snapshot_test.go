@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/faultinject"
+	"poddiagnosis/internal/obs/flight"
+)
+
+// TestSnapshotCoversSessionFields walks Session's fields by reflection
+// and demands each one is either carried by SessionSnapshot or listed
+// here with a reason it deliberately is not. Adding a Session field
+// without deciding its handoff fate fails this test, so federation
+// handoff cannot silently lose new state.
+func TestSnapshotCoversSessionFields(t *testing.T) {
+	carried := map[string]string{ // Session field -> SessionSnapshot field
+		"id":               "ID",
+		"expect":           "Expect",
+		"specText":         "SpecText",
+		"checker":          "Conformance",
+		"flight":           "Flight",
+		"periodicInterval": "PeriodicInterval",
+		"stepSlack":        "StepSlack",
+		"maxDetections":    "MaxDetections",
+		"matchAny":         "MatchAny",
+		"matchASG":         "MatchASG",
+		"state":            "State",
+		"endedAt":          "EndedAt",
+		"bound":            "Bound",
+		"instances":        "Instances",
+		"completed":        "Completed",
+		"detections":       "Detections",
+		"seen":             "Seen",
+		"identified":       "Identified",
+		"progress":         "Progress",
+		"total":            "Total",
+		"lastEntry":        "LastEntry",
+		"flightGap":        "FlightGap",
+		"degradedUntil":    "DegradedUntil",
+	}
+	excluded := map[string]string{ // Session field -> why handoff may drop it
+		"mgr":         "rewired to the adopting manager by RestoreSession",
+		"spec":        "re-parsed from SpecText against the adopting registry",
+		"remCtl":      "not serializable; re-attached via WithRemediationController",
+		"pending":     "transient backlog counter; work does not survive the owner",
+		"mu":          "lock",
+		"stepCancel":  "one-off step timers re-arm on the next step event",
+		"perioCancel": "periodic timers re-armed by RestoreSession",
+	}
+	st := reflect.TypeOf(Session{})
+	snapT := reflect.TypeOf(SessionSnapshot{})
+	for i := 0; i < st.NumField(); i++ {
+		name := st.Field(i).Name
+		if snapField, ok := carried[name]; ok {
+			if _, ok := snapT.FieldByName(snapField); !ok {
+				t.Errorf("Session.%s claims to be carried by SessionSnapshot.%s, which does not exist", name, snapField)
+			}
+			continue
+		}
+		if _, ok := excluded[name]; ok {
+			continue
+		}
+		t.Errorf("Session.%s is neither carried by SessionSnapshot nor excluded with a reason; handoff would silently lose it", name)
+	}
+	for name := range carried {
+		if _, ok := st.FieldByName(name); !ok {
+			t.Errorf("carried list names Session.%s, which no longer exists", name)
+		}
+	}
+	for name := range excluded {
+		if _, ok := st.FieldByName(name); !ok {
+			t.Errorf("excluded list names Session.%s, which no longer exists", name)
+		}
+	}
+}
+
+// TestSnapshotRoundTrip runs a real faulted upgrade, exports the
+// session, ships the snapshot through JSON (the REST handoff path),
+// restores it onto a second manager and exports again: apart from the
+// appended federation.handoff evidence entry and the export timestamp,
+// the two snapshots must be byte-identical — the proof that no field
+// decays in transit.
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := newMultiRig(t, func(c *ManagerConfig) { c.FlightCapacity = 2048 })
+	alpha := r.addOp(t, "alpha", 2)
+	inj := faultinject.NewInjector(r.cloud, alpha.cluster, 7)
+	defer inj.Heal()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = inj.Inject(r.ctx, faultinject.KindKeyPairChanged, 10*time.Second, alpha.spec.NewLCName, alpha.newAMI)
+	}()
+	r.runAll(t, []*op{alpha})
+	<-done
+	r.mgr.Drain(r.ctx, 2*time.Minute)
+
+	snap1, err := r.mgr.ExportSession("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap1.Detections) == 0 || len(snap1.Conformance) == 0 || len(snap1.Flight.Entries) == 0 {
+		t.Fatalf("export carries too little state to prove anything: %d detections, %d instances, %d entries",
+			len(snap1.Detections), len(snap1.Conformance), len(snap1.Flight.Entries))
+	}
+
+	raw, err := json.Marshal(snap1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire SessionSnapshot
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewManager(ManagerConfig{Cloud: r.cloud, Bus: r.bus, FlightCapacity: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.timers.StopAll)
+	if _, err := b.RestoreSession(&wire); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := b.ExportSession("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(snap2.Flight.Entries)
+	if n == 0 || snap2.Flight.Entries[n-1].Kind != flight.KindHandoff {
+		t.Fatalf("restored ring does not end with a federation.handoff entry")
+	}
+	snap2.Flight.Entries = snap2.Flight.Entries[:n-1]
+	snap2.TakenAt = snap1.TakenAt
+
+	j1, _ := json.Marshal(snap1)
+	j2, _ := json.Marshal(snap2)
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("snapshot decayed across export -> JSON -> restore -> export:\n first: %s\nsecond: %s", j1, j2)
+	}
+}

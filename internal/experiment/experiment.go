@@ -193,6 +193,20 @@ type RunResult struct {
 	// BrokenRemediationChains counts those that do not.
 	RemediationChains       int `json:"remediationChains,omitempty"`
 	BrokenRemediationChains int `json:"brokenRemediationChains,omitempty"`
+
+	// KilledMember / AdoptedBy record a member-kill run's federation
+	// verdict: the member that crashed mid-upgrade and the survivor the
+	// front handed the operation to (RunMemberKillOne only).
+	KilledMember string `json:"killedMember,omitempty"`
+	AdoptedBy    string `json:"adoptedBy,omitempty"`
+	// Handoffs counts federation.handoff entries on the adopted
+	// session's timeline.
+	Handoffs int `json:"handoffs,omitempty"`
+	// DuplicateRemediations counts distinct executions of the same
+	// remediation idempotency key across every member's ledger. A
+	// snapshot-replicated copy of one execution is not a duplicate; two
+	// independent firings of the same key are. Must be zero.
+	DuplicateRemediations int `json:"duplicateRemediations,omitempty"`
 }
 
 // lane is one execution slot of a campaign: a simulated cloud with a

@@ -1,0 +1,406 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"poddiagnosis/internal/chaos"
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/consistentapi"
+	"poddiagnosis/internal/core"
+	"poddiagnosis/internal/faultinject"
+	"poddiagnosis/internal/federate"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/obs/flight"
+	"poddiagnosis/internal/remediate"
+	"poddiagnosis/internal/simaws"
+	"poddiagnosis/internal/upgrade"
+)
+
+// fedLane is the federated variant of a lane: one simulated cloud and
+// log bus shared by several federated Managers behind a Front, instead
+// of the single-Manager substrate. The embedded lane carries the
+// clock/cloud/profile plumbing (its mgr stays nil) so the convergence,
+// retry-signal and teardown helpers are shared.
+type fedLane struct {
+	lane
+	front   *federate.Front
+	members []*federate.LocalMember
+	// dead marks members whose Manager was stopped by Kill and not
+	// replaced by Restart, so close does not double-stop it.
+	dead map[string]bool
+
+	ctlMu sync.Mutex
+	ctls  map[string]*healController
+}
+
+// controllerFor hands every member the SAME healController for a given
+// operation: remediation idempotency is per-operation, so the
+// controller — like the ledger the snapshot carries — must survive the
+// operation moving between members.
+func (fl *fedLane) controllerFor(opID string) remediate.OperationController {
+	return fl.healCtl(opID)
+}
+
+func (fl *fedLane) healCtl(opID string) *healController {
+	fl.ctlMu.Lock()
+	defer fl.ctlMu.Unlock()
+	c := fl.ctls[opID]
+	if c == nil {
+		c = newHealController()
+		fl.ctls[opID] = c
+	}
+	return c
+}
+
+// newFedLane builds the shared cloud plus memberIDs federated Managers
+// joined to one front. Every Manager runs the full closed loop (default
+// catalog under the suggested auto policy) and, under a chaos config,
+// its own lossy log tap; the cloud-level API fault injector is shared.
+func newFedLane(cfg Config, seed int64, memberIDs []string) (*fedLane, error) {
+	cfg = cfg.withDefaults()
+	clk := clock.NewScaled(cfg.Scale, time.Date(2013, 11, 19, 11, 0, 0, 0, time.UTC))
+	bus := logging.NewBus()
+	profile := calibratedProfile()
+	if cfg.Profile != nil {
+		profile = *cfg.Profile
+	}
+	cloudOpts := []simaws.Option{simaws.WithSeed(seed), simaws.WithBus(bus)}
+	var chaosProfile *chaos.Profile
+	chaosLabel := ""
+	if cfg.Chaos != nil && cfg.Chaos.Enabled() {
+		cp := *cfg.Chaos
+		if cp.Seed == 0 {
+			cp.Seed = seed
+		}
+		if inj := cp.FaultInjector(clk); inj != nil {
+			cloudOpts = append(cloudOpts, simaws.WithFaultInjector(inj))
+		}
+		chaosProfile = &cp
+		chaosLabel = cp.Name
+	}
+	cloud := simaws.New(clk, profile, cloudOpts...)
+	cloud.Start()
+
+	fl := &fedLane{
+		lane: lane{cfg: cfg, clk: clk, bus: bus, cloud: cloud, profile: profile},
+		// A short lease keeps the kill→suspect→dead→failover window well
+		// inside the upgrade, so the adopting member does the diagnosing.
+		front: federate.NewFront(clk, federate.Config{LeaseTTL: 15 * time.Second}),
+		dead:  map[string]bool{},
+		ctls:  map[string]*healController{},
+	}
+	newManager := func() (*core.Manager, error) {
+		var logTap func(<-chan logging.Event) <-chan logging.Event
+		if chaosProfile != nil {
+			logTap = chaosProfile.LogTap(clk)
+		}
+		m, err := core.NewManager(core.ManagerConfig{
+			Cloud:          cloud,
+			Bus:            bus,
+			LogTap:         logTap,
+			ChaosLabel:     chaosLabel,
+			FlightCapacity: 2048,
+			API: consistentapi.Config{
+				MaxAttempts:    3,
+				InitialBackoff: 250 * time.Millisecond,
+				MaxBackoff:     time.Second,
+				CallTimeout:    20 * time.Second,
+			},
+			PeriodicInterval:   cfg.PeriodicInterval,
+			StepTimeoutSlack:   cfg.StepTimeoutSlack,
+			DisableConformance: cfg.DisableConformance,
+			DisableAssertions:  cfg.DisableAssertions,
+			Remediation:        remediate.SuggestedPolicy(remediate.ModeAuto),
+			RemediationCatalog: remediate.DefaultCatalog(),
+			// Like the heal lane: the run reads audit trails long after the
+			// session ends, so nothing may be retired under it.
+			Retention: 24 * time.Hour,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.Start()
+		return m, nil
+	}
+	for _, id := range memberIDs {
+		m, err := federate.NewLocalMember(federate.LocalConfig{
+			ID: id, NewManager: newManager, ControllerFor: fl.controllerFor,
+		})
+		if err != nil {
+			fl.close()
+			return nil, err
+		}
+		fl.members = append(fl.members, m)
+		if err := m.JoinFront(fl.front); err != nil {
+			fl.close()
+			return nil, err
+		}
+	}
+	return fl, nil
+}
+
+// member resolves a member by federation id.
+func (fl *fedLane) member(id string) *federate.LocalMember {
+	for _, m := range fl.members {
+		if m.ID() == id {
+			return m
+		}
+	}
+	return nil
+}
+
+// close tears the federated lane down, skipping Managers already
+// stopped by Kill.
+func (fl *fedLane) close() {
+	fl.front.Stop()
+	for _, m := range fl.members {
+		m.StopHeartbeats()
+		if fl.dead[m.ID()] {
+			continue
+		}
+		if mgr := m.Manager(); mgr != nil {
+			mgr.Stop()
+		}
+	}
+	fl.cloud.Stop()
+	fl.bus.Close()
+}
+
+// kill crashes a member and marks it dead for close.
+func (fl *fedLane) kill(m *federate.LocalMember) {
+	m.Kill()
+	fl.dead[m.ID()] = true
+}
+
+// restart brings a killed member back (fresh Manager, fresh epoch).
+func (fl *fedLane) restart(m *federate.LocalMember) error {
+	if err := m.Restart(); err != nil {
+		return err
+	}
+	fl.dead[m.ID()] = false
+	return m.JoinFront(fl.front)
+}
+
+// duplicateExecutions counts independent executions of the same
+// remediation idempotency key for one operation across every member's
+// ledger — including a killed member's post-mortem one. A record
+// replicated by snapshot keeps its id and timestamps, so one execution
+// seen on two ledgers collapses to a single identity; the split-brain
+// failure this guards against (the old owner and the adopter both
+// firing the same action) shows up as two identities under one key.
+func (fl *fedLane) duplicateExecutions(opID string) int {
+	type identity struct {
+		id       string
+		created  time.Time
+		resolved time.Time
+	}
+	byKey := map[string]map[identity]bool{}
+	for _, m := range fl.members {
+		mgr := m.Manager()
+		if mgr == nil {
+			continue
+		}
+		eng := mgr.Remediator()
+		if eng == nil {
+			continue
+		}
+		for _, r := range eng.List(opID) {
+			if r.State != remediate.StateExecuted {
+				continue
+			}
+			set := byKey[r.IdempotencyKey]
+			if set == nil {
+				set = map[identity]bool{}
+				byKey[r.IdempotencyKey] = set
+			}
+			set[identity{r.ID, r.CreatedAt, r.ResolvedAt}] = true
+		}
+	}
+	dups := 0
+	for _, set := range byKey {
+		if len(set) > 1 {
+			dups += len(set) - 1
+		}
+	}
+	return dups
+}
+
+// RunMemberKillOne executes the federation chaos acceptance run: a
+// three-member federation watches a rolling upgrade, the owning member
+// is crashed mid-upgrade (after its heartbeat replicated the session
+// snapshot), a fault is injected so it manifests after the failover,
+// and the adopting member must diagnose AND heal it — with the
+// evidence chain spanning the handoff and the remediation ledger
+// firing each action at most once across the whole federation.
+func RunMemberKillOne(ctx context.Context, spec RunSpec, cfg Config) (*RunResult, error) {
+	fl, err := newFedLane(cfg, spec.Seed, []string{"fed-a", "fed-b", "fed-c"})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: member-kill run %d: %w", spec.ID, err)
+	}
+	defer fl.close()
+	return fl.runMemberKillOne(ctx, spec, "mk")
+}
+
+func (fl *fedLane) runMemberKillOne(ctx context.Context, spec RunSpec, appName string) (*RunResult, error) {
+	runStart := fl.clk.Now()
+
+	cluster, err := upgrade.Deploy(ctx, fl.cloud, appName, spec.ClusterSize, "v1")
+	if err != nil {
+		return nil, fmt.Errorf("experiment: member-kill run %d: %w", spec.ID, err)
+	}
+	if err := cluster.WaitReady(ctx, fl.cloud, 10*time.Minute); err != nil {
+		return nil, fmt.Errorf("experiment: member-kill run %d: %w", spec.ID, err)
+	}
+	newAMI, err := fl.cloud.RegisterImage(ctx, appName+"-v2", "v2", upgrade.AppServices)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: member-kill run %d: %w", spec.ID, err)
+	}
+
+	taskID := fmt.Sprintf("pushing %s mk-%d", cluster.ASGName, spec.ID)
+	upSpec := cluster.UpgradeSpec(taskID, newAMI)
+	upSpec.NewLCName = fmt.Sprintf("%s-lc-%s", cluster.ASGName, newAMI)
+	upSpec.WaitTimeout = replacementBudget(fl.profile)
+	upSpec.PollInterval = 5 * time.Second
+
+	opID := fmt.Sprintf("mk-%d", spec.ID)
+	_, ownerID, err := fl.front.Watch(ctx, federate.WatchRequest{
+		ID: opID,
+		Expect: core.Expectation{
+			ASGName:      cluster.ASGName,
+			ELBName:      cluster.ELBName,
+			NewImageID:   newAMI,
+			NewVersion:   "v2",
+			NewLCName:    upSpec.NewLCName,
+			OldLCName:    cluster.LCName,
+			KeyName:      cluster.KeyName,
+			SGName:       cluster.SGName,
+			InstanceType: "m1.small",
+			ClusterSize:  spec.ClusterSize,
+		},
+		InstanceIDs: []string{taskID},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: member-kill run %d: %w", spec.ID, err)
+	}
+	for _, m := range fl.members {
+		m.HeartbeatNow()
+	}
+
+	// The fault is injected to manifest AFTER the failover window (lease
+	// TTL + grace past the kill), so detection, diagnosis and remediation
+	// all land on the adopting member.
+	injector := faultinject.NewInjector(fl.cloud, cluster, spec.Seed^0xfa17)
+	injectDone := make(chan struct{})
+	go func() {
+		defer close(injectDone)
+		if spec.Fault != 0 {
+			delay := spec.InjectDelay
+			if delay <= 0 {
+				delay = 75 * time.Second
+			}
+			_ = injector.Inject(ctx, spec.Fault, delay, upSpec.NewLCName, newAMI)
+		}
+	}()
+
+	up := upgrade.NewUpgrader(fl.cloud, fl.bus)
+	repCh := make(chan *upgrade.Report, 1)
+	go func() { repCh <- up.Run(ctx, upSpec) }()
+
+	// Let the upgrade put the new launch configuration and its first
+	// conformance events on the books, replicate the owner's state with a
+	// final heartbeat, then crash it.
+	_ = fl.clk.Sleep(ctx, 15*time.Second)
+	victim := fl.member(ownerID)
+	victim.HeartbeatNow()
+	fl.kill(victim)
+
+	// Survivors keep renewing while the front's lease machine walks the
+	// dead member through suspect to dead and fails its operation over.
+	adopterID := ""
+	for i := 0; i < 40; i++ {
+		for _, m := range fl.members {
+			m.HeartbeatNow() // the dead member skips itself
+		}
+		fl.front.Tick(ctx)
+		if owner, _, ok := fl.front.Owner(opID); ok && owner != ownerID {
+			adopterID = owner
+			break
+		}
+		if fl.clk.Sleep(ctx, 5*time.Second) != nil {
+			break
+		}
+	}
+
+	rep := <-repCh
+	<-injectDone
+	res := &RunResult{Spec: spec, KilledMember: ownerID, AdoptedBy: adopterID}
+
+	// Same closed loop as the heal lane, driven by the shared
+	// per-operation controller: when the adopter's engine signals
+	// retry-failed-step, re-drive the upgrade task.
+	ctl := fl.healCtl(opID)
+	if adopterID != "" {
+		const maxRetries = 3
+		for retries := 0; retries < maxRetries; retries++ {
+			stepID, ok := fl.awaitRetrySignal(ctx, ctl, replacementBudget(fl.profile))
+			if !ok {
+				break
+			}
+			_ = stepID // the task re-runs from the top; completed steps are idempotent
+			rep = up.Run(ctx, upSpec)
+		}
+	}
+	if rep != nil && rep.Err != nil {
+		res.UpgradeErr = rep.Err.Error()
+	}
+
+	var convergeErr error
+	if adopterID != "" {
+		convergeErr = fl.awaitConverged(ctx, cluster, upSpec.NewLCName, spec.ClusterSize, replacementBudget(fl.profile))
+	}
+	switch {
+	case adopterID == "":
+		res.HealErr = "operation never failed over to a survivor"
+	case rep != nil && rep.Err != nil:
+		res.HealErr = "upgrade task did not complete: " + rep.Err.Error()
+	case convergeErr != nil:
+		res.HealErr = convergeErr.Error()
+	case len(ctl.Aborts()) > 0:
+		res.HealErr = fmt.Sprintf("operation aborted by remediation: %v", ctl.Aborts())
+	default:
+		res.Healed = true
+	}
+
+	_ = fl.clk.Sleep(ctx, 30*time.Second)
+	if adopter := fl.member(adopterID); adopter != nil {
+		adopter.Manager().Drain(ctx, 10*time.Minute)
+		if sess := adopter.Manager().Session(opID); sess != nil {
+			classify(res, sess.Detections())
+			tl := sess.Timeline()
+			verifyEvidenceChains(res, tl)
+			for _, e := range tl.Entries {
+				if e.Kind == flight.KindHandoff {
+					res.Handoffs++
+				}
+			}
+			if eng := adopter.Manager().Remediator(); eng != nil {
+				res.Remediations = eng.List(opID)
+			}
+			verifyRemediationChains(res, tl)
+		} else if res.Healed {
+			res.Healed = false
+			res.HealErr = "adopting member does not hold the session"
+		}
+	}
+	res.DuplicateRemediations = fl.duplicateExecutions(opID)
+	res.SimDuration = fl.clk.Since(runStart)
+
+	_ = fl.front.Remove(ctx, opID)
+	injector.Heal()
+	_ = fl.cloud.DeleteAutoScalingGroup(ctx, cluster.ASGName)
+	fl.awaitTeardown(ctx)
+	return res, nil
+}

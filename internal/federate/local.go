@@ -1,0 +1,334 @@
+package federate
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/core"
+	"poddiagnosis/internal/obs/flight"
+	"poddiagnosis/internal/remediate"
+)
+
+// LocalConfig builds a LocalMember.
+type LocalConfig struct {
+	// ID is the member's federation identity.
+	ID string
+	// NewManager builds AND starts a fresh Manager. Called once at
+	// construction and again on every Restart, so a killed member
+	// rejoins with a clean substrate (its sessions live on elsewhere).
+	NewManager func() (*core.Manager, error)
+	// ControllerFor, when set, supplies the remediation operation
+	// controller attached to sessions this member adopts (Watch or
+	// Restore). Sharing one controller per operation across members is
+	// what keeps operation-level remediations idempotent across a
+	// handoff.
+	ControllerFor func(opID string) remediate.OperationController
+}
+
+// LocalMember is an in-process federation member: one Manager plus the
+// heartbeat loop that renews its lease and replicates its session
+// snapshots to the front. Tests drive it deterministically with
+// HeartbeatNow, Kill, Restart and SetPartitioned.
+type LocalMember struct {
+	id     string
+	build  func() (*core.Manager, error)
+	ctlFor func(opID string) remediate.OperationController
+
+	mu          sync.Mutex
+	mgr         *core.Manager
+	down        bool
+	partitioned bool
+	front       *Front
+	epoch       uint64
+
+	stopHB   chan struct{}
+	hbActive bool
+	wg       sync.WaitGroup
+}
+
+// NewLocalMember builds the member and its first Manager.
+func NewLocalMember(cfg LocalConfig) (*LocalMember, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("federate: LocalConfig.ID is required")
+	}
+	if cfg.NewManager == nil {
+		return nil, fmt.Errorf("federate: LocalConfig.NewManager is required")
+	}
+	mgr, err := cfg.NewManager()
+	if err != nil {
+		return nil, err
+	}
+	return &LocalMember{id: cfg.ID, build: cfg.NewManager, ctlFor: cfg.ControllerFor, mgr: mgr}, nil
+}
+
+// ID implements Member.
+func (l *LocalMember) ID() string { return l.id }
+
+// Manager returns the member's current Manager (still readable after
+// Kill, for post-mortem assertions on its ledgers).
+func (l *LocalMember) Manager() *core.Manager {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mgr
+}
+
+// Epoch returns the member's current lease epoch.
+func (l *LocalMember) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+func (l *LocalMember) manager() (*core.Manager, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.down {
+		return nil, fmt.Errorf("federate: member %s is down", l.id)
+	}
+	return l.mgr, nil
+}
+
+func (l *LocalMember) watchOptions(req WatchRequest) []core.WatchOption {
+	opts := []core.WatchOption{core.WithSessionID(req.ID)}
+	if len(req.InstanceIDs) > 0 {
+		opts = append(opts, core.BindInstance(req.InstanceIDs...))
+	}
+	if req.MatchASG {
+		opts = append(opts, core.MatchASGInstances())
+	}
+	if req.MatchAny {
+		opts = append(opts, core.MatchAnyInstance())
+	}
+	if req.AssertionSpec != "" {
+		opts = append(opts, core.WithAssertionSpec(req.AssertionSpec))
+	}
+	if req.MaxDetections > 0 {
+		opts = append(opts, core.WithMaxDetections(req.MaxDetections))
+	}
+	if l.ctlFor != nil {
+		opts = append(opts, core.WithRemediationController(l.ctlFor(req.ID)))
+	}
+	return opts
+}
+
+// Watch implements Member.
+func (l *LocalMember) Watch(_ context.Context, req WatchRequest) (core.SessionSummary, error) {
+	mgr, err := l.manager()
+	if err != nil {
+		return core.SessionSummary{}, err
+	}
+	s, err := mgr.Watch(req.Expect, l.watchOptions(req)...)
+	if err != nil {
+		return core.SessionSummary{}, err
+	}
+	return s.Summary(), nil
+}
+
+// Export implements Member.
+func (l *LocalMember) Export(_ context.Context, opID string) (*core.SessionSnapshot, error) {
+	mgr, err := l.manager()
+	if err != nil {
+		return nil, err
+	}
+	return mgr.ExportSession(opID)
+}
+
+// Restore implements Member: the adoption half of a handoff.
+func (l *LocalMember) Restore(_ context.Context, snap *core.SessionSnapshot) error {
+	mgr, err := l.manager()
+	if err != nil {
+		return err
+	}
+	var opts []core.WatchOption
+	if l.ctlFor != nil && snap != nil {
+		opts = append(opts, core.WithRemediationController(l.ctlFor(snap.ID)))
+	}
+	_, err = mgr.RestoreSession(snap, opts...)
+	return err
+}
+
+// Remove implements Member.
+func (l *LocalMember) Remove(_ context.Context, opID string) error {
+	mgr, err := l.manager()
+	if err != nil {
+		return err
+	}
+	mgr.Remove(opID)
+	return nil
+}
+
+// Operation implements Member.
+func (l *LocalMember) Operation(_ context.Context, opID string) (core.SessionSummary, error) {
+	mgr, err := l.manager()
+	if err != nil {
+		return core.SessionSummary{}, err
+	}
+	s := mgr.Session(opID)
+	if s == nil {
+		return core.SessionSummary{}, fmt.Errorf("federate: member %s: no operation %q", l.id, opID)
+	}
+	return s.Summary(), nil
+}
+
+// Detections implements Member.
+func (l *LocalMember) Detections(_ context.Context, opID string) ([]core.Detection, error) {
+	mgr, err := l.manager()
+	if err != nil {
+		return nil, err
+	}
+	s := mgr.Session(opID)
+	if s == nil {
+		return nil, fmt.Errorf("federate: member %s: no operation %q", l.id, opID)
+	}
+	return s.Detections(), nil
+}
+
+// Timeline implements Member.
+func (l *LocalMember) Timeline(_ context.Context, opID string) (flight.Timeline, error) {
+	mgr, err := l.manager()
+	if err != nil {
+		return flight.Timeline{}, err
+	}
+	return mgr.Flight().Timeline(opID), nil
+}
+
+// JoinFront joins (or re-joins) the front and records the granted
+// epoch.
+func (l *LocalMember) JoinFront(f *Front) error {
+	epoch, err := f.Join(l)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.front = f
+	l.epoch = epoch
+	l.mu.Unlock()
+	return nil
+}
+
+// renewal snapshots every session the member currently runs.
+func (l *LocalMember) renewal() Renewal {
+	mgr, err := l.manager()
+	if err != nil {
+		return Renewal{}
+	}
+	r := Renewal{Pending: mgr.QueueDepth().Depth()}
+	for _, s := range mgr.Sessions() {
+		if snap, err := mgr.ExportSession(s.ID()); err == nil {
+			r.Snapshots = append(r.Snapshots, snap)
+		}
+	}
+	return r
+}
+
+// HeartbeatNow renews the lease once, synchronously: the deterministic
+// path tests use to force snapshot replication before a kill. A stale
+// verdict makes the member drop the listed operations and re-join for
+// a fresh epoch (the recovering side of the split-brain guard).
+// Down or partitioned members skip silently.
+func (l *LocalMember) HeartbeatNow() {
+	l.mu.Lock()
+	front, epoch := l.front, l.epoch
+	skip := l.down || l.partitioned || front == nil
+	l.mu.Unlock()
+	if skip {
+		return
+	}
+	res := front.Renew(l.id, epoch, l.renewal())
+	if !res.Stale {
+		return
+	}
+	mgr, err := l.manager()
+	if err != nil {
+		return
+	}
+	for _, opID := range res.DropOps {
+		mgr.Remove(opID)
+	}
+	_ = l.JoinFront(front)
+}
+
+// StartHeartbeats renews the lease every interval on the manager's
+// injected clock until StopHeartbeats (or Kill).
+func (l *LocalMember) StartHeartbeats(every time.Duration) {
+	l.mu.Lock()
+	if l.hbActive || l.mgr == nil {
+		l.mu.Unlock()
+		return
+	}
+	l.hbActive = true
+	l.stopHB = make(chan struct{})
+	stop := l.stopHB
+	clk := l.mgr.Clock()
+	l.mu.Unlock()
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		ticker := clock.NewTicker(clk, every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				l.HeartbeatNow()
+			}
+		}
+	}()
+}
+
+// StopHeartbeats halts the heartbeat loop. Idempotent.
+func (l *LocalMember) StopHeartbeats() {
+	l.mu.Lock()
+	if l.hbActive {
+		l.hbActive = false
+		close(l.stopHB)
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+}
+
+// Kill simulates the member crashing: heartbeats stop, the Manager
+// stops, and every Member call fails until Restart. The dead Manager
+// stays readable via Manager() for post-mortem ledger assertions.
+func (l *LocalMember) Kill() {
+	l.StopHeartbeats()
+	l.mu.Lock()
+	mgr := l.mgr
+	l.down = true
+	l.mu.Unlock()
+	if mgr != nil {
+		mgr.Stop()
+	}
+}
+
+// Restart brings a killed member back with a fresh Manager (built and
+// started by the factory). The caller re-joins and restarts
+// heartbeats.
+func (l *LocalMember) Restart() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.down {
+		return fmt.Errorf("federate: member %s is not down", l.id)
+	}
+	mgr, err := l.build()
+	if err != nil {
+		return err
+	}
+	l.mgr = mgr
+	l.down = false
+	return nil
+}
+
+// SetPartitioned toggles a network partition: the member keeps running
+// but its heartbeats stop reaching the front, so its lease decays and
+// its operations fail over. Healing the partition lets the next
+// heartbeat discover it is stale.
+func (l *LocalMember) SetPartitioned(p bool) {
+	l.mu.Lock()
+	l.partitioned = p
+	l.mu.Unlock()
+}

@@ -56,6 +56,13 @@ const (
 	// action (executed, failed, dry-run, or skipped), chained to its
 	// remediation.action entry.
 	KindRemediationOutcome Kind = "remediation.outcome"
+	// KindHandoff marks a federation handoff: the operation's session
+	// state — this ring included — was restored onto another manager
+	// after its previous owner died or the member ring rebalanced. Its
+	// parents are the restored instances' last log-event entries, so
+	// post-handoff evidence chains walk through it back to pre-handoff
+	// log events.
+	KindHandoff Kind = "federation.handoff"
 )
 
 // Kinds returns every registered kind, in causal pipeline order.
@@ -63,7 +70,7 @@ func Kinds() []Kind {
 	return []Kind{
 		KindLogEvent, KindStreamGap, KindConformance, KindAssertion,
 		KindDetection, KindDiagnosis, KindTest, KindCause,
-		KindRemediationAction, KindRemediationOutcome,
+		KindRemediationAction, KindRemediationOutcome, KindHandoff,
 	}
 }
 

@@ -187,7 +187,10 @@ func (e *Engine) Trigger(ctx context.Context, tr Trigger) []Remediation {
 		e.byOp[tr.Operation] = append(e.byOp[tr.Operation], r)
 		e.mu.Unlock()
 
-		r.ActionEntry = r.fl.Record(flight.Entry{
+		// The record is published in the maps already, so entry ids are
+		// written back under the lock (a concurrent List must not observe
+		// a torn write).
+		actionEntry := r.fl.Record(flight.Entry{
 			Kind:    flight.KindRemediationAction,
 			Parents: parents(tr.CauseEntry),
 			Message: fmt.Sprintf("remediation %s: %s (%s) for cause %s", r.ID, r.Action, mode, tr.CauseNode),
@@ -200,6 +203,9 @@ func (e *Engine) Trigger(ctx context.Context, tr Trigger) []Remediation {
 				"path":        tr.CausePath,
 			},
 		})
+		e.mu.Lock()
+		r.ActionEntry = actionEntry
+		e.mu.Unlock()
 		switch mode {
 		case ModeDryRun:
 			e.finish(r, StateDryRun, "dry-run: "+r.action.Description, nil)
@@ -262,6 +268,7 @@ func (e *Engine) finish(r *Remediation, state State, detail string, err error) {
 		r.Error = err.Error()
 	}
 	r.ResolvedAt = e.clk.Now()
+	actionEntry := r.ActionEntry
 	e.mu.Unlock()
 	mTriggered.With(string(state)).Inc()
 
@@ -279,12 +286,15 @@ func (e *Engine) finish(r *Remediation, state State, detail string, err error) {
 	if err != nil {
 		attrs["error"] = err.Error()
 	}
-	r.OutcomeEntry = r.fl.Record(flight.Entry{
+	outcomeEntry := r.fl.Record(flight.Entry{
 		Kind:    flight.KindRemediationOutcome,
-		Parents: parents(r.ActionEntry),
+		Parents: parents(actionEntry),
 		Message: msg,
 		Attrs:   attrs,
 	})
+	e.mu.Lock()
+	r.OutcomeEntry = outcomeEntry
+	e.mu.Unlock()
 }
 
 // Get returns one remediation by id.

@@ -1,0 +1,210 @@
+package rest
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"poddiagnosis/internal/clock"
+	"poddiagnosis/internal/consistentapi"
+	"poddiagnosis/internal/core"
+	"poddiagnosis/internal/federate"
+	"poddiagnosis/internal/logging"
+	"poddiagnosis/internal/obs/flight"
+	"poddiagnosis/internal/simaws"
+)
+
+// fedEnv is a REST federation: two member servers (each its own
+// Manager over one shared simulated cloud) and one front server that
+// proxies the /operations surface.
+type fedEnv struct {
+	clk      *clock.Scaled
+	front    *federate.Front
+	frontSrv *httptest.Server
+	frontCl  *Client
+	members  map[string]*fedEnvMember
+	ctx      context.Context
+}
+
+type fedEnvMember struct {
+	mgr     *core.Manager
+	srv     *httptest.Server
+	agent   *FederationAgent
+	stopped bool
+}
+
+// kill crashes the member: REST server gone, manager stopped.
+func (m *fedEnvMember) kill() {
+	m.srv.Close()
+	if !m.stopped {
+		m.stopped = true
+		m.mgr.Stop()
+	}
+}
+
+func newFedEnv(t *testing.T) *fedEnv {
+	t.Helper()
+	clk := clock.NewScaled(1000, time.Unix(0, 0))
+	bus := logging.NewBus()
+	profile := simaws.FastProfile()
+	profile.TickInterval = 200 * time.Millisecond
+	cloud := simaws.New(clk, profile, simaws.WithSeed(17), simaws.WithBus(bus))
+	cloud.Start()
+	t.Cleanup(func() { cloud.Stop(); bus.Close() })
+	ctx := context.Background()
+
+	front := federate.NewFront(clk, federate.Config{LeaseTTL: 30 * time.Second})
+	frontSrv := httptest.NewServer(NewServer(nil, nil, nil, WithFront(front)))
+	t.Cleanup(frontSrv.Close)
+	frontCl := NewClient(frontSrv.URL, nil, WithClientClock(clk))
+
+	env := &fedEnv{
+		clk: clk, front: front, frontSrv: frontSrv, frontCl: frontCl,
+		members: map[string]*fedEnvMember{}, ctx: ctx,
+	}
+	for _, id := range []string{"ma", "mb"} {
+		mgr, err := core.NewManager(core.ManagerConfig{
+			Cloud: cloud, Bus: bus,
+			API: consistentapi.Config{
+				MaxAttempts: 3, InitialBackoff: 50 * time.Millisecond,
+				MaxBackoff: time.Second, CallTimeout: 20 * time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr.Start()
+		srv := httptest.NewServer(NewServer(mgr.Checker(), mgr.Evaluator(), mgr.Diagnoser(), WithManager(mgr)))
+		t.Cleanup(srv.Close)
+		agent := &FederationAgent{ID: id, Base: srv.URL, Manager: mgr, Front: frontCl}
+		if err := agent.Join(ctx); err != nil {
+			t.Fatal(err)
+		}
+		mem := &fedEnvMember{mgr: mgr, srv: srv, agent: agent}
+		t.Cleanup(func() {
+			if !mem.stopped {
+				mem.stopped = true
+				mem.mgr.Stop()
+			}
+		})
+		env.members[id] = mem
+	}
+	return env
+}
+
+// TestFederationOverREST drives the whole lease protocol across the
+// wire: join, renew with piggybacked snapshots, member death, failover
+// via POST /operations/restore on the survivor, and proxy reads that
+// keep answering from the front's single base URL across the handoff.
+func TestFederationOverREST(t *testing.T) {
+	e := newFedEnv(t)
+	const opID = "wire-op"
+	sum, err := e.frontCl.CreateOperation(e.ctx, OperationRequest{
+		ID:          opID,
+		Expect:      core.Expectation{ASGName: "wire--asg", ClusterSize: 2},
+		InstanceIDs: []string{"wire-task"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ID != opID {
+		t.Fatalf("created operation id %q, want %q", sum.ID, opID)
+	}
+	route, err := e.frontCl.FederationRoute(e.ctx, opID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := e.members[route.Owner]
+	if owner == nil {
+		t.Fatalf("route names unknown member %q", route.Owner)
+	}
+	var survivor *fedEnvMember
+	for id, m := range e.members {
+		if id != route.Owner {
+			survivor = m
+		}
+	}
+
+	// Heartbeats replicate both members' snapshots to the front.
+	if err := owner.agent.RenewOnce(e.ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := survivor.agent.RenewOnce(e.ctx); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := e.frontCl.FederationMembers(e.ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("membership size %d, want 2", len(infos))
+	}
+
+	// The owner dies: its server goes away and its heartbeats stop.
+	owner.kill()
+	for i := 0; i < 40; i++ {
+		if err := survivor.agent.RenewOnce(e.ctx); err != nil {
+			t.Fatal(err)
+		}
+		e.front.Tick(e.ctx)
+		if r, err := e.frontCl.FederationRoute(e.ctx, opID); err == nil && r.Owner == survivor.agent.ID {
+			break
+		}
+		if err := e.clk.Sleep(e.ctx, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	route, err = e.frontCl.FederationRoute(e.ctx, opID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.Owner != survivor.agent.ID {
+		t.Fatalf("operation never failed over; still routed to %q", route.Owner)
+	}
+	if route.Epoch != 2 {
+		t.Fatalf("handoff epoch %d, want 2", route.Epoch)
+	}
+
+	// The adopted session is live on the survivor, restored over REST,
+	// with the handoff recorded on its flight ring — and the front's
+	// proxy keeps serving it from the same base URL.
+	if survivor.mgr.Session(opID) == nil {
+		t.Fatalf("survivor's manager does not hold the adopted session")
+	}
+	got, err := e.frontCl.Operation(e.ctx, opID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != opID {
+		t.Fatalf("front proxy returned operation %q, want %q", got.ID, opID)
+	}
+	tl, err := e.frontCl.OperationTimeline(e.ctx, opID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Entries) == 0 || tl.Entries[len(tl.Entries)-1].Kind != flight.KindHandoff {
+		t.Fatalf("proxied timeline does not end with a federation.handoff entry")
+	}
+}
+
+// TestFailoverClient rotates to the next base when the preferred one
+// is down.
+func TestFailoverClient(t *testing.T) {
+	e := newFedEnv(t)
+	ma, mb := e.members["ma"], e.members["mb"]
+	fc, err := NewFailoverClient([]string{ma.srv.URL, mb.srv.URL}, nil, WithClientClock(e.clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Operations(e.ctx); err != nil {
+		t.Fatalf("failover client with both bases up: %v", err)
+	}
+	ma.srv.Close()
+	if _, err := fc.Operations(e.ctx); err != nil {
+		t.Fatalf("failover client did not rotate past the dead base: %v", err)
+	}
+	if _, err := fc.Operations(e.ctx); err != nil {
+		t.Fatalf("failover client did not remember the working base: %v", err)
+	}
+}

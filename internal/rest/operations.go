@@ -39,6 +39,10 @@ type OperationRequest struct {
 var errNoManager = errors.New("operation management not configured")
 
 func (s *Server) handleOperationCreate(w http.ResponseWriter, r *http.Request) {
+	if s.front != nil {
+		s.handleFrontOperationCreate(w, r)
+		return
+	}
 	if s.mgr == nil {
 		writeErr(w, http.StatusServiceUnavailable, errNoManager)
 		return
@@ -76,6 +80,10 @@ func (s *Server) handleOperationCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOperationList(w http.ResponseWriter, r *http.Request) {
+	if s.front != nil {
+		s.handleFrontOperationList(w, r)
+		return
+	}
 	if s.mgr == nil {
 		writeErr(w, http.StatusServiceUnavailable, errNoManager)
 		return
@@ -104,12 +112,20 @@ func (s *Server) operation(w http.ResponseWriter, r *http.Request) *core.Session
 }
 
 func (s *Server) handleOperationGet(w http.ResponseWriter, r *http.Request) {
+	if s.front != nil {
+		s.handleFrontOperationGet(w, r)
+		return
+	}
 	if sess := s.operation(w, r); sess != nil {
 		writeJSON(w, http.StatusOK, sess.Summary())
 	}
 }
 
 func (s *Server) handleOperationDetections(w http.ResponseWriter, r *http.Request) {
+	if s.front != nil {
+		s.handleFrontOperationDetections(w, r)
+		return
+	}
 	sess := s.operation(w, r)
 	if sess == nil {
 		return
@@ -127,6 +143,10 @@ func (s *Server) handleOperationDetections(w http.ResponseWriter, r *http.Reques
 // named event kinds; unknown kinds are a 400 so typos don't silently
 // return an empty timeline.
 func (s *Server) handleOperationTimeline(w http.ResponseWriter, r *http.Request) {
+	if s.front != nil {
+		s.handleFrontOperationTimeline(w, r)
+		return
+	}
 	sess := s.operation(w, r)
 	if sess == nil {
 		return
@@ -150,6 +170,10 @@ func (s *Server) handleOperationTimeline(w http.ResponseWriter, r *http.Request)
 }
 
 func (s *Server) handleOperationDelete(w http.ResponseWriter, r *http.Request) {
+	if s.front != nil {
+		s.handleFrontOperationDelete(w, r)
+		return
+	}
 	if s.mgr == nil {
 		writeErr(w, http.StatusServiceUnavailable, errNoManager)
 		return

@@ -18,6 +18,7 @@ import (
 	"poddiagnosis/internal/conformance"
 	"poddiagnosis/internal/core"
 	"poddiagnosis/internal/diagnosis"
+	"poddiagnosis/internal/federate"
 	"poddiagnosis/internal/obs"
 	"poddiagnosis/internal/pipeline"
 	"poddiagnosis/internal/resilience"
@@ -101,14 +102,16 @@ func WithManager(m *core.Manager) Option {
 
 // Server hosts the three POD services over one model.
 type Server struct {
-	checker *conformance.Checker
-	eval    *assertion.Evaluator
-	diag    *diagnosis.Engine
-	mgr     *core.Manager
-	mux     *http.ServeMux
-	reg     *obs.Registry
-	tracer  *obs.Tracer
-	ready   func() ReadyStatus
+	checker       *conformance.Checker
+	eval          *assertion.Evaluator
+	diag          *diagnosis.Engine
+	mgr           *core.Manager
+	front         *federate.Front
+	memberFactory func(id, base string) federate.Member
+	mux           *http.ServeMux
+	reg           *obs.Registry
+	tracer        *obs.Tracer
+	ready         func() ReadyStatus
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -137,6 +140,12 @@ func NewServer(checker *conformance.Checker, eval *assertion.Evaluator, diag *di
 	s.route("GET /operations/{id}/remediations", "operations_remediations", s.handleOperationRemediations)
 	s.route("POST /remediations/{id}/approve", "remediations_approve", s.handleRemediationApprove)
 	s.route("DELETE /operations/{id}", "operations_delete", s.handleOperationDelete)
+	s.route("GET /operations/{id}/export", "operations_export", s.handleOperationExport)
+	s.route("POST /operations/restore", "operations_restore", s.handleOperationRestore)
+	s.route("POST /federation/join", "federation_join", s.handleFederationJoin)
+	s.route("POST /federation/renew", "federation_renew", s.handleFederationRenew)
+	s.route("GET /federation/members", "federation_members", s.handleFederationMembers)
+	s.route("GET /federation/route/{id}", "federation_route", s.handleFederationRoute)
 	s.route("GET /conformance/instances", "conformance_instances", s.handleInstances)
 	s.route("GET /conformance/stats", "conformance_stats", s.handleStats)
 	s.route("POST /assertions/evaluate", "assertions_evaluate", s.handleEvaluate)
